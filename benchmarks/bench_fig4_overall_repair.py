@@ -1,0 +1,71 @@
+"""Figure 4 (Experiment 1) — overall single-chunk repair time.
+
+For every workload and every (n, k) in {(6,4), (9,6), (12,8), (14,10)},
+repairs a 64 MiB chunk under sampled congested bandwidth snapshots with
+RP, PPT, PivotRepair and FullRepair, reporting mean overall repair time
+(scheduling calculation + data transfer).
+
+Expected shape (paper Fig. 4): FullRepair lowest everywhere; reductions
+up to ~45% vs RP, larger vs PPT at big n (PPT's calculation time), and
+up to ~33% vs PivotRepair.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    ALGO_KWARGS,
+    CODES,
+    NUM_SAMPLES,
+    NUM_SNAPSHOTS,
+    SEED,
+    WORKLOADS,
+    write_report,
+)
+from repro.analysis import (
+    render_comparison,
+    render_reductions,
+    repair_time_experiment,
+)
+
+_RESULTS = []
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_fig4_overall_repair_time(benchmark, workload):
+    def run():
+        return [
+            repair_time_experiment(
+                workload=workload,
+                n=n,
+                k=k,
+                num_samples=NUM_SAMPLES,
+                num_snapshots=NUM_SNAPSHOTS,
+                seed=SEED,
+                algorithm_kwargs=ALGO_KWARGS,
+            )
+            for n, k in CODES
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS.extend(results)
+    for r in results:
+        # FullRepair's mean overall time never loses to the baselines
+        for base in ("rp", "ppt", "pivotrepair"):
+            assert r.mean_overall("fullrepair") <= r.mean_overall(base) * 1.02, (
+                workload, r.n, r.k, base,
+            )
+
+
+def test_fig4_report(benchmark):
+    """Render the pooled Figure-4 table after all workloads ran."""
+    assert _RESULTS, "run the per-workload benches first"
+
+    def render():
+        return (
+            render_comparison(_RESULTS, metric="overall")
+            + "\n\n"
+            + render_reductions(_RESULTS, metric="overall")
+        )
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    write_report("fig4_overall_repair_time", text)

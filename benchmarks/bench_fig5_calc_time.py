@@ -1,0 +1,58 @@
+"""Figure 5 (Experiment 2) — scheduling calculation time.
+
+Benchmarks the plan-construction call of each algorithm on a fixed
+congested repair instance per (n, k).  This is the one experiment where
+wall-clock is the measured quantity, so pytest-benchmark's statistics
+are the artefact itself.
+
+Expected shape (paper Fig. 5): PPT orders of magnitude above everyone
+(brute-force tree emulation, growing steeply with n); RP growing with n
+(combinatorial subset search, us -> ms); PivotRepair and FullRepair flat
+at ~10-100 us with FullRepair slightly above PivotRepair (O(n^2) vs
+O(n log n)).  Absolute numbers are Python-inflated vs the paper's C++,
+but the ordering and growth shapes are the reproduction target.
+"""
+
+import pytest
+
+from benchmarks.common import CODES, PPT_BUDGET, SEED, write_report
+from repro.analysis import make_fixed_context
+from repro.repair import get_algorithm
+
+_TIMES: dict[tuple[str, int, int], float] = {}
+
+ALGORITHMS = ("rp", "ppt", "pivotrepair", "fullrepair")
+
+
+@pytest.mark.parametrize("nk", CODES, ids=lambda nk: f"n{nk[0]}k{nk[1]}")
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig5_calc_time(benchmark, algorithm, nk):
+    n, k = nk
+    ctx = make_fixed_context(n, k, seed=SEED)
+    kwargs = {"max_emulations": PPT_BUDGET} if algorithm == "ppt" else {}
+    algo = get_algorithm(algorithm, **kwargs)
+    plan = benchmark(algo.schedule, ctx)
+    plan.validate()
+    _TIMES[(algorithm, n, k)] = benchmark.stats.stats.mean
+    benchmark.extra_info["total_rate_mbps"] = plan.total_rate
+
+
+def test_fig5_report(benchmark):
+    assert _TIMES, "run the calc-time benches first"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["Figure 5 - scheduling calculation time (mean seconds)"]
+    header = f"{'(n,k)':>10} | " + " | ".join(f"{a:>12}" for a in ALGORITHMS)
+    lines += [header, "-" * len(header)]
+    for n, k in CODES:
+        cells = []
+        for a in ALGORITHMS:
+            t = _TIMES.get((a, n, k))
+            cells.append(f"{t * 1e6:10.1f}us" if t is not None else " " * 12)
+        lines.append(f"{f'({n},{k})':>10} | " + " | ".join(cells))
+    write_report("fig5_calc_time", "\n".join(lines))
+    # shape assertions: PPT dominates everyone at the largest n; RP grows
+    big = CODES[-1]
+    small = CODES[0]
+    assert _TIMES[("ppt", *big)] > _TIMES[("rp", *big)]
+    assert _TIMES[("ppt", *big)] > _TIMES[("fullrepair", *big)]
+    assert _TIMES[("rp", *big)] > _TIMES[("rp", *small)]

@@ -1,0 +1,73 @@
+"""Figure 6 (Experiment 3) — data transfer time.
+
+Same sweep as Figure 4, reporting the transfer component only (the time
+from task dispatch to the chunk being rebuilt, excluding scheduling
+calculation).
+
+Expected shape (paper Fig. 6): RP longest everywhere (a chain cannot
+route around congestion); PPT and PivotRepair essentially tied (same
+optimal tree); FullRepair lowest, with reductions up to ~45% vs RP and
+~40% vs the tree schemes at (9,6).
+"""
+
+import pytest
+
+from benchmarks.common import (
+    ALGO_KWARGS,
+    CODES,
+    NUM_SAMPLES,
+    NUM_SNAPSHOTS,
+    SEED,
+    WORKLOADS,
+    write_report,
+)
+from repro.analysis import (
+    render_comparison,
+    render_reductions,
+    repair_time_experiment,
+)
+
+_RESULTS = []
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_fig6_transfer_time(benchmark, workload):
+    def run():
+        return [
+            repair_time_experiment(
+                workload=workload,
+                n=n,
+                k=k,
+                num_samples=NUM_SAMPLES,
+                num_snapshots=NUM_SNAPSHOTS,
+                seed=SEED + 1,
+                algorithm_kwargs=ALGO_KWARGS,
+            )
+            for n, k in CODES
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS.extend(results)
+    for r in results:
+        # PPT and PivotRepair pick equal-rate trees; depths can differ by
+        # a hop, so transfer times agree to within slicing overheads
+        assert r.mean_transfer("ppt") == pytest.approx(
+            r.mean_transfer("pivotrepair"), rel=0.05
+        )
+        # FullRepair's transfer time is the shortest
+        for base in ("rp", "ppt", "pivotrepair"):
+            assert r.mean_transfer("fullrepair") <= r.mean_transfer(base) * 1.01
+
+
+def test_fig6_report(benchmark):
+    assert _RESULTS, "run the per-workload benches first"
+
+    def render():
+        return (
+            render_comparison(_RESULTS, metric="transfer")
+            + "\n\n"
+            + render_reductions(_RESULTS, metric="transfer")
+        )
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    write_report("fig6_transfer_time", text)

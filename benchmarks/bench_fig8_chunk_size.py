@@ -1,0 +1,40 @@
+"""Figure 8 (Experiment 5) — impact of chunk size.
+
+Fixed uneven bandwidth, (6, 4), 64 KiB slices; chunk size swept from
+4 MiB to 64 MiB.
+
+Expected shape (paper Fig. 8): repair time grows linearly with chunk
+size for every method; FullRepair's line has the smallest slope and
+stays lowest throughout.
+"""
+
+import pytest
+
+from benchmarks.common import ALGO_KWARGS, SEED, write_report
+from repro.analysis import chunk_size_sweep, render_sweep
+from repro.net import units
+
+CHUNKS = tuple(units.mib(m) for m in (4, 8, 16, 32, 64))
+
+
+def run_sweep():
+    return chunk_size_sweep(
+        chunk_sizes_bytes=CHUNKS,
+        n=6,
+        k=4,
+        seed=SEED,
+        algorithm_kwargs=ALGO_KWARGS,
+    )
+
+
+def test_fig8_chunk_size(benchmark):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    write_report("fig8_chunk_size", render_sweep(series, "chunk size"))
+    for name, data in series.items():
+        times = [data[c] for c in CHUNKS]
+        assert all(a < b for a, b in zip(times, times[1:])), name
+        # linearity: doubling the chunk ~doubles the transfer-dominated time
+        assert times[-1] / times[0] == pytest.approx(16, rel=0.25), name
+    for c in CHUNKS:
+        for base in ("rp", "ppt", "pivotrepair"):
+            assert series["fullrepair"][c] <= series[base][c] * 1.01, (c, base)

@@ -1,0 +1,81 @@
+"""Extension benchmark — full-node repair (beyond the paper's scope).
+
+The paper repairs one chunk; this bench scales the comparison to a whole
+failed node: every stripe it held needs a repair, and the repairs share
+the cluster's bandwidth.  Compares
+
+* sequential vs batched execution (the fullnode planner's strategies),
+* FullRepair vs PivotRepair as the per-stripe scheduler inside batches.
+
+Expected shape: batching shortens the makespan (idle bandwidth during a
+single repair gets used by peers), and FullRepair-based batches dominate
+single-pipeline batches because each plan leaves less stranded bandwidth.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import SEED, write_report
+from repro.core import StripeRepairSpec, plan_full_node_repair
+from repro.net import units
+from repro.workloads import make_trace
+
+NUM_STRIPES = 10
+
+
+def _specs_and_snapshot():
+    trace = make_trace("tpcds", num_nodes=16, num_snapshots=600, seed=SEED)
+    snap = trace.snapshot(int(trace.congested_instants()[0]))
+    rng = np.random.default_rng(SEED)
+    specs = []
+    for i in range(NUM_STRIPES):
+        nodes = rng.permutation(16)
+        specs.append(
+            StripeRepairSpec(
+                stripe_id=f"s{i}",
+                requester=int(nodes[0]),
+                helpers=tuple(int(x) for x in nodes[1:9]),
+                chunk_bytes=units.mib(64),
+            )
+        )
+    return specs, snap
+
+
+@pytest.mark.parametrize("algorithm", ["pivotrepair", "fullrepair"])
+@pytest.mark.parametrize("strategy", ["sequential", "batched"])
+def test_fullnode_repair(benchmark, algorithm, strategy):
+    specs, snap = _specs_and_snapshot()
+
+    def run():
+        return plan_full_node_repair(
+            specs, snap, k=6, algorithm=algorithm, strategy=strategy
+        )
+
+    plan = benchmark.pedantic(run, rounds=1, iterations=1)
+    plan.validate()
+    _RESULTS[(algorithm, strategy)] = plan.makespan_seconds
+    benchmark.extra_info["makespan_s"] = plan.makespan_seconds
+    benchmark.extra_info["batches"] = [len(b) for b in plan.batches]
+
+
+_RESULTS: dict[tuple[str, str], float] = {}
+
+
+def test_fullnode_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _RESULTS
+    lines = [
+        f"Full-node repair of {NUM_STRIPES} x 64 MiB chunks (16-node cluster)",
+        f"{'scheduler':>14} {'strategy':>12} {'makespan':>10}",
+    ]
+    for (algo, strat), makespan in sorted(_RESULTS.items()):
+        lines.append(f"{algo:>14} {strat:>12} {makespan:9.2f}s")
+    write_report("fullnode_repair", "\n".join(lines))
+    # batching helps for both schedulers
+    for algo in ("pivotrepair", "fullrepair"):
+        assert (
+            _RESULTS[(algo, "batched")] <= _RESULTS[(algo, "sequential")] * 1.001
+        )
+    # FullRepair-based recovery is the fastest configuration overall
+    best = min(_RESULTS, key=_RESULTS.get)
+    assert best[0] == "fullrepair"

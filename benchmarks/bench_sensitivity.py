@@ -1,0 +1,24 @@
+"""Extension benchmark — robustness to the execution-model constants.
+
+Sweeps the two free constants of the transfer model (per-slice protocol
+overhead, per-byte GF cost) over generous ranges and checks that the
+paper's headline transfer-time ordering — FullRepair fastest, RP slowest
+— holds at every grid point on the fixed uneven scenario.
+"""
+
+from benchmarks.common import ALGO_KWARGS, SEED, write_report
+from repro.analysis import render_sensitivity, sensitivity_sweep
+
+
+def run_grid():
+    return sensitivity_sweep(seed=SEED, algorithm_kwargs=ALGO_KWARGS)
+
+
+def test_model_sensitivity(benchmark):
+    points = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    write_report("model_sensitivity", render_sensitivity(points))
+    assert all(p.ordering_holds for p in points)
+    margins = [p.fullrepair_margin for p in points]
+    assert min(margins) > 1.0
+    benchmark.extra_info["min_margin"] = min(margins)
+    benchmark.extra_info["max_margin"] = max(margins)

@@ -1,0 +1,47 @@
+"""Table I — distribution of network bandwidth resources by C_v bucket.
+
+Regenerates the paper's observation table: for RP and PPT/PivotRepair
+(which select identical trees — the paper merges their rows), the share
+of the cluster's available repair bandwidth that is used by selected
+helpers, idle on unselected helpers, and idle on selected helpers, per
+network-unevenness bucket.  FullRepair is included to show the
+utilisation head-room the paper's design captures.
+
+Expected shape (paper Table I): utilisation high (>70%) when C_v < 0.3
+and collapsing as C_v grows; unselected-node share ~10-20% throughout;
+selected-but-unused share exploding past C_v >= 0.3.
+"""
+
+from benchmarks.common import ALGO_KWARGS, NUM_SNAPSHOTS, SEED, write_report
+from repro.analysis import render_utilization_table, utilization_experiment
+
+
+def run_table1():
+    table = utilization_experiment(
+        workloads=("tpcds", "tpch", "swim"),
+        n=14,
+        k=10,
+        num_snapshots=NUM_SNAPSHOTS,
+        samples_per_workload=max(200, NUM_SNAPSHOTS // 5),
+        seed=SEED,
+        algorithms=("rp", "pivotrepair", "fullrepair"),
+        algorithm_kwargs=ALGO_KWARGS,
+    )
+    return table
+
+
+def test_table1_utilization(benchmark):
+    table = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    text = render_utilization_table(table)
+    write_report("table1_utilization", text)
+    # sanity: utilisation decreases from the most even to the most uneven
+    # populated bucket for the single-pipeline schemes
+    buckets = sorted(b for b in table.cells if "rp" in table.cells[b])
+    assert buckets, "no C_v buckets populated"
+    lo, hi = buckets[0], buckets[-1]
+    if lo != hi:
+        assert (
+            table.cells[lo]["rp"].bandwidth_utilization
+            > table.cells[hi]["rp"].bandwidth_utilization
+        )
+    benchmark.extra_info["buckets"] = {b: table.counts[b] for b in buckets}

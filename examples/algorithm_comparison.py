@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Mini Experiments 1-3: repair time across workloads and (n, k).
+
+Sweeps the paper's four RS parameterisations over sampled congested
+bandwidth snapshots of each workload and prints the Fig. 4/5/6 tables at
+reduced sample counts (pass --samples/--snapshots for paper scale).
+
+Run:  python examples/algorithm_comparison.py [--samples N] [--snapshots N]
+"""
+
+import argparse
+
+from repro.analysis import (
+    PAPER_CODES,
+    render_comparison,
+    render_reductions,
+    repair_time_experiment,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=8,
+                        help="repair instances per cell (paper: 100)")
+    parser.add_argument("--snapshots", type=int, default=800,
+                        help="trace length to sample from (paper: 6000)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    results = []
+    for workload in ("tpcds", "tpch", "swim"):
+        for n, k in PAPER_CODES:
+            results.append(
+                repair_time_experiment(
+                    workload=workload,
+                    n=n,
+                    k=k,
+                    num_samples=args.samples,
+                    num_snapshots=args.snapshots,
+                    seed=args.seed,
+                    algorithm_kwargs={"ppt": {"max_emulations": 2000}},
+                )
+            )
+            print(f"  done: {workload} ({n},{k})")
+
+    for metric in ("overall", "calc", "transfer"):
+        print()
+        print(render_comparison(results, metric=metric))
+    print()
+    print(render_reductions(results, metric="overall"))
+
+
+if __name__ == "__main__":
+    main()

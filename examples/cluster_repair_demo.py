@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""End-to-end clustered-storage demo with real erasure-coded data.
+
+Builds a 12-node cluster running a (9,6) RS code, writes a stripe of
+random data, fails a node under a TPC-DS-like bandwidth snapshot, and
+repairs the lost chunk with each scheduling algorithm — verifying the
+rebuilt bytes and comparing the simulated repair times and the repair
+traffic each scheme moves.
+
+Run:  python examples/cluster_repair_demo.py
+"""
+
+import numpy as np
+
+from repro import ClusterSystem, RSCode
+from repro.workloads import make_trace
+
+
+def main() -> None:
+    code = RSCode(9, 6)
+    trace = make_trace("tpcds", num_nodes=12, num_snapshots=200, seed=42)
+    congested = trace.congested_instants()
+    snapshot = trace.snapshot(int(congested[0]))
+    print(f"bandwidth snapshot C_v = {snapshot.cv(direction='mean'):.2f} "
+          f"(instant {int(congested[0])} of a TPC-DS-like trace)")
+
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 256, (code.k, 256 * 1024), dtype=np.uint8)
+
+    print(f"\n{'algorithm':>14} {'verified':>9} {'time':>10} {'traffic in':>11} "
+          f"{'pipelines':>10}")
+    for algorithm in ("conventional", "rp", "ppt", "pivotrepair", "fullrepair"):
+        cluster = ClusterSystem(12, code, algorithm=algorithm, slice_bytes=16 * 1024)
+        cluster.write_stripe("stripe-0", data, placement=tuple(range(9)))
+        cluster.set_bandwidth(snapshot)
+        cluster.fail_node(4)
+        outcome = cluster.repair("stripe-0", failed_node=4, requester=10)
+        assert outcome.verified, "repair must be byte-exact"
+        print(
+            f"{algorithm:>14} {str(outcome.verified):>9} "
+            f"{outcome.elapsed_seconds * 1e3:8.2f}ms "
+            f"{outcome.bytes_received / 1024:9.0f}KiB "
+            f"{outcome.plan.num_pipelines():>10}"
+        )
+
+    print("\nNote the conventional scheme's repair penalty: it hauls k full")
+    print("chunks into the requester, while every pipelined scheme delivers")
+    print("exactly one rebuilt chunk's worth of traffic to it.")
+
+
+if __name__ == "__main__":
+    main()

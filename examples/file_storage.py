@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Files on an erasure-coded cluster: write, fail, read degraded, repair.
+
+Stores multi-stripe files through the :class:`repro.cluster.FileStore`
+layer, kills a node, shows the degraded-read penalty end users feel, then
+runs batched full-node recovery and shows reads returning to normal.
+
+Run:  python examples/file_storage.py
+"""
+
+import numpy as np
+
+from repro import ClusterSystem, RSCode
+from repro.cluster import FileStore
+from repro.cluster.placement import LoadBalancedPlacement
+from repro.workloads import make_trace
+
+
+def main() -> None:
+    code = RSCode(6, 4)
+    cluster = ClusterSystem(12, code, algorithm="fullrepair", slice_bytes=8192)
+    trace = make_trace("tpch", num_nodes=12, num_snapshots=100, seed=21)
+    cluster.set_bandwidth(trace.snapshot(40))
+    store = FileStore(
+        cluster,
+        chunk_bytes=16 * 1024,
+        placement=LoadBalancedPlacement(12, code.n),
+    )
+
+    rng = np.random.default_rng(5)
+    originals = {}
+    for name, size in (("logs.tar", 300_000), ("model.bin", 150_000), ("db.sqlite", 90_000)):
+        data = rng.integers(0, 256, size, dtype=np.uint8).tobytes()
+        entry = store.write(name, data)
+        originals[name] = data
+        print(f"wrote {name}: {size} B across {entry.num_stripes} stripes")
+
+    print("\nhealthy reads:")
+    for name in store.files():
+        payload, secs = store.read(name)
+        assert payload == originals[name]
+        print(f"  {name}: {secs * 1e3:7.2f} ms")
+
+    victim = cluster.master.stripe(store.stripes_of("logs.tar")[0]).placement[0]
+    cluster.fail_node(victim)
+    affected = store.affected_files(victim)
+    print(f"\nnode {victim} fails — affected files: {affected}")
+    print("degraded reads (lost chunks rebuilt on the read path):")
+    for name in affected:
+        payload, secs = store.read(name)
+        assert payload == originals[name]
+        print(f"  {name}: {secs * 1e3:7.2f} ms")
+
+    print("\nrunning batched full-node recovery...")
+    outcomes = cluster.repair_node(victim)
+    assert all(o.verified for o in outcomes.values())
+    print(f"  {len(outcomes)} chunks rebuilt and verified")
+
+    print("reads after recovery:")
+    for name in affected:
+        payload, secs = store.read(name)
+        assert payload == originals[name]
+        print(f"  {name}: {secs * 1e3:7.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

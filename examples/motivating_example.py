@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The paper's worked example, end to end (Fig. 2, Fig. 3, Tables II-III).
+
+Walks Algorithm 1 (maximum pipelined repair throughput) and Algorithm 2
+(task scheduling) on the exact bandwidth table of Fig. 2 and prints the
+paper's intermediate artefacts: the picked node, the adjusted bandwidths
+(Table II), the own-task assignment, and the per-node task segments
+(Table III).
+
+Run:  python examples/motivating_example.py
+"""
+
+import numpy as np
+
+from repro import BandwidthSnapshot, RepairContext
+from repro.core import max_pipelined_throughput, schedule_tasks
+
+NODE = {0: "R", 1: "N2", 2: "N3", 3: "N4", 4: "N5"}
+
+
+def main() -> None:
+    snapshot = BandwidthSnapshot(
+        uplink=np.array([1000.0, 600.0, 960.0, 600.0, 600.0]),
+        downlink=np.array([1000.0, 300.0, 1000.0, 300.0, 300.0]),
+    )
+    context = RepairContext(snapshot=snapshot, requester=0, helpers=(1, 2, 3, 4), k=3)
+
+    print("=== Algorithm 1: maximum pipelined repair throughput ===")
+    res = max_pipelined_throughput(context)
+    print(f"t_max = {res.t_max:.0f} Mbps   (paper: 900 Mbps)")
+    print(f"picked into E: {[NODE[h] for h in res.picked]}   (paper: [N3])")
+    print("\nTable II — adjusted bandwidths after Algorithm 1:")
+    print(f"{'node':>6} {'uplink before':>14} {'after':>7} {'downlink':>9}")
+    for h in context.helpers:
+        print(
+            f"{NODE[h]:>6} {context.uplink(h):>14.0f} {res.uplink[h]:>7.0f} "
+            f"{res.downlink[h]:>9.0f}"
+        )
+
+    print("\n=== Algorithm 2: pipelined repair task scheduling ===")
+    sched = schedule_tasks(context, res)
+    print("own-task assignment (hub, speed):")
+    for t in sched.tasks:
+        print(f"  Task{t.task_id}: hub {NODE[t.hub]:>3} at {t.speed:5.0f} Mbps")
+
+    print("\nTable III — task segments per node (chunk positions x/900):")
+    rows: dict[str, list[str]] = {}
+    for p in sched.pipelines:
+        lo, hi = p.segment.start * res.t_max, p.segment.stop * res.t_max
+        for e in p.edges:
+            rows.setdefault(NODE[e.child], []).append(
+                f"Task{p.task_id} {lo:3.0f}-{hi:3.0f} -> {NODE[e.parent]}"
+            )
+    for node in ("N2", "N3", "N4", "N5"):
+        print(f"  {node}: " + "; ".join(rows.get(node, [])))
+
+    total = sum(p.rate for p in sched.pipelines)
+    print(f"\naggregate pipeline rate: {total:.0f} Mbps == t_max — "
+          "the schedule realises the optimum")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Table-I observation at interactive scale.
+
+Generates the three synthetic workload traces (TPC-DS / TPC-H / SWIM
+substitutes), buckets snapshots by network unevenness (C_v), and shows
+how much of the cluster's available repair bandwidth RP and
+PPT/PivotRepair actually use — versus what FullRepair's multi-pipeline
+schedule captures.
+
+Run:  python examples/trace_utilization.py
+"""
+
+from repro.analysis import render_utilization_table, utilization_experiment
+from repro.workloads import make_trace, trace_cv
+
+
+def main() -> None:
+    print("per-workload unevenness profile (6000-snapshot traces):")
+    for name in ("tpcds", "tpch", "swim"):
+        trace = make_trace(name, num_snapshots=6000, seed=0)
+        cv = trace_cv(trace)
+        print(
+            f"  {name:>6}: mean available {trace.uplink.mean():6.1f} Mbps, "
+            f"C_v mean {cv.mean():.2f}, p95 {sorted(cv)[int(0.95 * len(cv))]:.2f}, "
+            f"congested instants {len(trace.congested_instants())}"
+        )
+
+    print("\nTable I reproduction ((14,10), pooled over the three workloads):")
+    table = utilization_experiment(
+        num_snapshots=2000,
+        samples_per_workload=400,
+        seed=0,
+        algorithms=("rp", "pivotrepair", "fullrepair"),
+    )
+    print(render_utilization_table(table))
+    print(
+        "\nReading: single-pipeline schemes leave the unselected nodes'"
+        "\nbandwidth idle and, as C_v grows, strand most of the selected"
+        "\nnodes' bandwidth too — the head-room FullRepair's multiple"
+        "\npipelines capture."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Experiment machinery: runners, utilisation decomposition, reporting."""
+
+from .experiments import (
+    PAPER_ALGORITHMS,
+    PAPER_CODES,
+    ComparisonResult,
+    RepairTiming,
+    UtilizationTable,
+    chunk_size_sweep,
+    compare_algorithms,
+    fixed_uneven_snapshot,
+    make_fixed_context,
+    repair_time_experiment,
+    sample_contexts,
+    slice_size_sweep,
+    utilization_experiment,
+)
+from .durability import (
+    DurabilityResult,
+    compare_durability,
+    render_durability,
+    simulate_durability,
+)
+from .heterogeneity import (
+    HeterogeneityPoint,
+    achieved_cv,
+    controlled_cv_snapshot,
+    heterogeneity_sweep,
+    render_heterogeneity,
+)
+from .sensitivity import (
+    SensitivityPoint,
+    render_sensitivity,
+    sensitivity_sweep,
+)
+from .reporting import (
+    render_comparison,
+    render_reductions,
+    render_sweep,
+    render_utilization_table,
+)
+from .utilization import UtilizationBreakdown, mean_breakdown, plan_utilization
+
+__all__ = [
+    "PAPER_ALGORITHMS",
+    "PAPER_CODES",
+    "ComparisonResult",
+    "RepairTiming",
+    "UtilizationTable",
+    "chunk_size_sweep",
+    "compare_algorithms",
+    "fixed_uneven_snapshot",
+    "make_fixed_context",
+    "repair_time_experiment",
+    "sample_contexts",
+    "slice_size_sweep",
+    "utilization_experiment",
+    "DurabilityResult",
+    "compare_durability",
+    "render_durability",
+    "simulate_durability",
+    "HeterogeneityPoint",
+    "achieved_cv",
+    "controlled_cv_snapshot",
+    "heterogeneity_sweep",
+    "render_heterogeneity",
+    "SensitivityPoint",
+    "render_sensitivity",
+    "sensitivity_sweep",
+    "render_comparison",
+    "render_reductions",
+    "render_sweep",
+    "render_utilization_table",
+    "UtilizationBreakdown",
+    "mean_breakdown",
+    "plan_utilization",
+]

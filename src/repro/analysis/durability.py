@@ -1,0 +1,173 @@
+"""Durability study: what faster repair buys in data-loss probability.
+
+The operational argument for repair speed is reliability: a stripe loses
+data only when more than n−k of its chunks are simultaneously
+unavailable, so the *repair window* after each failure is exactly the
+exposure period during which further failures can stack up.  Halving
+repair time roughly halves the window and thus (for independent
+failures) better-than-halves the stacking probability.
+
+This module runs that argument end to end as a Monte-Carlo cluster
+simulation:
+
+* nodes fail independently with exponential inter-failure times
+  (`mttf_hours` each) and are repaired ``repair_seconds`` after failing
+  (the full-node recovery makespan measured for the scheduler under
+  test, e.g. from :func:`repro.core.fullnode.plan_full_node_repair`);
+* stripes are placed by a seeded random spread; a *data-loss event* is
+  any instant at which some stripe has more than n−k of its nodes down;
+* many independent horizons are simulated; the estimate is the fraction
+  that hit a loss event, plus the mean count of simultaneous-failure
+  near misses.
+
+The accelerated-failure regime (`mttf_hours` of days, not years) keeps
+the Monte Carlo tractable; since loss probability scales with the ratio
+repair-window : MTTF, *relative* comparisons between schedulers carry
+over to realistic MTTFs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.placement import RandomSpreadPlacement
+
+
+@dataclass(frozen=True)
+class DurabilityResult:
+    """Monte-Carlo durability estimate for one repair-speed setting.
+
+    Attributes
+    ----------
+    loss_probability:
+        Fraction of simulated horizons with at least one data-loss event.
+    mean_exposed_stripe_hours:
+        Mean stripe-hours spent with at least one chunk unavailable
+        (degraded exposure, even when no loss occurs).
+    failures_simulated:
+        Total node failures across all trials.
+    """
+
+    repair_seconds: float
+    loss_probability: float
+    mean_exposed_stripe_hours: float
+    failures_simulated: int
+    trials: int
+
+
+def simulate_durability(
+    *,
+    repair_seconds: float,
+    num_nodes: int = 16,
+    n: int = 9,
+    k: int = 6,
+    num_stripes: int = 64,
+    mttf_hours: float = 24.0,
+    horizon_hours: float = 24.0 * 30,
+    trials: int = 200,
+    seed: int = 0,
+) -> DurabilityResult:
+    """Estimate data-loss probability for a given repair time.
+
+    ``repair_seconds`` is the time a failed node's chunks stay
+    unavailable (full-node recovery makespan).  Failures during repair
+    stack; a stripe with more than ``n - k`` placements simultaneously
+    down loses data.
+    """
+    if repair_seconds <= 0:
+        raise ValueError("repair_seconds must be positive")
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    placement = RandomSpreadPlacement(num_nodes, n, seed=seed)
+    stripes = [placement.place(i) for i in range(num_stripes)]
+    stripes_of_node: dict[int, list[int]] = {i: [] for i in range(num_nodes)}
+    for s, nodes in enumerate(stripes):
+        for node in nodes:
+            stripes_of_node[node].append(s)
+
+    repair_hours = repair_seconds / 3600.0
+    tolerance = n - k
+    losses = 0
+    exposed_hours_total = 0.0
+    failures_total = 0
+
+    for trial in range(trials):
+        # the failure process is drawn independently of the repair speed
+        # (a fixed Poisson stream per node per trial), so runs with
+        # different repair times face *identical* failure histories —
+        # paired comparisons, no Monte-Carlo confounding
+        rng = np.random.default_rng((seed, trial))
+        events: list[tuple[float, int, int]] = []
+        for node in range(num_nodes):
+            t = 0.0
+            while True:
+                t += float(rng.exponential(mttf_hours))
+                if t >= horizon_hours:
+                    break
+                heapq.heappush(events, (t, 0, node))
+        down = np.zeros(num_nodes, dtype=bool)
+        stripe_down = np.zeros(num_stripes, dtype=np.int32)
+        degraded_since: dict[int, float] = {}
+        lost = False
+        while events:
+            t, kind, node = heapq.heappop(events)
+            if kind == 0:
+                if down[node]:
+                    continue  # already down: the arrival is absorbed
+                failures_total += 1
+                down[node] = True
+                for s in stripes_of_node[node]:
+                    if stripe_down[s] == 0:
+                        degraded_since[s] = t
+                    stripe_down[s] += 1
+                    if stripe_down[s] > tolerance:
+                        lost = True
+                if lost:
+                    break
+                heapq.heappush(events, (t + repair_hours, 1, node))
+            else:
+                down[node] = False
+                for s in stripes_of_node[node]:
+                    stripe_down[s] -= 1
+                    if stripe_down[s] == 0:
+                        exposed_hours_total += t - degraded_since.pop(s)
+        if lost:
+            losses += 1
+        else:
+            end = horizon_hours
+            for s, since in degraded_since.items():
+                exposed_hours_total += end - since
+    return DurabilityResult(
+        repair_seconds=repair_seconds,
+        loss_probability=losses / trials,
+        mean_exposed_stripe_hours=exposed_hours_total / trials,
+        failures_simulated=failures_total,
+        trials=trials,
+    )
+
+
+def compare_durability(
+    repair_seconds_by_name: dict[str, float], **kwargs
+) -> dict[str, DurabilityResult]:
+    """Run :func:`simulate_durability` per scheduler repair time."""
+    return {
+        name: simulate_durability(repair_seconds=secs, **kwargs)
+        for name, secs in repair_seconds_by_name.items()
+    }
+
+
+def render_durability(results: dict[str, DurabilityResult]) -> str:
+    """Text table of a durability comparison."""
+    lines = [
+        "data-loss probability vs repair speed (Monte-Carlo, accelerated MTTF)",
+        f"{'scheduler':>14} {'repair':>9} {'P(loss)':>9} {'exposure':>12} {'failures':>9}",
+    ]
+    for name, r in sorted(results.items(), key=lambda kv: kv[1].repair_seconds):
+        lines.append(
+            f"{name:>14} {r.repair_seconds:8.1f}s {r.loss_probability:9.3f} "
+            f"{r.mean_exposed_stripe_hours:9.2f} s-h {r.failures_simulated:>9}"
+        )
+    return "\n".join(lines)

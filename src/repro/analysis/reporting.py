@@ -1,0 +1,111 @@
+"""Paper-style rendering of experiment results.
+
+Text tables mirror the layout of Tables I-III and the data series behind
+Figures 4-8, so `EXPERIMENTS.md` and the benchmark output read directly
+against the paper.
+"""
+
+from __future__ import annotations
+
+from ..net import units
+from ..workloads import bucket_label
+from .experiments import ComparisonResult, UtilizationTable
+
+#: Canonical display names.
+ALGO_LABELS = {
+    "conventional": "Conventional",
+    "rp": "RP",
+    "ppt": "PPT",
+    "pivotrepair": "PivotRepair",
+    "fullrepair": "FullRepair",
+}
+
+
+def _fmt_seconds(value: float) -> str:
+    """Engineering formatting: us / ms / s chosen by magnitude."""
+    if value < 1e-3:
+        return f"{value * 1e6:8.2f} us"
+    if value < 1.0:
+        return f"{value * 1e3:8.2f} ms"
+    return f"{value:8.3f} s "
+
+
+def render_utilization_table(table: UtilizationTable) -> str:
+    """Render Table I: bandwidth-resource distribution by C_v bucket."""
+    lines = [
+        "Table I - distribution of network bandwidth resources",
+        f"{'bucket':>14} | {'algorithm':>12} | {'used%':>6} {'unsel%':>6} {'unused%':>7} | n",
+        "-" * 62,
+    ]
+    for b in sorted(table.cells):
+        for name, bkd in table.cells[b].items():
+            lines.append(
+                f"{bucket_label(b):>14} | {ALGO_LABELS.get(name, name):>12} | "
+                f"{bkd.selected_used * 100:6.1f} {bkd.unselected * 100:6.1f} "
+                f"{bkd.selected_unused * 100:7.1f} | {table.counts[b]}"
+            )
+    return "\n".join(lines)
+
+
+def render_comparison(
+    results: list[ComparisonResult], metric: str = "overall"
+) -> str:
+    """Render Figs. 4/5/6 data: mean times per (workload, n, k, algorithm)."""
+    getter = {
+        "overall": ComparisonResult.mean_overall,
+        "calc": ComparisonResult.mean_calc,
+        "transfer": ComparisonResult.mean_transfer,
+    }[metric]
+    algorithms = list(results[0].timings) if results else []
+    header = f"{'workload':>8} {'(n,k)':>9} | " + " | ".join(
+        f"{ALGO_LABELS.get(a, a):>12}" for a in algorithms
+    )
+    lines = [f"mean {metric} repair time", header, "-" * len(header)]
+    for r in results:
+        cells = " | ".join(f"{_fmt_seconds(getter(r, a)):>12}" for a in algorithms)
+        lines.append(f"{r.workload:>8} {f'({r.n},{r.k})':>9} | {cells}")
+    return "\n".join(lines)
+
+
+def render_reductions(
+    results: list[ComparisonResult],
+    *,
+    target: str = "fullrepair",
+    baselines: tuple[str, ...] = ("rp", "ppt", "pivotrepair"),
+    metric: str = "overall",
+) -> str:
+    """FullRepair's % reduction vs each baseline (the paper's headline)."""
+    lines = [f"{ALGO_LABELS.get(target, target)} {metric} reduction vs baselines"]
+    for base in baselines:
+        reductions = [
+            (r.workload, r.n, r.k, r.reduction_vs(target, base, metric))
+            for r in results
+            if base in r.timings
+        ]
+        if not reductions:
+            continue
+        best = max(reductions, key=lambda x: x[3])
+        mean = sum(x[3] for x in reductions) / len(reductions)
+        lines.append(
+            f"  vs {ALGO_LABELS.get(base, base):>12}: mean {mean * 100:5.1f}%, "
+            f"max {best[3] * 100:5.1f}% ({best[0]}, ({best[1]},{best[2]}))"
+        )
+    return "\n".join(lines)
+
+
+def render_sweep(series: dict[str, dict[int, float]], xlabel: str) -> str:
+    """Render Fig. 7/8 data: per-algorithm repair time over a size sweep."""
+    algorithms = list(series)
+    xs = sorted(next(iter(series.values())))
+    header = f"{xlabel:>12} | " + " | ".join(
+        f"{ALGO_LABELS.get(a, a):>12}" for a in algorithms
+    )
+    lines = [header, "-" * len(header)]
+    for x in xs:
+        if x >= units.MIB:
+            label = f"{x // units.MIB} MiB"
+        else:
+            label = f"{x // units.KIB} KiB"
+        cells = " | ".join(f"{_fmt_seconds(series[a][x]):>12}" for a in algorithms)
+        lines.append(f"{label:>12} | {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Bandwidth-resource decomposition (paper Table I).
+
+For a repair plan under a bandwidth snapshot, split the cluster's *entire
+available repair bandwidth* — the sum of all candidate helpers' available
+uplink, i.e. what the non-failed nodes could collectively contribute —
+into the paper's three ratios:
+
+* **selected nodes' used bandwidth** (the algorithm's *bandwidth
+  utilisation*): uplink actually consumed by nodes the plan selected;
+* **unselected nodes' bandwidth**: available uplink of helpers the plan
+  ignores entirely (the n-1-k nodes single-pipeline schemes never touch);
+* **selected nodes' unused bandwidth**: leftover uplink on the selected
+  helpers.
+
+The three sum to 1 by construction.  Upload bandwidth is the resource
+measured because repair traffic is *supplied* through helper uplinks; the
+requester's downlink is a separate per-node constraint, not a pooled
+resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..net.bandwidth import RepairContext
+from ..repair.plan import RepairPlan
+
+
+@dataclass(frozen=True)
+class UtilizationBreakdown:
+    """Table I's three ratios for one plan (fractions of total, sum to 1)."""
+
+    selected_used: float
+    unselected: float
+    selected_unused: float
+
+    def __post_init__(self) -> None:
+        total = self.selected_used + self.unselected + self.selected_unused
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ValueError(f"ratios must sum to 1, got {total}")
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """The paper's headline metric: selected nodes' used ratio."""
+        return self.selected_used
+
+
+def plan_utilization(plan: RepairPlan) -> UtilizationBreakdown:
+    """Decompose a plan's helper-uplink usage into Table I's three ratios."""
+    context: RepairContext = plan.context
+    total = sum(context.uplink(h) for h in context.helpers)
+    if total <= 0:
+        raise ValueError("no available repair bandwidth in the snapshot")
+    used: dict[int, float] = {}
+    for p in plan.pipelines:
+        for e in p.edges:
+            used[e.child] = used.get(e.child, 0.0) + e.rate
+    selected = set(used)
+    selected_used = sum(min(used[h], context.uplink(h)) for h in selected)
+    selected_avail = sum(context.uplink(h) for h in selected)
+    unselected = sum(
+        context.uplink(h) for h in context.helpers if h not in selected
+    )
+    return UtilizationBreakdown(
+        selected_used=selected_used / total,
+        unselected=unselected / total,
+        selected_unused=(selected_avail - selected_used) / total,
+    )
+
+
+def mean_breakdown(breakdowns: list[UtilizationBreakdown]) -> UtilizationBreakdown:
+    """Average the ratios over many snapshots (the Table-I cell values)."""
+    if not breakdowns:
+        raise ValueError("no breakdowns to average")
+    return UtilizationBreakdown(
+        selected_used=float(np.mean([b.selected_used for b in breakdowns])),
+        unselected=float(np.mean([b.unselected for b in breakdowns])),
+        selected_unused=float(np.mean([b.selected_unused for b in breakdowns])),
+    )

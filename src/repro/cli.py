@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+
+``plan``        schedule a repair on a bandwidth file (or a demo scenario)
+                and print the pipelines
+``compare``     run a mini Experiment 1-3 sweep and print Fig. 4/5/6 tables
+``table1``      reproduce the Table-I utilisation decomposition
+``trace``       generate a workload bandwidth trace (optionally save .npz)
+``sweep``       Experiment 4/5 sweeps (slice or chunk size)
+``hetero``      controlled-C_v throughput sweep (extension)
+``fullnode``    full-node repair makespan, sequential vs batched (extension)
+
+Every command is deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis import (
+    PAPER_CODES,
+    heterogeneity_sweep,
+    render_heterogeneity,
+    render_comparison,
+    render_reductions,
+    render_sweep,
+    render_utilization_table,
+    repair_time_experiment,
+    slice_size_sweep,
+    chunk_size_sweep,
+    utilization_experiment,
+)
+from .net import BandwidthSnapshot, RepairContext, units
+from .repair import algorithm_names, compute_plan
+from .repair.rendering import render_plan
+from .sim import TransferParams, execute
+from .workloads import make_trace, save_trace, trace_cv
+
+
+def _demo_context() -> RepairContext:
+    """The paper's Fig. 2 scenario."""
+    snap = BandwidthSnapshot(
+        uplink=np.array([1000.0, 600.0, 960.0, 600.0, 600.0]),
+        downlink=np.array([1000.0, 300.0, 1000.0, 300.0, 300.0]),
+    )
+    return RepairContext(snapshot=snap, requester=0, helpers=(1, 2, 3, 4), k=3)
+
+
+def _load_context(path: str, k: int) -> RepairContext:
+    """Context from a two-row (uplink/downlink) whitespace/CSV file.
+
+    Node 0 is the requester; all remaining nodes are helper candidates.
+    """
+    table = np.loadtxt(path, delimiter="," if path.endswith(".csv") else None)
+    if table.ndim != 2 or table.shape[0] != 2:
+        raise SystemExit(
+            "bandwidth file must have two rows: uplinks then downlinks"
+        )
+    snap = BandwidthSnapshot(uplink=table[0], downlink=table[1])
+    return RepairContext(
+        snapshot=snap,
+        requester=0,
+        helpers=tuple(range(1, snap.num_nodes)),
+        k=k,
+    )
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    ctx = _load_context(args.bandwidth, args.k) if args.bandwidth else _demo_context()
+    plan = compute_plan(args.algorithm, ctx)
+    plan.validate()
+    print(render_plan(plan))
+    params = TransferParams(
+        chunk_bytes=units.mib(args.chunk_mib), slice_bytes=units.kib(args.slice_kib)
+    )
+    result = execute(plan, params)
+    print(
+        f"\n{args.chunk_mib} MiB chunk, {args.slice_kib} KiB slices: "
+        f"calc {plan.calc_seconds * 1e6:.1f} us + "
+        f"transfer {result.transfer_seconds:.3f} s"
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    results = []
+    codes = PAPER_CODES if args.nk is None else [tuple(map(int, args.nk.split(",")))]
+    for workload in args.workloads:
+        for n, k in codes:
+            results.append(
+                repair_time_experiment(
+                    workload=workload,
+                    n=n,
+                    k=k,
+                    num_samples=args.samples,
+                    num_snapshots=args.snapshots,
+                    seed=args.seed,
+                    algorithm_kwargs={"ppt": {"max_emulations": args.ppt_budget}},
+                )
+            )
+    for metric in ("overall", "calc", "transfer"):
+        print(render_comparison(results, metric=metric))
+        print()
+    print(render_reductions(results))
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    table = utilization_experiment(
+        num_snapshots=args.snapshots,
+        samples_per_workload=args.samples,
+        seed=args.seed,
+    )
+    print(render_utilization_table(table))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    trace = make_trace(
+        args.workload,
+        num_nodes=args.nodes,
+        num_snapshots=args.snapshots,
+        seed=args.seed,
+    )
+    cv = trace_cv(trace)
+    print(
+        f"{args.workload}: {len(trace)} snapshots x {trace.num_nodes} nodes, "
+        f"mean available {trace.uplink.mean():.1f} Mbps, "
+        f"C_v mean {cv.mean():.3f} / max {cv.max():.3f}, "
+        f"congested instants {len(trace.congested_instants())}"
+    )
+    if args.out:
+        save_trace(trace, args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.dimension == "slice":
+        series = slice_size_sweep(seed=args.seed)
+        print(render_sweep(series, "slice size"))
+    else:
+        series = chunk_size_sweep(seed=args.seed)
+        print(render_sweep(series, "chunk size"))
+    return 0
+
+
+def cmd_hetero(args: argparse.Namespace) -> int:
+    points = heterogeneity_sweep(
+        samples_per_point=args.samples, seed=args.seed
+    )
+    print(render_heterogeneity(points))
+    return 0
+
+
+def cmd_fullnode(args: argparse.Namespace) -> int:
+    from .core import StripeRepairSpec, plan_full_node_repair
+    from .workloads import make_trace
+
+    trace = make_trace("tpcds", num_nodes=16, num_snapshots=600, seed=args.seed)
+    snap = trace.snapshot(int(trace.congested_instants()[0]))
+    rng = np.random.default_rng(args.seed)
+    specs = []
+    for i in range(args.stripes):
+        nodes = rng.permutation(16)
+        specs.append(
+            StripeRepairSpec(
+                stripe_id=f"s{i}",
+                requester=int(nodes[0]),
+                helpers=tuple(int(x) for x in nodes[1:9]),
+                chunk_bytes=units.mib(args.chunk_mib),
+            )
+        )
+    for strategy in ("sequential", "batched"):
+        plan = plan_full_node_repair(
+            specs, snap, k=6, algorithm=args.algorithm, strategy=strategy
+        )
+        batches = ", ".join(str(len(b)) for b in plan.batches)
+        print(
+            f"{strategy:>11}: makespan {plan.makespan_seconds:7.2f} s "
+            f"(batch sizes: {batches})"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FullRepair reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("plan", help="schedule one repair and print the pipelines")
+    p.add_argument("--algorithm", default="fullrepair", choices=algorithm_names())
+    p.add_argument("--bandwidth", help="two-row uplink/downlink file (txt or csv)")
+    p.add_argument("--k", type=int, default=3)
+    p.add_argument("--chunk-mib", type=float, default=64.0)
+    p.add_argument("--slice-kib", type=float, default=64.0)
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("compare", help="mini Experiments 1-3")
+    p.add_argument("--workloads", nargs="+", default=["tpcds", "tpch", "swim"])
+    p.add_argument("--nk", help="single n,k pair (default: the paper's four)")
+    p.add_argument("--samples", type=int, default=8)
+    p.add_argument("--snapshots", type=int, default=800)
+    p.add_argument("--ppt-budget", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("table1", help="Table-I utilisation decomposition")
+    p.add_argument("--samples", type=int, default=300)
+    p.add_argument("--snapshots", type=int, default=1500)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("trace", help="generate a workload bandwidth trace")
+    p.add_argument("workload", choices=["tpcds", "tpch", "swim"])
+    p.add_argument("--nodes", type=int, default=16)
+    p.add_argument("--snapshots", type=int, default=6000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", help="save as .npz")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("sweep", help="Experiment 4/5 size sweeps")
+    p.add_argument("dimension", choices=["slice", "chunk"])
+    p.add_argument("--seed", type=int, default=11)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("hetero", help="throughput vs controlled C_v")
+    p.add_argument("--samples", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_hetero)
+
+    p = sub.add_parser("fullnode", help="full-node repair strategies")
+    p.add_argument("--stripes", type=int, default=8)
+    p.add_argument("--chunk-mib", type=float, default=64.0)
+    p.add_argument("--algorithm", default="fullrepair", choices=algorithm_names())
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fullnode)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

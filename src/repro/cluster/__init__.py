@@ -1,0 +1,42 @@
+"""Cluster prototype: master/data-node architecture with real repair."""
+
+from .chunkstore import ChunkStore
+from .datanode import DataNode
+from .files import FileEntry, FileStore
+from .master import Master, StripeLocation
+from .placement import (
+    LoadBalancedPlacement,
+    PlacementPolicy,
+    RandomSpreadPlacement,
+    RoundRobinPlacement,
+    make_policy,
+)
+from .messages import (
+    BandwidthReport,
+    RepairComplete,
+    RepairRequest,
+    SliceData,
+    TransferTask,
+)
+from .system import ClusterSystem, RepairOutcome
+
+__all__ = [
+    "ChunkStore",
+    "DataNode",
+    "FileEntry",
+    "FileStore",
+    "Master",
+    "StripeLocation",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "RandomSpreadPlacement",
+    "LoadBalancedPlacement",
+    "make_policy",
+    "BandwidthReport",
+    "RepairComplete",
+    "RepairRequest",
+    "SliceData",
+    "TransferTask",
+    "ClusterSystem",
+    "RepairOutcome",
+]

@@ -1,0 +1,58 @@
+"""Per-node chunk storage.
+
+Each data node owns a :class:`ChunkStore` mapping ``(stripe_id,
+chunk_index)`` to the chunk payload.  Payloads are defensive copies both
+ways: the store is the node's "disk", and nothing outside the node may
+alias it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ChunkStore:
+    """In-memory chunk storage for one data node."""
+
+    def __init__(self) -> None:
+        self._chunks: dict[tuple[str, int], np.ndarray] = {}
+
+    def put(self, stripe_id: str, chunk_index: int, payload: np.ndarray) -> None:
+        """Store a chunk (copies the payload)."""
+        arr = np.array(payload, dtype=np.uint8, copy=True)
+        if arr.ndim != 1:
+            raise ValueError("chunk payload must be a 1-D byte array")
+        self._chunks[(stripe_id, chunk_index)] = arr
+
+    def get(self, stripe_id: str, chunk_index: int) -> np.ndarray:
+        """Fetch a chunk copy; raises ``KeyError`` if absent."""
+        return self._chunks[(stripe_id, chunk_index)].copy()
+
+    def get_range(
+        self, stripe_id: str, chunk_index: int, start: int, stop: int
+    ) -> np.ndarray:
+        """Fetch a byte range of a chunk (copy)."""
+        chunk = self._chunks[(stripe_id, chunk_index)]
+        if not 0 <= start <= stop <= len(chunk):
+            raise ValueError(
+                f"range [{start}, {stop}) outside chunk of {len(chunk)} bytes"
+            )
+        return chunk[start:stop].copy()
+
+    def has(self, stripe_id: str, chunk_index: int) -> bool:
+        return (stripe_id, chunk_index) in self._chunks
+
+    def delete(self, stripe_id: str, chunk_index: int) -> None:
+        """Drop a chunk; raises ``KeyError`` if absent."""
+        del self._chunks[(stripe_id, chunk_index)]
+
+    def stripe_chunks(self, stripe_id: str) -> list[int]:
+        """Chunk indices of a stripe stored on this node."""
+        return sorted(ci for sid, ci in self._chunks if sid == stripe_id)
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def bytes_stored(self) -> int:
+        return sum(c.nbytes for c in self._chunks.values())

@@ -1,0 +1,200 @@
+"""Master node: bandwidth registry, plan computation, task dispatch.
+
+Mirrors the paper's master/slave architecture (§V-A): the master tracks
+every node's available bandwidth (from
+:class:`~repro.cluster.messages.BandwidthReport`), and on a repair request
+builds the :class:`~repro.net.bandwidth.RepairContext`, runs the
+configured repair algorithm, derives per-node
+:class:`~repro.cluster.messages.TransferTask` assignments (with the RS
+repair coefficients for each pipeline's helper set), and dispatches them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ec.rs import RSCode
+from ..net.bandwidth import BandwidthSnapshot, RepairContext
+from ..repair.base import RepairAlgorithm
+from ..repair.plan import Pipeline, RepairPlan
+from .messages import BandwidthReport, TransferTask
+
+
+@dataclass(frozen=True)
+class StripeLocation:
+    """Where a stripe's chunks live: ``placement[i]`` = node of chunk i."""
+
+    stripe_id: str
+    placement: tuple[int, ...]
+
+    def node_of(self, chunk_index: int) -> int:
+        return self.placement[chunk_index]
+
+    def chunk_on(self, node: int) -> int:
+        try:
+            return self.placement.index(node)
+        except ValueError:
+            raise KeyError(f"node {node} holds no chunk of {self.stripe_id}") from None
+
+
+class Master:
+    """Cluster metadata + repair scheduling brain."""
+
+    def __init__(self, code: RSCode, algorithm: RepairAlgorithm, num_nodes: int) -> None:
+        self.code = code
+        self.algorithm = algorithm
+        self.num_nodes = num_nodes
+        self._uplink = np.zeros(num_nodes)
+        self._downlink = np.zeros(num_nodes)
+        self._stripes: dict[str, StripeLocation] = {}
+
+    # ---- metadata ----------------------------------------------------- #
+
+    def register_stripe(self, location: StripeLocation) -> None:
+        if len(location.placement) != self.code.n:
+            raise ValueError(
+                f"stripe needs {self.code.n} placements, got {len(location.placement)}"
+            )
+        if len(set(location.placement)) != self.code.n:
+            raise ValueError("stripe chunks must land on distinct nodes")
+        self._stripes[location.stripe_id] = location
+
+    def stripe(self, stripe_id: str) -> StripeLocation:
+        return self._stripes[stripe_id]
+
+    def stripe_ids(self) -> list[str]:
+        """All registered stripe ids, sorted."""
+        return sorted(self._stripes)
+
+    def stripes_with_node(self, node: int) -> list[str]:
+        """Stripes that placed a chunk on ``node``."""
+        return sorted(
+            sid for sid, loc in self._stripes.items() if node in loc.placement
+        )
+
+    def relocate_chunk(self, stripe_id: str, chunk_index: int, new_node: int) -> None:
+        """Record that a chunk now lives on ``new_node`` (post-repair).
+
+        The new node must not already hold another chunk of the stripe.
+        """
+        loc = self.stripe(stripe_id)
+        if new_node in loc.placement and loc.placement[chunk_index] != new_node:
+            raise ValueError(
+                f"node {new_node} already holds a chunk of {stripe_id}"
+            )
+        placement = list(loc.placement)
+        placement[chunk_index] = new_node
+        self._stripes[stripe_id] = StripeLocation(
+            stripe_id=stripe_id, placement=tuple(placement)
+        )
+
+    def on_bandwidth_report(self, report: BandwidthReport) -> None:
+        self._uplink[report.node] = report.uplink_mbps
+        self._downlink[report.node] = report.downlink_mbps
+
+    def snapshot(self) -> BandwidthSnapshot:
+        return BandwidthSnapshot(
+            uplink=self._uplink.copy(), downlink=self._downlink.copy()
+        )
+
+    # ---- repair scheduling -------------------------------------------- #
+
+    def build_context(
+        self, stripe_id: str, failed_node: int, requester: int
+    ) -> RepairContext:
+        """Repair context for a stripe/failure pair from current bandwidth."""
+        loc = self.stripe(stripe_id)
+        if failed_node not in loc.placement:
+            raise ValueError(f"node {failed_node} holds no chunk of {stripe_id}")
+        helpers = tuple(n for n in loc.placement if n != failed_node)
+        if requester in loc.placement:
+            raise ValueError("requester must not already hold a stripe chunk")
+        return RepairContext(
+            snapshot=self.snapshot(),
+            requester=requester,
+            helpers=helpers,
+            k=self.code.k,
+            chunk_index={n: loc.chunk_on(n) for n in helpers},
+        )
+
+    def schedule_repair(
+        self, stripe_id: str, failed_node: int, requester: int
+    ) -> RepairPlan:
+        """Compute and validate the repair plan for a failure."""
+        context = self.build_context(stripe_id, failed_node, requester)
+        plan = self.algorithm.plan(context)
+        plan.validate()
+        return plan
+
+    def compile_tasks(
+        self,
+        plan: RepairPlan,
+        stripe_id: str,
+        lost_chunk: int,
+        chunk_bytes: int | None = None,
+        num_slices: int | None = None,
+        repair_id: str = "",
+    ) -> list[TransferTask]:
+        """Turn plan pipelines into concrete per-node transfer tasks.
+
+        Byte ranges are derived from the pipelines' normalised segments;
+        when ``chunk_bytes`` is None the tasks carry normalised positions
+        scaled by 2^20 (callers re-compile with the real size).
+        ``num_slices`` is the repair-wide pipelining window count shared
+        by every task (see :class:`~repro.cluster.messages.TransferTask`).
+        """
+        size = chunk_bytes if chunk_bytes is not None else (1 << 20)
+        loc = self.stripe(stripe_id)
+        context = plan.context
+        # shared boundary map: identical floats -> identical byte cuts
+        boundaries: dict[float, int] = {}
+        for p in plan.pipelines:
+            for pos in (p.segment.start, p.segment.stop):
+                boundaries.setdefault(pos, int(round(pos * size)))
+        tasks: list[TransferTask] = []
+        for p in plan.pipelines:
+            start = boundaries[p.segment.start]
+            stop = boundaries[p.segment.stop]
+            if stop <= start:
+                continue
+            participants = p.participants
+            helper_chunks = tuple(
+                context.chunk_index.get(u, loc.chunk_on(u)) for u in participants
+            )
+            eq = self.code.repair_equation(lost_chunk, helper_chunks)
+            coeff_of = {
+                u: eq.coeffs[helper_chunks.index(context.chunk_index.get(u, loc.chunk_on(u)))]
+                for u in participants
+            }
+            for node in participants:
+                children = tuple(sorted(p.children_of(node)))
+                parent = p.parent_of(node)
+                rate = next(e.rate for e in p.edges if e.child == node)
+                tasks.append(
+                    TransferTask(
+                        stripe_id=stripe_id,
+                        pipeline_id=_pipeline_key(p),
+                        chunk_index=context.chunk_index.get(node, loc.chunk_on(node)),
+                        coeff=coeff_of[node],
+                        start=start,
+                        stop=stop,
+                        destination=parent,
+                        rate_mbps=rate,
+                        wait_for=children,
+                        num_slices=num_slices,
+                        repair_id=repair_id or stripe_id,
+                    )
+                )
+        return tasks
+
+
+def _pipeline_key(pipeline: Pipeline) -> int:
+    """A stable integer id unique per elementary pipeline.
+
+    Combines the task id with the segment start quantised to 2^-40 chunk
+    fractions — elementary pipelines of the same task have distinct
+    starts.
+    """
+    return (pipeline.task_id << 44) | int(pipeline.segment.start * (1 << 40))

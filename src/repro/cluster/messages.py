@@ -1,0 +1,84 @@
+"""Control-plane message types for the master/data-node protocol.
+
+The prototype mirrors the paper's implementation (§V-A): a master that
+"controls the task flow, knows the bandwidth information in the entire
+cluster network, and calculates and allocates tasks to each data node",
+and data nodes that store chunks and execute the pipelined transfer tasks
+assigned to them.  Messages are plain dataclasses delivered through the
+deterministic event queue with a configurable control-plane latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BandwidthReport:
+    """Data node -> master: current available uplink/downlink (Mbps)."""
+
+    node: int
+    uplink_mbps: float
+    downlink_mbps: float
+
+
+@dataclass(frozen=True)
+class RepairRequest:
+    """Client/requester -> master: rebuild a stripe's failed chunk."""
+
+    stripe_id: str
+    failed_node: int
+    requester: int
+
+
+@dataclass(frozen=True)
+class TransferTask:
+    """Master -> data node: one hop of one elementary pipeline.
+
+    The node must send ``coeff * own_chunk[start:stop]`` (or, for hub
+    nodes, the combined partial it assembles) for pipeline ``pipeline_id``
+    to ``destination`` at ``rate_mbps``.
+    """
+
+    stripe_id: str
+    pipeline_id: int
+    chunk_index: int
+    coeff: int
+    start: int
+    stop: int
+    destination: int
+    rate_mbps: float
+    #: nodes whose partials must arrive before this hub forwards
+    wait_for: tuple[int, ...] = ()
+    #: identifies the repair session this task belongs to; distinct
+    #: repairs of the same stripe (multi-failure) must not collide
+    repair_id: str = ""
+    #: number of pipelining windows the segment is divided into; every
+    #: task of a repair shares this count so slices line up across nodes
+    #: (None = derive from the node's default byte slice size)
+    num_slices: int | None = None
+
+
+@dataclass(frozen=True)
+class SliceData:
+    """Data node -> data node/requester: a partial-combination payload."""
+
+    stripe_id: str
+    pipeline_id: int
+    source: int
+    start: int
+    stop: int
+    payload: np.ndarray = field(repr=False)
+    repair_id: str = ""
+
+
+@dataclass(frozen=True)
+class RepairComplete:
+    """Requester -> master: the failed chunk is rebuilt and stored."""
+
+    stripe_id: str
+    requester: int
+    elapsed_seconds: float
+    bytes_received: int

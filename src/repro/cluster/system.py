@@ -1,0 +1,540 @@
+"""ClusterSystem — the end-to-end prototype.
+
+Ties the pieces into the paper's §V-A system: an RS-coded cluster of data
+nodes with a master, where clients write stripes, nodes fail, and failed
+chunks are rebuilt through whichever repair algorithm the master runs.
+The control plane (reports, dispatch) and the data plane (slice
+transfers with real GF arithmetic) both run on the deterministic event
+queue, so a repair returns the rebuilt *bytes* (verified against the
+original) plus the simulated wall-clock it took.
+
+Beyond the paper's single-chunk scenario the prototype also supports:
+
+* **concurrent repairs** — multiple stripes rebuilt in one event-queue
+  run (the substrate for full-node repair batches);
+* **degraded reads** — serving a chunk whose node is down by repairing
+  on the read path without persisting;
+* **mid-repair failure recovery** — if a helper dies while streaming,
+  the master detects the stalled repair when the queue drains and
+  reschedules against the surviving helpers;
+* **full-node repair** — rebuilding every chunk of a dead node through
+  the batch planner in :mod:`repro.core.fullnode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.fullnode import StripeRepairSpec, plan_full_node_repair
+from ..ec.rs import RSCode
+from ..net import units
+from ..net.bandwidth import BandwidthSnapshot, RepairContext
+from ..repair.base import RepairAlgorithm, get_algorithm
+from ..repair.plan import RepairPlan
+from ..sim.events import EventQueue
+from .datanode import DataNode
+from .master import Master, StripeLocation
+from .messages import BandwidthReport, SliceData, TransferTask
+
+
+@dataclass
+class RepairOutcome:
+    """Result of one end-to-end chunk repair."""
+
+    plan: RepairPlan
+    rebuilt: np.ndarray
+    elapsed_seconds: float
+    bytes_received: int
+    verified: bool
+    attempts: int = 1
+
+
+@dataclass
+class _Assembly:
+    """Requester-side reassembly of one failed chunk."""
+
+    stripe_id: str
+    repair_id: str
+    requester: int
+    chunk_bytes: int
+    #: pipeline key -> sender nodes expected to deliver that range
+    expected: dict[int, set]
+    #: pipeline key -> bytes expected in total from those senders
+    expected_bytes: dict[int, int]
+    buffer: np.ndarray = field(repr=False, default=None)
+    received: int = 0
+    last_arrival: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return self.received >= sum(self.expected_bytes.values())
+
+
+class ClusterSystem:
+    """An erasure-coded storage cluster with pluggable repair scheduling."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        code: RSCode,
+        *,
+        algorithm: str | RepairAlgorithm = "fullrepair",
+        slice_bytes: int = 64 * units.KIB,
+        slice_overhead_s: float = 200e-6,
+        compute_s_per_byte: float = 1.25e-10,
+        dispatch_latency_s: float = 200e-6,
+    ) -> None:
+        if num_nodes < code.n + 1:
+            raise ValueError(
+                f"need at least n+1={code.n + 1} nodes (stripe + requester), "
+                f"got {num_nodes}"
+            )
+        self.code = code
+        self.events = EventQueue()
+        if isinstance(algorithm, str):
+            algorithm = get_algorithm(algorithm)
+        self.master = Master(code, algorithm, num_nodes)
+        self.dispatch_latency_s = dispatch_latency_s
+        self.compute_s_per_byte = compute_s_per_byte
+        self.slice_bytes = slice_bytes
+        self.nodes = [
+            DataNode(
+                i,
+                self.events,
+                slice_bytes=slice_bytes,
+                slice_overhead_s=slice_overhead_s,
+                compute_s_per_byte=compute_s_per_byte,
+            )
+            for i in range(num_nodes)
+        ]
+        for node in self.nodes:
+            node.deliver = self._deliver
+        self._alive = [True] * num_nodes
+        self._assemblies: dict[str, _Assembly] = {}
+        self._stripe_sizes: dict[str, int] = {}
+
+    # ---- cluster state ------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def is_alive(self, node: int) -> bool:
+        return self._alive[node]
+
+    def set_bandwidth(self, snapshot: BandwidthSnapshot) -> None:
+        """Feed the master a fresh bandwidth picture (all nodes report)."""
+        if snapshot.num_nodes != self.num_nodes:
+            raise ValueError("snapshot size mismatch")
+        for i in range(self.num_nodes):
+            self.master.on_bandwidth_report(
+                BandwidthReport(
+                    node=i,
+                    uplink_mbps=float(snapshot.uplink[i]),
+                    downlink_mbps=float(snapshot.downlink[i]),
+                )
+            )
+
+    def write_stripe(
+        self,
+        stripe_id: str,
+        data: np.ndarray,
+        *,
+        placement: tuple[int, ...] | None = None,
+    ) -> StripeLocation:
+        """Encode k data chunks and distribute the stripe across nodes.
+
+        ``data`` is a (k, L) uint8 array.  Placement defaults to nodes
+        ``0..n-1``; every chunk must land on a distinct, live node.
+        """
+        data = np.asarray(data, dtype=np.uint8)
+        stripe = self.code.encode(data)
+        if placement is None:
+            placement = tuple(range(self.code.n))
+        if any(not self._alive[p] for p in placement):
+            raise ValueError("cannot place chunks on failed nodes")
+        loc = StripeLocation(stripe_id=stripe_id, placement=tuple(placement))
+        self.master.register_stripe(loc)
+        for idx, node in enumerate(placement):
+            self.nodes[node].store.put(stripe_id, idx, stripe[idx])
+        self._stripe_sizes[stripe_id] = int(stripe.shape[1])
+        return loc
+
+    def fail_node(self, node: int) -> None:
+        """Mark a node failed (its chunks become unreachable)."""
+        self._alive[node] = False
+
+    def stripes_on(self, node: int) -> list[str]:
+        """Stripe ids that placed a chunk on the given node."""
+        return self.master.stripes_with_node(node)
+
+    def read_chunk(self, stripe_id: str, chunk_index: int) -> np.ndarray:
+        """Direct chunk read (test/diagnostic path)."""
+        loc = self.master.stripe(stripe_id)
+        node = loc.node_of(chunk_index)
+        if not self._alive[node]:
+            raise RuntimeError(f"chunk {chunk_index} lives on failed node {node}")
+        return self.nodes[node].store.get(stripe_id, chunk_index)
+
+    # ---- repair ------------------------------------------------------- #
+
+    def repair(
+        self,
+        stripe_id: str,
+        failed_node: int,
+        requester: int,
+        *,
+        inject_failure: tuple[int, float] | None = None,
+        max_attempts: int = 3,
+        store: bool = True,
+    ) -> RepairOutcome:
+        """Rebuild the failed node's chunk of a stripe at ``requester``.
+
+        Runs the full protocol on the event queue: the master schedules
+        (using its current bandwidth picture), dispatches transfer tasks
+        after ``dispatch_latency_s``, data nodes stream and combine
+        slices, the requester assembles, stores, and verifies the chunk.
+
+        ``inject_failure=(node, delay)`` kills another helper ``delay``
+        simulated seconds into the repair; the master notices the stalled
+        assembly once the queue drains and reschedules against the
+        survivors (up to ``max_attempts`` total attempts).
+        """
+        if self._alive[failed_node]:
+            raise ValueError(f"node {failed_node} has not failed")
+        if not self._alive[requester]:
+            raise ValueError("requester node is down")
+        start_time = self.events.now
+        if inject_failure is not None:
+            node, delay = inject_failure
+            self.events.schedule(delay, lambda n=node: self.fail_node(n))
+
+        attempts = 0
+        plan = None
+        repair_id = f"{stripe_id}/n{failed_node}"
+        while attempts < max_attempts:
+            attempts += 1
+            plan = self._dispatch_repair(
+                stripe_id, failed_node, requester, repair_id
+            )
+            self.events.run()
+            asm = self._assemblies[repair_id]
+            if asm.complete:
+                break
+        else:
+            raise RuntimeError(
+                f"repair of {stripe_id} failed after {max_attempts} attempts"
+            )
+        asm = self._assemblies.pop(repair_id)
+        loc = self.master.stripe(stripe_id)
+        lost_chunk = loc.chunk_on(failed_node)
+        rebuilt = asm.buffer
+        if store:
+            self.nodes[requester].store.put(stripe_id, lost_chunk, rebuilt)
+            self.master.relocate_chunk(stripe_id, lost_chunk, requester)
+        original = self.nodes[failed_node].store.get(stripe_id, lost_chunk)
+        return RepairOutcome(
+            plan=plan,
+            rebuilt=rebuilt,
+            elapsed_seconds=asm.last_arrival - start_time,
+            bytes_received=asm.received,
+            verified=bool(np.array_equal(rebuilt, original)),
+            attempts=attempts,
+        )
+
+    def degraded_read(
+        self, stripe_id: str, chunk_index: int, reader: int
+    ) -> tuple[np.ndarray, float]:
+        """Read a chunk, repairing on the fly if its node is down.
+
+        Returns ``(payload, seconds)``.  A healthy chunk streams directly
+        from its node; a lost one is rebuilt at the reader without being
+        persisted (the degraded-read path of erasure-coded stores).
+        """
+        loc = self.master.stripe(stripe_id)
+        node = loc.node_of(chunk_index)
+        if self._alive[node]:
+            payload = self.nodes[node].store.get(stripe_id, chunk_index)
+            snap = self.master.snapshot()
+            rate = min(snap.uplink[node], snap.downlink[reader])
+            return payload, units.transfer_seconds(len(payload), rate)
+        outcome = self.repair(stripe_id, node, reader, store=False)
+        return outcome.rebuilt, outcome.elapsed_seconds
+
+    def repair_multi(
+        self,
+        stripe_id: str,
+        failed_nodes: tuple[int, ...],
+        requester_for: dict[int, int],
+    ) -> dict[int, RepairOutcome]:
+        """Rebuild several lost chunks of ONE stripe concurrently.
+
+        An (n, k) stripe tolerates up to n-k simultaneous failures; each
+        lost chunk is rebuilt at its own requester by an independent
+        multi-pipeline plan over the shared surviving helpers, all
+        executing in the same event-queue run (the second plan is
+        computed on the bandwidth the first leaves behind, so their
+        union is feasible).  Returns outcomes keyed by failed node.
+        """
+        loc = self.master.stripe(stripe_id)
+        failed_nodes = tuple(failed_nodes)
+        if any(self._alive[f] for f in failed_nodes):
+            raise ValueError("all listed nodes must have failed")
+        if len(failed_nodes) > self.code.n - self.code.k:
+            raise ValueError(
+                f"an ({self.code.n},{self.code.k}) stripe tolerates at most "
+                f"{self.code.n - self.code.k} failures"
+            )
+        helpers = tuple(
+            n for n in loc.placement
+            if n not in failed_nodes and self._alive[n]
+        )
+        if len(helpers) < self.code.k:
+            raise ValueError("not enough surviving helpers to decode")
+        for f in failed_nodes:
+            r = requester_for[f]
+            if not self._alive[r] or r in loc.placement:
+                raise ValueError(f"invalid requester {r} for failed node {f}")
+        if len(set(requester_for[f] for f in failed_nodes)) != len(failed_nodes):
+            raise ValueError("each lost chunk needs a distinct requester")
+
+        starts: dict[int, float] = {}
+        plans: dict[int, RepairPlan] = {}
+        # fair split: every concurrent repair plans inside a 1/m share of
+        # each node's bandwidth (an algorithm like FullRepair consumes
+        # everything it is offered, so residual carving would starve the
+        # later repairs); the shares are simultaneously feasible
+        snapshot = self.master.snapshot()
+        share = BandwidthSnapshot(
+            uplink=snapshot.uplink / len(failed_nodes),
+            downlink=snapshot.downlink / len(failed_nodes),
+        )
+        for f in failed_nodes:
+            context = RepairContext(
+                snapshot=share,
+                requester=requester_for[f],
+                helpers=helpers,
+                k=self.code.k,
+                chunk_index={n: loc.chunk_on(n) for n in helpers},
+            )
+            plan = self.master.algorithm.plan(context)
+            plan.validate()
+            plans[f] = plan
+        for f in failed_nodes:
+            starts[f] = self.events.now
+            self._dispatch_plan(
+                plans[f], stripe_id, f, requester_for[f],
+                repair_id=f"{stripe_id}/n{f}",
+            )
+        self.events.run()
+        outcomes: dict[int, RepairOutcome] = {}
+        for f in failed_nodes:
+            asm = self._assemblies.pop(f"{stripe_id}/n{f}")
+            if not asm.complete:
+                raise RuntimeError(f"multi-failure repair of chunk on {f} stalled")
+            lost = loc.chunk_on(f)
+            self.nodes[requester_for[f]].store.put(stripe_id, lost, asm.buffer)
+            self.master.relocate_chunk(stripe_id, lost, requester_for[f])
+            original = self.nodes[f].store.get(stripe_id, lost)
+            outcomes[f] = RepairOutcome(
+                plan=plans[f],
+                rebuilt=asm.buffer,
+                elapsed_seconds=asm.last_arrival - starts[f],
+                bytes_received=asm.received,
+                verified=bool(np.array_equal(asm.buffer, original)),
+            )
+        return outcomes
+
+    def repair_node(
+        self,
+        failed_node: int,
+        requester_for: dict[str, int] | None = None,
+        *,
+        strategy: str = "batched",
+    ) -> dict[str, RepairOutcome]:
+        """Rebuild every chunk the failed node held.
+
+        Uses the :mod:`repro.core.fullnode` batch planner for batching
+        decisions, then executes each batch's repairs concurrently on the
+        event queue.  ``requester_for`` maps stripe ids to replacement
+        nodes; defaults to spreading over live non-participant nodes.
+        """
+        if self._alive[failed_node]:
+            raise ValueError(f"node {failed_node} has not failed")
+        stripe_ids = self.stripes_on(failed_node)
+        if not stripe_ids:
+            return {}
+        requester_for = dict(requester_for or {})
+        live_pool = [
+            i for i in range(self.num_nodes) if self._alive[i]
+        ]
+        for i, sid in enumerate(stripe_ids):
+            if sid in requester_for:
+                continue
+            loc = self.master.stripe(sid)
+            candidates = [r for r in live_pool if r not in loc.placement]
+            if not candidates:
+                raise RuntimeError(f"no replacement node available for {sid}")
+            requester_for[sid] = candidates[i % len(candidates)]
+
+        specs = []
+        for sid in stripe_ids:
+            loc = self.master.stripe(sid)
+            helpers = tuple(
+                n for n in loc.placement if n != failed_node and self._alive[n]
+            )
+            specs.append(
+                StripeRepairSpec(
+                    stripe_id=sid,
+                    requester=requester_for[sid],
+                    helpers=helpers,
+                    chunk_bytes=self._stripe_sizes[sid],
+                )
+            )
+        node_plan = plan_full_node_repair(
+            specs,
+            self.master.snapshot(),
+            self.code.k,
+            algorithm=self.master.algorithm.name,
+            strategy=strategy,
+        )
+        outcomes: dict[str, RepairOutcome] = {}
+        for batch in node_plan.batches:
+            starts = {}
+            for sid in batch:
+                starts[sid] = self.events.now
+                self._dispatch_plan(
+                    node_plan.plans[sid], sid, failed_node, requester_for[sid]
+                )
+            self.events.run()
+            for sid in batch:
+                asm = self._assemblies.pop(f"{sid}/n{failed_node}")
+                if not asm.complete:
+                    raise RuntimeError(f"batched repair of {sid} incomplete")
+                loc = self.master.stripe(sid)
+                lost = loc.chunk_on(failed_node)
+                self.nodes[requester_for[sid]].store.put(sid, lost, asm.buffer)
+                self.master.relocate_chunk(sid, lost, requester_for[sid])
+                original = self.nodes[failed_node].store.get(sid, lost)
+                outcomes[sid] = RepairOutcome(
+                    plan=node_plan.plans[sid],
+                    rebuilt=asm.buffer,
+                    elapsed_seconds=asm.last_arrival - starts[sid],
+                    bytes_received=asm.received,
+                    verified=bool(np.array_equal(asm.buffer, original)),
+                )
+        return outcomes
+
+    # ---- internals ---------------------------------------------------- #
+
+    def _dispatch_repair(
+        self, stripe_id: str, failed_node: int, requester: int,
+        repair_id: str | None = None,
+    ) -> RepairPlan:
+        """Schedule against live helpers and dispatch the transfer tasks."""
+        loc = self.master.stripe(stripe_id)
+        helpers = tuple(
+            n for n in loc.placement if n != failed_node and self._alive[n]
+        )
+        ctx_snapshot = self.master.snapshot()
+        context = RepairContext(
+            snapshot=ctx_snapshot,
+            requester=requester,
+            helpers=helpers,
+            k=self.code.k,
+            chunk_index={n: loc.chunk_on(n) for n in helpers},
+        )
+        plan = self.master.algorithm.plan(context)
+        plan.validate()
+        self._dispatch_plan(plan, stripe_id, failed_node, requester, repair_id)
+        return plan
+
+    def _dispatch_plan(
+        self,
+        plan: RepairPlan,
+        stripe_id: str,
+        failed_node: int,
+        requester: int,
+        repair_id: str | None = None,
+    ) -> None:
+        repair_id = repair_id or f"{stripe_id}/n{failed_node}"
+        chunk_bytes = self._stripe_sizes[stripe_id]
+        loc = self.master.stripe(stripe_id)
+        lost_chunk = loc.chunk_on(failed_node)
+        windows = max(1, -(-chunk_bytes // self.slice_bytes))
+        tasks = self.master.compile_tasks(
+            plan, stripe_id, lost_chunk, chunk_bytes=chunk_bytes,
+            num_slices=windows, repair_id=repair_id,
+        )
+        self._begin_assembly(plan, tasks, chunk_bytes, requester, repair_id)
+        for task in tasks:
+            owner = loc.node_of(task.chunk_index)
+            self.events.schedule(
+                self.dispatch_latency_s,
+                lambda t=task, o=owner: self._assign_if_alive(o, t),
+            )
+
+    def _assign_if_alive(self, node: int, task: TransferTask) -> None:
+        if self._alive[node]:
+            self.nodes[node].assign(task)
+
+    def _begin_assembly(
+        self,
+        plan: RepairPlan,
+        tasks: list[TransferTask],
+        chunk_bytes: int,
+        requester: int,
+        repair_id: str,
+    ) -> None:
+        expected: dict[int, set] = {}
+        expected_bytes: dict[int, int] = {}
+        stripe_id = tasks[0].stripe_id if tasks else ""
+        loc = self.master.stripe(stripe_id)
+        for task in tasks:
+            if task.destination == requester:
+                src = loc.node_of(task.chunk_index)
+                expected.setdefault(task.pipeline_id, set()).add(src)
+                expected_bytes[task.pipeline_id] = expected_bytes.get(
+                    task.pipeline_id, 0
+                ) + (task.stop - task.start)
+        self._assemblies[repair_id] = _Assembly(
+            stripe_id=stripe_id,
+            repair_id=repair_id,
+            requester=requester,
+            chunk_bytes=chunk_bytes,
+            expected=expected,
+            expected_bytes=expected_bytes,
+            buffer=np.zeros(chunk_bytes, dtype=np.uint8),
+        )
+
+    def _deliver(self, destination: int, data: SliceData) -> None:
+        """Route a slice either to a data node or into requester assembly."""
+        if not self._alive[data.source] or not self._alive[destination]:
+            return  # packets from/to dead nodes vanish
+        node = self.nodes[destination]
+        key = (data.repair_id or data.stripe_id, data.pipeline_id)
+        if key in node._tasks:
+            node.receive(data)
+            return
+        asm = self._assemblies.get(data.repair_id or data.stripe_id)
+        if asm is None or asm.requester != destination:
+            raise RuntimeError(
+                f"slice for {data.stripe_id} delivered to unexpected node "
+                f"{destination}"
+            )
+        sources = asm.expected.get(data.pipeline_id)
+        if sources is None or data.source not in sources:
+            raise RuntimeError(
+                f"unexpected slice from {data.source} for pipeline "
+                f"{data.pipeline_id}"
+            )
+        span = asm.buffer[data.start : data.stop]
+        np.bitwise_xor(span, data.payload, out=span)
+        asm.received += len(data.payload)
+        # the requester pays the final combine cost for this slice
+        asm.last_arrival = max(
+            asm.last_arrival,
+            self.events.now + self.compute_s_per_byte * len(data.payload),
+        )

@@ -1,0 +1,73 @@
+"""The four constraints of paper §III-B as checkable predicates.
+
+Given a repair context and a claimed pipelined repair throughput with
+per-node ideal uplink/downlink usage, these functions verify Equations
+(2)-(5).  They are used by the test-suite to certify Algorithm 1's output
+(Theorem 1 states all four hold in the ideal pipelined repair state) and
+by :meth:`repro.core.fullrepair.FullRepair` as a debug assertion on every
+schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.bandwidth import RepairContext
+from .throughput import ThroughputResult
+
+#: Relative slack for constraint checks.
+CONSTRAINT_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class ConstraintReport:
+    """Outcome of checking Equations (2)-(5) for one throughput solution."""
+
+    uplink_ok: bool       # Eq. (2): t <= sum(U_i) / k
+    downlink_ok: bool     # Eq. (3): t <= (D_0 + sum(D_i)) / k
+    storage_ok: bool      # Eq. (4): t >= max(U_i)
+    repairing_ok: bool    # Eq. (5): D_i <= (k - 1) * U_i for all i
+
+    @property
+    def all_ok(self) -> bool:
+        return (
+            self.uplink_ok and self.downlink_ok
+            and self.storage_ok and self.repairing_ok
+        )
+
+
+def check(context: RepairContext, result: ThroughputResult) -> ConstraintReport:
+    """Evaluate all four constraints on an Algorithm-1 result."""
+    k = context.k
+    t = result.t_max
+    ups = list(result.uplink.values())
+    downs = list(result.downlink.values())
+    d0 = context.downlink(context.requester)
+    slack = CONSTRAINT_TOL * max(1.0, t)
+    uplink_ok = t <= sum(ups) / k + slack
+    downlink_ok = t <= (d0 + sum(downs)) / k + slack
+    storage_ok = t >= max(ups) - slack
+    repairing_ok = all(
+        result.downlink[h] <= (k - 1) * result.uplink[h] + slack
+        for h in context.helpers
+    )
+    return ConstraintReport(uplink_ok, downlink_ok, storage_ok, repairing_ok)
+
+
+def assert_holds(context: RepairContext, result: ThroughputResult) -> None:
+    """Raise ``AssertionError`` naming any violated constraint."""
+    report = check(context, result)
+    if not report.all_ok:
+        failed = [
+            name
+            for name, ok in (
+                ("uplink (Eq. 2)", report.uplink_ok),
+                ("downlink (Eq. 3)", report.downlink_ok),
+                ("storage (Eq. 4)", report.storage_ok),
+                ("repairing (Eq. 5)", report.repairing_ok),
+            )
+            if not ok
+        ]
+        raise AssertionError(
+            f"throughput t_max={result.t_max:.6f} violates: {', '.join(failed)}"
+        )

@@ -1,0 +1,467 @@
+"""Algorithm 2 — Pipelined Repair Task Scheduling.
+
+Turns Algorithm 1's throughput budget ``t_max`` into an executable
+multi-pipeline schedule in three steps:
+
+1. **Own-task assignment** (paper Lines 2-11): helpers, visited in
+   descending adjusted-downlink order, become pipeline *hubs* with rate
+   ``s_j = min(remaining, D_j / (k-1))``; leftover throughput becomes the
+   requester's own task (a direct star pipeline with k senders).
+
+2. **Sending-task assignment** (Lines 12-21 + TASKASSIGN): helpers,
+   visited in descending residual-uplink order, greedily pack their spare
+   uplink into the tasks' sender demand — each task ``j`` needs
+   ``(k-1) * s_j`` (``k * s_j`` for the requester's task) with at most
+   ``s_j`` per helper (a sender covers each chunk position of a task at
+   most once) and none from the hub itself.  Task priority follows the
+   paper: most remaining unfilled slots first, already-touched tasks
+   (``T_assigned``) preferred on ties; this walk reproduces Fig. 3 /
+   Table III exactly on the worked example.  The paper's *task exchange*
+   step is generalised into a max-flow re-solve (networkx) that provably
+   completes the fill whenever ``t_max`` is schedulable at all.
+
+3. **Segment layout**: each task's per-sender amounts are laid out over
+   the task's chunk range by McNaughton's wrap-around rule (senders kept
+   in first-contribution order, each sender's total <= ``s_j``, so no
+   sender ever covers the same chunk position twice), then cut at row
+   boundaries into elementary pipelines whose per-byte participants are
+   k *distinct* helpers — the invariant
+   :class:`repro.repair.plan.Pipeline` validates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..ec.slicing import Segment
+from ..net.bandwidth import RepairContext
+from ..repair.plan import Edge, Pipeline
+from .throughput import ThroughputResult
+
+#: Absolute bandwidth bookkeeping tolerance, in Mbps.
+AMOUNT_TOL = 1e-7
+
+
+@dataclass
+class Task:
+    """One pipeline task: a hub repairing a ``speed``-Mbps chunk share.
+
+    ``slots`` is the sender-slot count: k-1 when the hub is a helper (it
+    supplies its own chunk), k when the hub is the requester.  Sender
+    contributions are tracked as per-node *amounts* (insertion-ordered);
+    the slot-row structure is materialised later by the wrap-around
+    layout.
+    """
+
+    task_id: int
+    hub: int
+    speed: float
+    slots: int
+    #: per-sender Mbps contributions, in first-contribution order
+    amounts: dict[int, float] = field(default_factory=dict)
+    #: True when the hub is a helper that must upload its combined result
+    has_own: bool = True
+    own_assigned: bool = False
+    touched: bool = False  # member of T_assigned?
+    #: running sum of ``amounts`` (kept by :meth:`add`; the greedy queries
+    #: ``remain`` inside sort keys, so this must be O(1))
+    _filled: float = 0.0
+
+    @property
+    def demand(self) -> float:
+        """Total sender bandwidth this task needs."""
+        return self.slots * self.speed
+
+    @property
+    def filled(self) -> float:
+        return self._filled
+
+    def set_amounts(self, amounts: dict[int, float]) -> None:
+        """Replace the contribution map wholesale (flow completion)."""
+        self.amounts = amounts
+        self._filled = sum(amounts.values())
+
+    @property
+    def remain(self) -> int:
+        """The paper's ``task.remain``: unassigned parts.
+
+        Counts sender slots not yet fully covered plus the hub's own part
+        while unclaimed; partially-covered slots still count as remaining.
+        """
+        complete = min(self.slots, math.floor((self.filled + AMOUNT_TOL) / self.speed))
+        own_pending = 1 if self.has_own and not self.own_assigned else 0
+        return (self.slots - complete) + own_pending
+
+    def room(self, node: int) -> float:
+        """How much more ``node`` may contribute to this task."""
+        if node == self.hub:
+            return 0.0
+        per_node = self.speed - self.amounts.get(node, 0.0)
+        return max(0.0, min(per_node, self.demand - self.filled))
+
+    def add(self, node: int, amount: float) -> float:
+        """Contribute up to ``amount`` from ``node``; returns the take."""
+        take = min(amount, self.room(node))
+        if take <= AMOUNT_TOL:
+            return 0.0
+        self.amounts[node] = self.amounts.get(node, 0.0) + take
+        self._filled += take
+        self.touched = True
+        return take
+
+
+@dataclass
+class ScheduleResult:
+    """Algorithm 2 output: tasks plus the emitted elementary pipelines."""
+
+    tasks: list[Task]
+    pipelines: list[Pipeline]
+    requester_task: Task | None
+    flow_completion_used: bool
+    t_max: float
+
+
+def schedule_tasks(
+    context: RepairContext,
+    throughput: ThroughputResult,
+    *,
+    use_requester_task: bool = True,
+) -> ScheduleResult:
+    """Run Algorithm 2 for a context given Algorithm 1's result.
+
+    ``use_requester_task=False`` drops the leftover-throughput requester
+    pipeline (paper Lines 9-11) — an ablation knob; the realised
+    aggregate rate then falls short of ``t_max`` by the leftover.
+    """
+    k = context.k
+    t_max = throughput.t_max
+    up = dict(throughput.uplink)
+    down = dict(throughput.downlink)
+
+    # ---- own-task assignment (Lines 2-11) ----------------------------
+    order = sorted(context.helpers, key=lambda h: (-down[h], h))
+    remain_throughput = t_max
+    own_speed: dict[int, float] = {}
+    for h in order:
+        if remain_throughput <= AMOUNT_TOL:
+            break
+        s = min(remain_throughput, down[h] / (k - 1)) if k > 1 else min(
+            remain_throughput, up[h]
+        )
+        if s <= AMOUNT_TOL:
+            continue
+        own_speed[h] = s
+        remain_throughput -= s
+    requester_speed = remain_throughput if remain_throughput > AMOUNT_TOL else 0.0
+    if not use_requester_task:
+        t_max -= requester_speed
+        requester_speed = 0.0
+        if t_max <= AMOUNT_TOL:
+            raise ValueError(
+                "no helper-hub throughput available without the requester task"
+            )
+
+    # ---- task numbering (Lines 12-13) --------------------------------
+    tasks: list[Task] = []
+    hubs = sorted(own_speed, key=lambda h: (-(up[h] - own_speed[h]), h))
+    for i, h in enumerate(hubs, start=1):
+        tasks.append(Task(task_id=i, hub=h, speed=own_speed[h], slots=k - 1))
+    requester_task: Task | None = None
+    if requester_speed > 0:
+        requester_task = Task(
+            task_id=len(tasks) + 1,
+            hub=context.requester,
+            speed=requester_speed,
+            slots=k,
+            has_own=False,
+        )
+        tasks.append(requester_task)
+    by_hub = {t.hub: t for t in tasks}
+
+    # ---- sending-task assignment (Lines 14-21 + TASKASSIGN) ----------
+    capacity = {h: up[h] for h in context.helpers}
+    node_order = sorted(
+        context.helpers, key=lambda h: (-(capacity[h] - own_speed.get(h, 0.0)), h)
+    )
+    for u in node_order:
+        _task_assign(u, by_hub.get(u), tasks, capacity)
+
+    # ---- flow completion (generalised task exchange) ------------------
+    flow_used = False
+    if any(t.demand - t.filled > AMOUNT_TOL * max(1.0, t.demand) for t in tasks):
+        flow_used = True
+        _flow_completion(tasks, capacity, context, up, own_speed)
+
+    shortfall = [
+        t for t in tasks if t.demand - t.filled > 1e-4 * max(1.0, t.demand)
+    ]
+    if shortfall:
+        raise RuntimeError(
+            "scheduling could not realise t_max="
+            f"{t_max:.6f} Mbps: unfilled tasks "
+            f"{[(t.task_id, t.demand - t.filled) for t in shortfall]}"
+        )
+
+    pipelines = _layout_pipelines(tasks, context, t_max)
+    return ScheduleResult(
+        tasks=tasks,
+        pipelines=pipelines,
+        requester_task=requester_task,
+        flow_completion_used=flow_used,
+        t_max=t_max,
+    )
+
+
+def _sorted_assigned(tasks: list[Task]) -> list[Task]:
+    """T_assigned ordering: descending remain, ascending task id."""
+    return sorted(
+        (t for t in tasks if t.touched), key=lambda t: (-t.remain, t.task_id)
+    )
+
+
+def _sorted_unassigned(tasks: list[Task]) -> list[Task]:
+    """T_unassigned ordering: descending remain, descending task id."""
+    return sorted(
+        (t for t in tasks if not t.touched), key=lambda t: (-t.remain, -t.task_id)
+    )
+
+
+def _task_assign(
+    node: int, own: Task | None, tasks: list[Task], capacity: dict[int, float]
+) -> None:
+    """The paper's TASKASSIGN for one node.
+
+    First charges the node's own task (its hub -> requester result
+    upload), then greedily packs the node's residual uplink into sender
+    demand, always preferring the task with the most remaining unfilled
+    parts (``T_assigned`` wins ties, per Function TASKASSIGN Lines 8-12).
+    """
+    if own is not None and own.speed > AMOUNT_TOL:
+        own.own_assigned = True
+        own.touched = True
+        capacity[node] = max(0.0, capacity[node] - own.speed)
+
+    while capacity[node] > AMOUNT_TOL:
+        assigned_pick = next(
+            (t for t in _sorted_assigned(tasks) if t.room(node) > AMOUNT_TOL), None
+        )
+        unassigned_pick = next(
+            (t for t in _sorted_unassigned(tasks) if t.room(node) > AMOUNT_TOL),
+            None,
+        )
+        target = assigned_pick
+        if unassigned_pick is not None and (
+            target is None or unassigned_pick.remain > target.remain
+        ):
+            target = unassigned_pick
+        if target is None:
+            break
+        took = target.add(node, capacity[node])
+        capacity[node] -= took
+        if took <= AMOUNT_TOL:
+            break
+
+
+def _flow_completion(
+    tasks: list[Task],
+    capacity: dict[int, float],
+    context: RepairContext,
+    uplink: dict[int, float],
+    own_speed: dict[int, float],
+) -> None:
+    """Re-solve the whole sender assignment as a transportation problem.
+
+    The paper's greedy plus pairwise *task exchange* can strand capacity
+    in corner cases (e.g. a hub whose residual uplink can only serve its
+    own task once every other task is filled).  The clean generalisation
+    is a from-scratch max-flow: source -> helper (uplink minus the hub's
+    own result upload), helper -> task (at most ``speed`` per pair, hub
+    excluded), task -> sink (full sender demand).  Whenever any feasible
+    assignment at ``t_max`` exists, the flow saturates; amounts are
+    integral in 1e-6 Mbps units so no sender ever exceeds a slot width.
+    """
+    g = nx.DiGraph()
+    scale = 1e6
+    total_demand = 0
+    for t in tasks:
+        if t.demand <= AMOUNT_TOL:
+            continue
+        demand_units = int(t.demand * scale)  # floored: never unsatisfiable
+        total_demand += demand_units
+        g.add_edge(f"t{t.task_id}", "sink", capacity=demand_units)
+        for u in context.helpers:
+            if u == t.hub:
+                continue
+            g.add_edge(f"u{u}", f"t{t.task_id}", capacity=int(t.speed * scale))
+    if total_demand == 0:
+        return
+    for u in context.helpers:
+        cap = uplink[u] - own_speed.get(u, 0.0)
+        if cap > AMOUNT_TOL:
+            g.add_edge("source", f"u{u}", capacity=int(cap * scale))
+    if "source" not in g or "sink" not in g:
+        return
+    _value, flows = nx.maximum_flow(g, "source", "sink")
+    for t in tasks:
+        key = f"t{t.task_id}"
+        amounts: dict[int, float] = {}
+        for u in context.helpers:
+            amt = flows.get(f"u{u}", {}).get(key, 0) / scale
+            if amt > AMOUNT_TOL:
+                amounts[u] = min(amt, t.speed)
+        # the integral flow undershoots the real demand by up to one unit
+        # per edge; rescale multiplicatively so rows tile exactly (the
+        # relative stretch is <= 1e-6/speed, far inside rate tolerances)
+        filled = sum(amounts.values())
+        if filled > 0 and t.demand - filled > 0:
+            factor = t.demand / filled
+            amounts = {u: min(a * factor, t.speed) for u, a in amounts.items()}
+        t.set_amounts(amounts)
+    for u in context.helpers:
+        used = sum(flows.get(f"u{u}", {}).values()) / scale
+        capacity[u] = uplink[u] - own_speed.get(u, 0.0) - used
+
+
+#: Tick resolution of the integer layout grid (per task row).
+LAYOUT_GRID = 1 << 30
+
+
+def _quantize_amounts(task: Task) -> dict[int, int]:
+    """Sender amounts as integer ticks summing exactly to ``slots * GRID``.
+
+    Quantisation makes the wrap-around layout exact: every row is exactly
+    ``LAYOUT_GRID`` ticks wide, every sender holds at most one row's worth
+    (so its wrapped pieces can never share a column), and cut positions
+    are integers.  Rounding drift and the max-flow's 1e-6-unit flooring
+    are absorbed by distributing the residual ticks over senders with
+    headroom (largest first), which perturbs rates by at most
+    ``speed / LAYOUT_GRID`` — about 1e-7 Mbps per task.
+    """
+    target = task.slots * LAYOUT_GRID
+    ticks: dict[int, int] = {}
+    for u, a in task.amounts.items():
+        t = int(round(a / task.speed * LAYOUT_GRID))
+        ticks[u] = max(0, min(t, LAYOUT_GRID))
+    diff = target - sum(ticks.values())
+    if diff > 0:
+        for u in sorted(ticks, key=lambda u: -(LAYOUT_GRID - ticks[u])):
+            give = min(diff, LAYOUT_GRID - ticks[u])
+            ticks[u] += give
+            diff -= give
+            if diff == 0:
+                break
+    elif diff < 0:
+        for u in sorted(ticks, key=lambda u: -ticks[u]):
+            take = min(-diff, ticks[u])
+            ticks[u] -= take
+            diff += take
+            if diff == 0:
+                break
+    if diff != 0:
+        raise RuntimeError(
+            f"task {task.task_id}: cannot tile {task.slots} slots from "
+            f"amounts {task.amounts} (residual {diff} ticks)"
+        )
+    return {u: t for u, t in ticks.items() if t > 0}
+
+
+def _wraparound_rows(task: Task) -> list[list[tuple[int, int]]]:
+    """McNaughton wrap-around layout of a task's sender amounts, in ticks.
+
+    Senders are laid end-to-end (first-contribution order) over rows of
+    exactly ``LAYOUT_GRID`` ticks; a sender split by a row boundary
+    occupies the end of one row and the start of the next, and since its
+    total is at most one row it never covers the same column twice.
+    """
+    ticks = _quantize_amounts(task)
+    rows: list[list[tuple[int, int]]] = []
+    row: list[tuple[int, int]] = []
+    fill = 0
+    for u, a in ticks.items():
+        while a > 0:
+            take = min(a, LAYOUT_GRID - fill)
+            row.append((u, take))
+            fill += take
+            a -= take
+            if fill == LAYOUT_GRID:
+                rows.append(row)
+                row, fill = [], 0
+    if row:
+        rows.append(row)
+    return rows
+
+
+def _occupant_at(row: list[tuple[int, int]], position: int) -> int:
+    """The node covering integer tick ``position`` in a row."""
+    pos = 0
+    for u, a in row:
+        if position < pos + a:
+            return u
+        pos += a
+    raise RuntimeError(f"no occupant at tick {position} (row ends at {pos})")
+
+
+def _layout_pipelines(
+    tasks: list[Task], context: RepairContext, t_max: float
+) -> list[Pipeline]:
+    """Cut slot rows into elementary pipelines with distinct participants.
+
+    Tasks are placed on the normalised chunk axis in task-id order; within
+    a task, every row spans the task range and the cut points are the
+    union of row-internal boundaries.  Each resulting subsegment yields a
+    pipeline: its senders are the row occupants at that position, its hub
+    relays the combined slice range to the requester (or, for the
+    requester's own task, the senders stream directly).
+    """
+    pipelines: list[Pipeline] = []
+    offset = 0.0
+    live = [t for t in sorted(tasks, key=lambda t: t.task_id) if t.speed > AMOUNT_TOL]
+    for index, task in enumerate(live):
+        rows = _wraparound_rows(task)
+        if len(rows) != task.slots:
+            raise RuntimeError(
+                f"task {task.task_id}: {len(rows)} filled rows != {task.slots} slots"
+            )
+        cuts = {0, LAYOUT_GRID}
+        for row in rows:
+            pos = 0
+            for _, a in row[:-1]:
+                pos += a
+                cuts.add(pos)
+        cut_list = sorted(cuts)
+        # the final task absorbs float slack so segments tile [0, 1) exactly
+        task_end = 1.0 if index == len(live) - 1 else (offset + task.speed) / t_max
+        for lo, hi in zip(cut_list[:-1], cut_list[1:]):
+            senders = [_occupant_at(row, lo) for row in rows]
+            if len(set(senders)) != task.slots:
+                raise RuntimeError(
+                    f"task {task.task_id}: tick {lo} covered by senders "
+                    f"{senders}, expected {task.slots} distinct"
+                )
+            rate = (hi - lo) / LAYOUT_GRID * task.speed
+            if task.hub == context.requester:
+                edges = [
+                    Edge(child=u, parent=context.requester, rate=rate)
+                    for u in senders
+                ]
+            else:
+                edges = [Edge(child=u, parent=task.hub, rate=rate) for u in senders]
+                edges.append(
+                    Edge(child=task.hub, parent=context.requester, rate=rate)
+                )
+            start = (offset + lo / LAYOUT_GRID * task.speed) / t_max
+            stop = (
+                task_end
+                if hi == LAYOUT_GRID
+                else (offset + hi / LAYOUT_GRID * task.speed) / t_max
+            )
+            pipelines.append(
+                Pipeline(
+                    task_id=task.task_id, segment=Segment(start, stop), edges=edges
+                )
+            )
+        offset += task.speed
+    return pipelines

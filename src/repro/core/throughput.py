@@ -1,0 +1,182 @@
+"""Algorithm 1 — Maximum Pipelined Repair Throughput Calculation.
+
+Computes FullRepair's ``t_max``: the largest aggregate repair throughput
+any multi-pipeline schedule can achieve under the four constraints of
+paper §III-B (uplink, downlink, storage, repairing).
+
+The uplink phase is a water-filling computation: nodes whose uplink would
+exceed the achievable throughput are "picked" into ``E`` and later capped
+(they contribute a full slice to *every* repaired slice), leaving the
+remaining nodes to share the other ``k - |E|`` slots, i.e. it finds the
+largest ``c`` with ``sum_i min(U_i, c) >= k * c``.
+
+The downlink phase alternately applies the aggregate downlink constraint
+``c <= (D_0 + sum_i D_i) / k`` and the repairing constraint
+``D_i <= (k - 1) * U_i`` until the fixpoint, exactly as the paper's
+Lines 13-25.  Because the alternation can in principle converge slowly on
+adversarial inputs, a breakpoint-exact fixpoint solver backs the loop and
+the test-suite cross-checks both (plus the LP oracle in
+:mod:`repro.core.optimality`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..net.bandwidth import RepairContext
+
+#: Convergence tolerance of the downlink fixpoint (Mbps).
+FIXPOINT_TOL = 1e-9
+
+#: Iteration cap on the paper's alternating loop before the exact solver
+#: takes over.
+MAX_ALTERNATIONS = 256
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Output of Algorithm 1.
+
+    Attributes
+    ----------
+    t_max:
+        Maximum pipelined repair throughput (Mbps).
+    uplink:
+        Adjusted helper uplinks (Table II's "after Algorithm 1" row),
+        keyed by helper id.  Picked nodes are capped at ``t_max``.
+    downlink:
+        Adjusted helper downlinks after the repairing constraint.
+    picked:
+        Helper ids moved into ``E`` during the uplink phase.
+    """
+
+    t_max: float
+    uplink: dict[int, float]
+    downlink: dict[int, float]
+    picked: tuple[int, ...]
+
+
+def max_pipelined_throughput(context: RepairContext) -> ThroughputResult:
+    """Run Algorithm 1 on a repair context.
+
+    Raises ``ValueError`` if no positive throughput is achievable (e.g.
+    fewer than k helpers with usable uplink, or a zero requester
+    downlink).
+    """
+    k = context.k
+    helpers = list(context.helpers)
+    up = {h: context.uplink(h) for h in helpers}
+    down = {h: context.downlink(h) for h in helpers}
+    d0 = context.downlink(context.requester)
+
+    # ---- Lines 2-12: limit by uplinks (water-filling) ----------------
+    picked: list[int] = []
+    pool = list(helpers)
+    while True:
+        denom = k - len(picked)
+        pool_sum = sum(up[h] for h in pool)
+        pool_max = max(up[h] for h in pool)
+        if denom <= 1 or pool_sum / denom >= pool_max:
+            break
+        # pick the current maximum-uplink node out of the pool
+        best = max(pool, key=lambda h: (up[h], -h))
+        pool.remove(best)
+        picked.append(best)
+    c = min(sum(up[h] for h in pool) / (k - len(picked)), d0)
+    for h in picked:
+        up[h] = c
+
+    # ---- Lines 13-25: limit by downlinks (alternating fixpoint) ------
+    for _ in range(MAX_ALTERNATIONS):
+        c = min((d0 + sum(down.values())) / k, c)
+        stable = True
+        for h in helpers:
+            up[h] = min(c, up[h])
+            cap = up[h] * (k - 1)
+            if cap < down[h]:
+                down[h] = cap
+                stable = False
+        if stable:
+            break
+    else:  # adversarial slow convergence: solve the fixpoint exactly
+        c = _downlink_fixpoint(
+            c,
+            d0,
+            {h: context.uplink(h) for h in helpers},
+            {h: context.downlink(h) for h in helpers},
+            k,
+        )
+        for h in helpers:
+            up[h] = min(c, up[h])
+            down[h] = min(down[h], up[h] * (k - 1))
+
+    if c <= 0:
+        raise ValueError(
+            "no positive repair throughput achievable: uplinks "
+            f"{[context.uplink(h) for h in helpers]}, requester downlink {d0}"
+        )
+    return ThroughputResult(
+        t_max=float(c),
+        uplink={h: float(v) for h, v in up.items()},
+        downlink={h: float(v) for h, v in down.items()},
+        picked=tuple(picked),
+    )
+
+
+def _downlink_fixpoint(
+    c0: float, d0: float, orig_up: dict[int, float], orig_down: dict[int, float], k: int
+) -> float:
+    """Exact solution of the downlink-phase fixpoint.
+
+    The loop converges to the largest ``c <= c0`` with
+
+        c <= (d0 + sum_h min(D_h, (k-1) * min(c, U_h))) / k.
+
+    The right-hand side is nondecreasing in ``c``, so the feasible set is
+    an interval ``[0, c*]``; bisection over it is exact to FIXPOINT_TOL.
+    """
+
+    def feasible(c: float) -> bool:
+        total = d0 + sum(
+            min(orig_down[h], (k - 1) * min(c, orig_up[h])) for h in orig_up
+        )
+        return c * k <= total + FIXPOINT_TOL
+
+    lo, hi = 0.0, c0
+    if feasible(hi):
+        return hi
+    for _ in range(200):
+        mid = (lo + hi) / 2
+        if feasible(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def water_filling_uplink(context: RepairContext) -> float:
+    """Independent oracle for the uplink phase.
+
+    The largest ``c`` with ``sum_h min(U_h, c) >= k * c`` (capped at the
+    requester downlink) — mathematically equivalent to Lines 2-12 and used
+    by the test-suite to pin the iterative version down.
+    """
+    k = context.k
+    ups = np.sort(np.array([context.uplink(h) for h in context.helpers]))[::-1]
+    d0 = context.downlink(context.requester)
+    # candidate: j nodes capped at c, the rest contribute fully:
+    # c = sum(ups[j:]) / (k - j), valid while c <= ups[j-1] and c >= ups[j]
+    best = 0.0
+    m = ups.shape[0]
+    suffix = np.concatenate([np.cumsum(ups[::-1])[::-1], [0.0]])
+    for j in range(0, min(k, m)):
+        denom = k - j
+        if denom <= 0:
+            break
+        c = suffix[j] / denom
+        upper = ups[j - 1] if j > 0 else np.inf
+        if ups[j] - 1e-12 <= c <= upper + 1e-12:
+            best = max(best, c)
+    return float(min(best, d0))

@@ -1,0 +1,14 @@
+"""Erasure-coding substrate: GF(2^8), coding matrices, RS codes, slicing."""
+
+from . import gf256, matrix, slicing
+from .rs import RepairEquation, RSCode
+from .slicing import Segment
+
+__all__ = [
+    "gf256",
+    "matrix",
+    "slicing",
+    "RSCode",
+    "RepairEquation",
+    "Segment",
+]

@@ -1,0 +1,22 @@
+"""Network substrate: units, bandwidth snapshots, flow-level fairness."""
+
+from . import units
+from .bandwidth import BandwidthSnapshot, RepairContext
+from .flows import Flow, max_min_rates, validate_rates
+from .topology import (
+    RackTopology,
+    rack_scaled_context,
+    validate_rates_with_racks,
+)
+
+__all__ = [
+    "units",
+    "BandwidthSnapshot",
+    "RepairContext",
+    "Flow",
+    "max_min_rates",
+    "validate_rates",
+    "RackTopology",
+    "rack_scaled_context",
+    "validate_rates_with_racks",
+]

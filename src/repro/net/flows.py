@@ -1,0 +1,150 @@
+"""Flow-level bandwidth sharing: progressive-filling max-min fairness.
+
+A repair plan compiles to a set of point-to-point *flows*.  When a plan
+already carries explicit rates (FullRepair does — Algorithm 2 allocates
+every Mbps), the network only needs to verify feasibility.  Plans without
+explicit rates (e.g. conventional star repair, or any plan executed under
+unplanned contention) get their rates from the classic progressive-filling
+algorithm: grow every unfrozen flow's rate uniformly; whenever a node's
+uplink or downlink saturates, freeze the flows through it; repeat.  The
+result is the unique max-min fair allocation under node-capacity
+constraints (the hose model used by the paper's EC2 setup, where `tc`
+shapes each node's NIC rather than individual switch links).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bandwidth import BandwidthSnapshot
+
+#: Relative numeric slack used when validating rate allocations.
+RATE_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A unidirectional transfer demand from ``src`` to ``dst``.
+
+    ``demand`` is an optional rate cap in Mbps (``None`` = elastic);
+    ``weight`` scales the flow's share under progressive filling.
+    """
+
+    src: int
+    dst: int
+    demand: float | None = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("flow endpoints must differ (no self-transfers)")
+        if self.demand is not None and self.demand < 0:
+            raise ValueError("demand must be non-negative")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+
+def max_min_rates(snapshot: BandwidthSnapshot, flows: list[Flow]) -> np.ndarray:
+    """Weighted max-min fair rates (Mbps) for ``flows`` under node capacities.
+
+    Each node contributes two capacity constraints: the sum of rates of
+    flows leaving it is bounded by its uplink, and of flows entering it by
+    its downlink.  Flows with a ``demand`` are additionally capped at it.
+
+    Returns an array aligned with ``flows``.
+    """
+    m = len(flows)
+    rates = np.zeros(m)
+    if m == 0:
+        return rates
+    frozen = np.zeros(m, dtype=bool)
+    weights = np.array([f.weight for f in flows])
+    demands = np.array(
+        [np.inf if f.demand is None else f.demand for f in flows]
+    )
+    srcs = np.array([f.src for f in flows], dtype=np.intp)
+    dsts = np.array([f.dst for f in flows], dtype=np.intp)
+    n = snapshot.num_nodes
+    up_cap = snapshot.uplink.copy()
+    down_cap = snapshot.downlink.copy()
+
+    for _ in range(2 * n + m + 1):  # each round freezes >= 1 flow: bounded
+        active = ~frozen
+        if not np.any(active):
+            break
+        # residual capacity per node given frozen flows
+        up_used = np.bincount(srcs[frozen], weights=rates[frozen], minlength=n)
+        down_used = np.bincount(dsts[frozen], weights=rates[frozen], minlength=n)
+        up_res = up_cap - up_used
+        down_res = down_cap - down_used
+        # weight pressure per node from active flows
+        up_w = np.bincount(srcs[active], weights=weights[active], minlength=n)
+        down_w = np.bincount(dsts[active], weights=weights[active], minlength=n)
+        # the fair-share level t such that active flow i gets weight_i * t
+        with np.errstate(divide="ignore", invalid="ignore"):
+            up_level = np.where(up_w > 0, up_res / up_w, np.inf)
+            down_level = np.where(down_w > 0, down_res / down_w, np.inf)
+        # demand caps translate to per-flow levels
+        demand_level = demands[active] / weights[active]
+        level = min(
+            float(np.min(up_level)),
+            float(np.min(down_level)),
+            float(np.min(demand_level)) if demand_level.size else np.inf,
+        )
+        level = max(level, 0.0)
+        rates[active] = weights[active] * level
+        # freeze flows through saturated nodes or at their demand cap
+        up_sat = np.isclose(up_level, level, rtol=1e-12, atol=1e-12) | (up_level <= level)
+        down_sat = np.isclose(down_level, level, rtol=1e-12, atol=1e-12) | (down_level <= level)
+        newly = active & (
+            up_sat[srcs]
+            | down_sat[dsts]
+            | (weights * level >= demands - 1e-12)
+        )
+        if not np.any(newly & active):
+            frozen[active] = True  # numerical stalemate: everything is level
+            break
+        frozen |= newly
+    return rates
+
+
+def validate_rates(
+    snapshot: BandwidthSnapshot,
+    flows: list[Flow],
+    rates,
+    *,
+    tol: float = RATE_TOL,
+) -> None:
+    """Check an explicit rate vector against node capacities.
+
+    Raises ``ValueError`` naming the first violated node constraint; the
+    tolerance is relative to each node's capacity (plus a small absolute
+    floor for zero-capacity nodes).
+    """
+    rates = np.asarray(rates, dtype=np.float64)
+    if rates.shape != (len(flows),):
+        raise ValueError("rates must align with flows")
+    if np.any(rates < -tol):
+        raise ValueError("rates must be non-negative")
+    n = snapshot.num_nodes
+    srcs = np.array([f.src for f in flows], dtype=np.intp)
+    dsts = np.array([f.dst for f in flows], dtype=np.intp)
+    up_used = np.bincount(srcs, weights=rates, minlength=n)
+    down_used = np.bincount(dsts, weights=rates, minlength=n)
+    # absolute floor: 1e-5 Mbps is ~1 byte/s, far below scheduling
+    # resolution, so quantisation drift of that order is not a violation
+    for node in range(n):
+        slack = max(tol * snapshot.uplink[node], 1e-5)
+        if up_used[node] > snapshot.uplink[node] + slack:
+            raise ValueError(
+                f"uplink of node {node} oversubscribed: "
+                f"{up_used[node]:.6f} > {snapshot.uplink[node]:.6f} Mbps"
+            )
+        slack = max(tol * snapshot.downlink[node], 1e-5)
+        if down_used[node] > snapshot.downlink[node] + slack:
+            raise ValueError(
+                f"downlink of node {node} oversubscribed: "
+                f"{down_used[node]:.6f} > {snapshot.downlink[node]:.6f} Mbps"
+            )

@@ -1,0 +1,187 @@
+"""Two-tier (rack-oversubscribed) cluster topology.
+
+The paper's EC2 testbed shapes each node's NIC (the *hose model*), which
+is what :class:`~repro.net.bandwidth.BandwidthSnapshot` captures.  Real
+clusters add a second constraint tier: nodes sit in racks whose uplinks
+to the core are *oversubscribed* — a rack of 8 nodes with 1 Gbps NICs
+might share a 4 Gbps uplink (oversubscription 2:1).  Cross-rack repair
+traffic then competes for the rack trunk even when every NIC has
+head-room.
+
+This module models that tier and lets the rest of the library reason
+about it:
+
+* :func:`validate_rates_with_racks` — extends the node-capacity check
+  with per-rack ingress/egress trunk constraints (intra-rack flows are
+  exempt, as in leaf-spine fabrics);
+* :func:`rack_scaled_context` — the standard workaround used by
+  rack-oblivious schedulers: shrink each node's visible bandwidth by its
+  rack's worst-case oversubscription share so any plan they emit stays
+  trunk-feasible (conservative but safe);
+* :meth:`RackTopology.max_feasible_scale` — how much of a given plan's
+  rate vector the trunks actually admit (1.0 = fully feasible), which
+  quantifies what rack-obliviousness costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bandwidth import BandwidthSnapshot, RepairContext
+from .flows import Flow, validate_rates
+
+
+@dataclass(frozen=True)
+class RackTopology:
+    """Node-to-rack assignment plus per-rack trunk capacities (Mbps).
+
+    Attributes
+    ----------
+    rack_of:
+        ``rack_of[i]`` — rack index of node ``i``.
+    trunk_mbps:
+        ``trunk_mbps[r]`` — capacity of rack ``r``'s uplink to the core,
+        applied independently to rack ingress and egress (full-duplex).
+    """
+
+    rack_of: tuple[int, ...]
+    trunk_mbps: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.rack_of:
+            raise ValueError("topology needs at least one node")
+        if max(self.rack_of) >= len(self.trunk_mbps) or min(self.rack_of) < 0:
+            raise ValueError("rack_of references an undefined rack")
+        if any(t <= 0 for t in self.trunk_mbps):
+            raise ValueError("trunk capacities must be positive")
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.rack_of)
+
+    @property
+    def num_racks(self) -> int:
+        return len(self.trunk_mbps)
+
+    def nodes_in(self, rack: int) -> list[int]:
+        return [i for i, r in enumerate(self.rack_of) if r == rack]
+
+    def same_rack(self, a: int, b: int) -> bool:
+        return self.rack_of[a] == self.rack_of[b]
+
+    @classmethod
+    def uniform(
+        cls,
+        num_nodes: int,
+        nodes_per_rack: int,
+        *,
+        nic_mbps: float = 1000.0,
+        oversubscription: float = 2.0,
+    ) -> "RackTopology":
+        """Evenly packed racks with a given oversubscription ratio.
+
+        Trunk capacity = (nodes_per_rack * nic) / oversubscription.
+        """
+        if nodes_per_rack < 1 or num_nodes < 1:
+            raise ValueError("need positive node counts")
+        if oversubscription <= 0:
+            raise ValueError("oversubscription must be positive")
+        num_racks = -(-num_nodes // nodes_per_rack)
+        rack_of = tuple(i // nodes_per_rack for i in range(num_nodes))
+        trunk = nodes_per_rack * nic_mbps / oversubscription
+        return cls(rack_of=rack_of, trunk_mbps=tuple([trunk] * num_racks))
+
+    # ------------------------------------------------------------------ #
+
+    def rack_loads(
+        self, flows: list[Flow], rates
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(egress, ingress) trunk load per rack for a rate vector.
+
+        Only cross-rack flows touch the trunks.
+        """
+        rates = np.asarray(rates, dtype=np.float64)
+        egress = np.zeros(self.num_racks)
+        ingress = np.zeros(self.num_racks)
+        for flow, rate in zip(flows, rates):
+            src_rack = self.rack_of[flow.src]
+            dst_rack = self.rack_of[flow.dst]
+            if src_rack != dst_rack:
+                egress[src_rack] += rate
+                ingress[dst_rack] += rate
+        return egress, ingress
+
+    def max_feasible_scale(self, flows: list[Flow], rates) -> float:
+        """Largest a <= 1 with a*rates trunk-feasible (1.0 = feasible)."""
+        egress, ingress = self.rack_loads(flows, rates)
+        trunks = np.asarray(self.trunk_mbps)
+        worst = 1.0
+        for load in (egress, ingress):
+            used = load > 1e-12
+            if used.any():
+                worst = min(worst, float(np.min(trunks[used] / load[used])))
+        return min(worst, 1.0)
+
+
+def validate_rates_with_racks(
+    snapshot: BandwidthSnapshot,
+    topology: RackTopology,
+    flows: list[Flow],
+    rates,
+    *,
+    tol: float = 1e-6,
+) -> None:
+    """Node-capacity check plus per-rack trunk check.
+
+    Raises ``ValueError`` on the first violated constraint.
+    """
+    if topology.num_nodes != snapshot.num_nodes:
+        raise ValueError("topology/snapshot node-count mismatch")
+    validate_rates(snapshot, flows, rates, tol=tol)
+    egress, ingress = topology.rack_loads(flows, rates)
+    for rack in range(topology.num_racks):
+        cap = topology.trunk_mbps[rack]
+        slack = max(tol * cap, 1e-5)
+        if egress[rack] > cap + slack:
+            raise ValueError(
+                f"rack {rack} egress trunk oversubscribed: "
+                f"{egress[rack]:.3f} > {cap:.3f} Mbps"
+            )
+        if ingress[rack] > cap + slack:
+            raise ValueError(
+                f"rack {rack} ingress trunk oversubscribed: "
+                f"{ingress[rack]:.3f} > {cap:.3f} Mbps"
+            )
+
+
+def rack_scaled_context(
+    context: RepairContext, topology: RackTopology
+) -> RepairContext:
+    """Conservatively shrink a context so rack-oblivious plans stay safe.
+
+    Each node's visible uplink/downlink is capped at its fair share of
+    the rack trunk (trunk / nodes-in-rack).  Any plan feasible under the
+    scaled node capacities is trunk-feasible, because a rack's total
+    cross-rack traffic is bounded by the sum of its members' caps.
+    """
+    if topology.num_nodes != context.snapshot.num_nodes:
+        raise ValueError("topology/snapshot node-count mismatch")
+    up = context.snapshot.uplink.copy()
+    down = context.snapshot.downlink.copy()
+    for rack in range(topology.num_racks):
+        members = topology.nodes_in(rack)
+        if not members:
+            continue
+        share = topology.trunk_mbps[rack] / len(members)
+        for i in members:
+            up[i] = min(up[i], share)
+            down[i] = min(down[i], share)
+    return RepairContext(
+        snapshot=BandwidthSnapshot(uplink=up, downlink=down),
+        requester=context.requester,
+        helpers=context.helpers,
+        k=context.k,
+        chunk_index=dict(context.chunk_index),
+    )

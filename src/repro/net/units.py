@@ -1,0 +1,55 @@
+"""Unit conventions and conversions.
+
+The library follows the paper's units throughout:
+
+* link bandwidth — **Mbps** (megabits per second, 10^6 bits),
+* payload sizes — **bytes**, with MiB/KiB helpers (2^20 / 2^10 bytes),
+* time — **seconds**.
+
+Keeping a single conversion point avoids the classic factor-of-8 /
+1000-vs-1024 bugs when mixing network and storage conventions.
+"""
+
+from __future__ import annotations
+
+#: Bytes per KiB / MiB (storage convention, powers of two).
+KIB = 1024
+MIB = 1024 * 1024
+
+#: Bits per megabit (network convention, powers of ten).
+MEGABIT = 1_000_000
+
+
+def mbps_to_bytes_per_s(mbps: float) -> float:
+    """Convert a Mbps link rate to bytes/second."""
+    return mbps * MEGABIT / 8.0
+
+
+def bytes_per_s_to_mbps(rate: float) -> float:
+    """Convert bytes/second to Mbps."""
+    return rate * 8.0 / MEGABIT
+
+
+def transfer_seconds(size_bytes: float, mbps: float) -> float:
+    """Time to move ``size_bytes`` over a ``mbps`` link (no overheads).
+
+    Raises ``ValueError`` for a non-positive rate with a positive payload —
+    that transfer would never complete.
+    """
+    if size_bytes < 0:
+        raise ValueError("size_bytes must be non-negative")
+    if size_bytes == 0:
+        return 0.0
+    if mbps <= 0:
+        raise ValueError("cannot transfer a positive payload at non-positive rate")
+    return size_bytes / mbps_to_bytes_per_s(mbps)
+
+
+def mib(n: float) -> int:
+    """``n`` MiB in bytes."""
+    return int(n * MIB)
+
+
+def kib(n: float) -> int:
+    """``n`` KiB in bytes."""
+    return int(n * KIB)

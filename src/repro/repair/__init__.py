@@ -1,0 +1,30 @@
+"""Repair plans, algorithm registry, and the evaluated repair schemes."""
+
+from .base import RepairAlgorithm, algorithm_names, compute_plan, get_algorithm
+from .conventional import ConventionalRepair
+from .plan import Edge, Pipeline, RepairPlan
+from .pivot import PivotRepair
+from .ppr import PartialParallelRepair
+from .ppt import ParallelPipelineTree
+from .rendering import plan_to_dot, render_plan
+from .rp import RepairPipelining
+from .treeopt import TreeSolution, optimal_tree
+
+__all__ = [
+    "RepairAlgorithm",
+    "algorithm_names",
+    "compute_plan",
+    "get_algorithm",
+    "Edge",
+    "Pipeline",
+    "RepairPlan",
+    "ConventionalRepair",
+    "PivotRepair",
+    "PartialParallelRepair",
+    "ParallelPipelineTree",
+    "RepairPipelining",
+    "TreeSolution",
+    "optimal_tree",
+    "plan_to_dot",
+    "render_plan",
+]

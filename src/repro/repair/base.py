@@ -1,0 +1,78 @@
+"""Repair-algorithm interface and registry.
+
+Every scheme (conventional, RP, PPT, PivotRepair, FullRepair) implements
+:class:`RepairAlgorithm` and registers itself under a short name.  The
+:func:`compute_plan` entry point times the scheduling computation with a
+monotonic clock and stores it on the plan — that measured time is exactly
+Experiment 2's metric and one component of Experiment 1's overall repair
+time.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+from ..net.bandwidth import RepairContext
+from .plan import RepairPlan
+
+_REGISTRY: dict[str, type["RepairAlgorithm"]] = {}
+
+
+class RepairAlgorithm(abc.ABC):
+    """Base class: maps a :class:`RepairContext` to a :class:`RepairPlan`."""
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.name:
+            _REGISTRY[cls.name] = cls
+
+    @abc.abstractmethod
+    def schedule(self, context: RepairContext) -> RepairPlan:
+        """Compute a repair plan.  Must not mutate the context."""
+
+    def plan(self, context: RepairContext) -> RepairPlan:
+        """Schedule with measured calculation time (monotonic clock)."""
+        start = time.perf_counter()
+        plan = self.schedule(context)
+        plan.calc_seconds = time.perf_counter() - start
+        return plan
+
+
+def _ensure_registry() -> None:
+    """Import every module that defines algorithms (idempotent).
+
+    The registry fills as modules are imported; pulling them in here lets
+    ``get_algorithm("fullrepair")`` work even when the caller imported
+    only this module.  Local imports avoid a package cycle (core depends
+    on repair.plan/base).
+    """
+    from . import conventional, pivot, ppr, ppt, rp  # noqa: F401
+    from ..core import fullrepair  # noqa: F401
+
+
+def get_algorithm(name: str, **kwargs) -> RepairAlgorithm:
+    """Instantiate a registered algorithm by name."""
+    if name not in _REGISTRY:
+        _ensure_registry()
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown repair algorithm {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def algorithm_names() -> list[str]:
+    """All registered algorithm names, sorted."""
+    _ensure_registry()
+    return sorted(_REGISTRY)
+
+
+def compute_plan(name: str, context: RepairContext, **kwargs) -> RepairPlan:
+    """One-shot convenience: instantiate, schedule, and time."""
+    return get_algorithm(name, **kwargs).plan(context)

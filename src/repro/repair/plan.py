@@ -1,0 +1,254 @@
+"""Repair-plan representation shared by every algorithm.
+
+A :class:`RepairPlan` is a set of :class:`Pipeline` objects.  Each pipeline
+repairs one contiguous *fraction* of the failed chunk (its ``segment``,
+expressed in normalised ``[0, 1)`` chunk units) through a tree of transfer
+edges rooted at the requester:
+
+* data flows child -> parent along every edge;
+* every edge carries exactly the pipeline's segment worth of bytes — a GF
+  partial combination is the same size as the raw slice (paper §II-B), so
+  relays do not inflate traffic;
+* every helper participating in a pipeline contributes its own chunk's
+  slice range, hence a pipeline must contain exactly ``k`` distinct
+  helpers (the MDS decoding requirement).
+
+This single representation expresses all five evaluated schemes:
+
+==============  ==========================================================
+conventional    one pipeline over the whole chunk; star tree (k helper
+                leaves directly under the requester)
+RP              one pipeline; chain (path) tree
+PPT/PivotRepair one pipeline; general tree
+PPR             one pipeline; balanced binary tree (log-depth rounds)
+FullRepair      many pipelines over disjoint segments; each a depth <= 2
+                tree (hub under the requester, k-1 senders under the hub)
+                or a star under the requester for leftover throughput
+==============  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ec.slicing import Segment
+from ..net.bandwidth import RepairContext
+from ..net.flows import Flow, validate_rates
+
+#: Tolerance for segment tiling / rate bookkeeping checks.
+PLAN_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A transfer hop: ``child`` streams its partial result to ``parent``.
+
+    ``rate`` is the planned rate in Mbps.  The payload carried over the
+    edge is the owning pipeline's segment (scaled to bytes at execution).
+    """
+
+    child: int
+    parent: int
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.child == self.parent:
+            raise ValueError("edge endpoints must differ")
+        if self.rate <= 0:
+            raise ValueError(f"edge rate must be positive, got {self.rate}")
+
+
+@dataclass
+class Pipeline:
+    """One repair pipeline: a rooted transfer tree over a chunk segment.
+
+    Attributes
+    ----------
+    task_id:
+        Stable identifier (FullRepair's task number; 0 for single-pipeline
+        schemes).
+    segment:
+        Normalised ``[0, 1)`` chunk fraction repaired by this pipeline.
+    edges:
+        Transfer tree; every node with an outgoing edge sends to its unique
+        parent, and the requester is the root (has no outgoing edge).
+    """
+
+    task_id: int
+    segment: Segment
+    edges: list[Edge]
+
+    @property
+    def participants(self) -> tuple[int, ...]:
+        """All nodes that upload in this pipeline (i.e. the helpers)."""
+        return tuple(sorted({e.child for e in self.edges}))
+
+    @property
+    def rate(self) -> float:
+        """The pipeline's end-to-end rate: the minimum edge rate."""
+        return min(e.rate for e in self.edges)
+
+    def parent_of(self, node: int) -> int | None:
+        for e in self.edges:
+            if e.child == node:
+                return e.parent
+        return None
+
+    def children_of(self, node: int) -> list[int]:
+        return [e.child for e in self.edges if e.parent == node]
+
+    def depth(self) -> int:
+        """Number of hops on the longest leaf-to-root path."""
+        parents = {e.child: e.parent for e in self.edges}
+        best = 0
+        for node in parents:
+            d, cur = 0, node
+            while cur in parents:
+                cur = parents[cur]
+                d += 1
+                if d > len(parents):
+                    raise ValueError("cycle in pipeline edges")
+            best = max(best, d)
+        return best
+
+    def validate(self, context: RepairContext) -> None:
+        """Structural checks: tree shape, root, k distinct helpers."""
+        if not self.edges:
+            raise ValueError(f"pipeline {self.task_id} has no edges")
+        children = [e.child for e in self.edges]
+        if len(set(children)) != len(children):
+            raise ValueError(
+                f"pipeline {self.task_id}: node with two parents (not a tree)"
+            )
+        parents = {e.child: e.parent for e in self.edges}
+        if context.requester in parents:
+            raise ValueError(
+                f"pipeline {self.task_id}: requester must be the root"
+            )
+        nodes = set(children) | {e.parent for e in self.edges}
+        if context.requester not in nodes:
+            raise ValueError(
+                f"pipeline {self.task_id}: requester not reached by any edge"
+            )
+        # connectivity: every child must reach the requester
+        for node in children:
+            cur, hops = node, 0
+            while cur != context.requester:
+                if cur not in parents or hops > len(self.edges):
+                    raise ValueError(
+                        f"pipeline {self.task_id}: node {node} does not reach "
+                        "the requester (disconnected or cyclic)"
+                    )
+                cur = parents[cur]
+                hops += 1
+        helper_set = set(context.helpers)
+        uploaders = set(children)
+        if not uploaders <= helper_set:
+            raise ValueError(
+                f"pipeline {self.task_id}: non-helper nodes upload: "
+                f"{sorted(uploaders - helper_set)}"
+            )
+        if len(uploaders) != context.k:
+            raise ValueError(
+                f"pipeline {self.task_id}: needs exactly k={context.k} distinct "
+                f"helpers, got {len(uploaders)}"
+            )
+
+
+@dataclass
+class RepairPlan:
+    """A complete schedule for one single-chunk repair.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the producing algorithm (registry key).
+    context:
+        The repair instance this plan was computed for.
+    pipelines:
+        The pipelines; their segments must tile ``[0, 1)``.
+    calc_seconds:
+        Wall-clock scheduling time measured by the algorithm wrapper
+        (Experiment 2's metric); ``None`` if not measured.
+    meta:
+        Free-form diagnostic payload (e.g. FullRepair's t_max).
+    """
+
+    algorithm: str
+    context: RepairContext
+    pipelines: list[Pipeline]
+    calc_seconds: float | None = None
+    meta: dict = field(default_factory=dict)
+
+    # -------------------------------------------------------------- #
+    # derived quantities                                             #
+    # -------------------------------------------------------------- #
+
+    def flows(self) -> tuple[list[Flow], np.ndarray]:
+        """All plan edges as concurrent flows with their planned rates."""
+        flows: list[Flow] = []
+        rates: list[float] = []
+        for p in self.pipelines:
+            for e in p.edges:
+                flows.append(Flow(src=e.child, dst=e.parent))
+                rates.append(e.rate)
+        return flows, np.array(rates)
+
+    @property
+    def total_rate(self) -> float:
+        """Aggregate repair throughput in Mbps.
+
+        The chunk is finished when its slowest pipeline finishes, so the
+        effective throughput is ``min_j rate_j / fraction_j`` — for a plan
+        whose segments are proportional to rates this equals the sum of
+        pipeline rates (FullRepair's ``t_max``).
+        """
+        worst = np.inf
+        for p in self.pipelines:
+            if p.segment.length <= 0:
+                continue
+            worst = min(worst, p.rate / p.segment.length)
+        return float(worst) if np.isfinite(worst) else 0.0
+
+    def num_pipelines(self) -> int:
+        return sum(1 for p in self.pipelines if p.segment.length > 0)
+
+    # -------------------------------------------------------------- #
+    # validation                                                     #
+    # -------------------------------------------------------------- #
+
+    def validate(self, *, check_rates: bool = True) -> None:
+        """Full feasibility check.
+
+        * every pipeline is a well-formed k-helper tree rooted at the
+          requester;
+        * segments are disjoint and cover ``[0, 1)``;
+        * (optionally) the simultaneous edge rates respect every node's
+          uplink and downlink capacity in the snapshot.
+
+        Raises ``ValueError`` describing the first violation.
+        """
+        if not self.pipelines:
+            raise ValueError("plan has no pipelines")
+        for p in self.pipelines:
+            p.validate(self.context)
+        live = [p for p in self.pipelines if p.segment.length > PLAN_TOL]
+        spans = sorted((p.segment.start, p.segment.stop) for p in live)
+        pos = 0.0
+        for start, stop in spans:
+            if start < pos - PLAN_TOL:
+                raise ValueError(
+                    f"pipeline segments overlap near position {start:.6f}"
+                )
+            if start > pos + PLAN_TOL:
+                raise ValueError(
+                    f"chunk range [{pos:.6f}, {start:.6f}) repaired by no pipeline"
+                )
+            pos = max(pos, stop)
+        if abs(pos - 1.0) > PLAN_TOL:
+            raise ValueError(f"pipeline segments cover [0, {pos:.6f}) != [0, 1)")
+        if check_rates:
+            flows, rates = self.flows()
+            validate_rates(self.context.snapshot, flows, rates)

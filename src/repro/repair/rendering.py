@@ -1,0 +1,88 @@
+"""Human-readable renderings of repair plans.
+
+``render_plan`` prints a plan's pipelines as indented transfer trees with
+rates and chunk segments; ``plan_to_dot`` emits Graphviz source for
+papers/slides.  Both are presentation-only — nothing here affects
+scheduling or execution.
+"""
+
+from __future__ import annotations
+
+from .plan import Pipeline, RepairPlan
+
+
+def _node_name(node: int, requester: int) -> str:
+    return f"R(n{node})" if node == requester else f"n{node}"
+
+
+def _tree_lines(pipeline: Pipeline, requester: int) -> list[str]:
+    children: dict[int, list[int]] = {}
+    for e in pipeline.edges:
+        children.setdefault(e.parent, []).append(e.child)
+    rate_of = {e.child: e.rate for e in pipeline.edges}
+
+    lines: list[str] = []
+
+    def walk(node: int, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("`-- " if is_last else "|-- ")
+        label = _node_name(node, requester)
+        if not is_root:
+            label += f"  ({rate_of[node]:.1f} Mbps up)"
+        lines.append(prefix + connector + label)
+        kids = sorted(children.get(node, ()))
+        for i, kid in enumerate(kids):
+            extension = "" if is_root else ("    " if is_last else "|   ")
+            walk(kid, prefix + extension, i == len(kids) - 1, False)
+
+    walk(requester, "", True, True)
+    return lines
+
+
+def render_plan(plan: RepairPlan) -> str:
+    """Multi-line description of a plan: header plus one tree per pipeline."""
+    requester = plan.context.requester
+    out = [
+        f"plan: {plan.algorithm}  (k={plan.context.k}, "
+        f"{len(plan.context.helpers)} candidate helpers)",
+        f"aggregate repair throughput: {plan.total_rate:.1f} Mbps, "
+        f"{plan.num_pipelines()} pipeline(s)",
+    ]
+    for p in plan.pipelines:
+        if p.segment.length <= 0:
+            continue
+        out.append(
+            f"\npipeline task {p.task_id}: chunk [{p.segment.start:.4f}, "
+            f"{p.segment.stop:.4f}) at {p.rate:.1f} Mbps (depth {p.depth()})"
+        )
+        out.extend("  " + line for line in _tree_lines(p, requester))
+    return "\n".join(out)
+
+
+def plan_to_dot(plan: RepairPlan) -> str:
+    """Graphviz digraph of all pipelines (edges labelled with rates).
+
+    Pipelines are distinguished by colour index (``colorscheme=set19``);
+    identical hops from different pipelines appear as parallel edges.
+    """
+    requester = plan.context.requester
+    lines = [
+        "digraph repair {",
+        "  rankdir=LR;",
+        f'  n{requester} [shape=doublecircle, label="R"];',
+    ]
+    seen_nodes = {requester}
+    for p in plan.pipelines:
+        for e in p.edges:
+            for node in (e.child, e.parent):
+                if node not in seen_nodes:
+                    seen_nodes.add(node)
+                    lines.append(f'  n{node} [shape=circle, label="n{node}"];')
+    for idx, p in enumerate(plan.pipelines):
+        color = (idx % 9) + 1
+        for e in p.edges:
+            lines.append(
+                f'  n{e.child} -> n{e.parent} [label="{e.rate:.0f}", '
+                f'colorscheme=set19, color={color}];'
+            )
+    lines.append("}")
+    return "\n".join(lines)

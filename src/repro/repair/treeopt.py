@@ -1,0 +1,122 @@
+"""Optimal single-pipeline repair tree: the shared oracle for PPT/PivotRepair.
+
+A tree pipeline (PPT '19, PivotRepair '22) streams slice partial sums
+child -> parent towards the requester at a uniform rate ``r``.  A tree over
+helper subset S is feasible at rate ``r`` iff
+
+* every member uploads once:       ``U_v >= r``            for v in S,
+* a node with c children downloads ``c`` streams:
+                                    ``D_v >= c_v * r``,
+* the requester hosts ``c_R >= 1`` children: ``D_R >= c_R * r``,
+* parent slots cover everyone:      ``c_R + sum_S c_v = k``.
+
+For a candidate ``r`` the best strategy is greedy: take the k eligible
+helpers with the largest child capacity ``floor(D_v / r)``; the subset is
+feasible iff total capacity (including the requester's) reaches k.  The
+optimum over ``r`` is found by searching the finite candidate set
+``{U_v} ∪ {D_v / j} ∪ {D_R / j}``, which is exact — this is the
+O(n log n)-flavoured computation PivotRepair uses to sidestep PPT's
+brute-force emulation, and the correctness oracle the PPT enumerator is
+tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.bandwidth import RepairContext
+
+#: Relative tolerance when testing feasibility at a candidate rate.
+RATE_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class TreeSolution:
+    """An optimal repair tree.
+
+    ``parents`` maps each participating helper to its parent (another
+    helper or the requester); ``rate`` is the uniform pipeline rate.
+    """
+
+    rate: float
+    parents: dict[int, int]
+
+    @property
+    def participants(self) -> tuple[int, ...]:
+        return tuple(sorted(self.parents))
+
+
+def _feasible_at(context: RepairContext, rate: float) -> list[int] | None:
+    """Helpers chosen for rate ``rate``, or None if infeasible."""
+    if rate <= 0:
+        return None
+    k = context.k
+    d_r = context.downlink(context.requester)
+    if d_r + RATE_EPS < rate:
+        return None
+    eligible = [
+        h for h in context.helpers if context.uplink(h) + RATE_EPS * rate >= rate
+    ]
+    if len(eligible) < k:
+        return None
+
+    def capacity(node_down: float) -> int:
+        return int((node_down + RATE_EPS * rate) // rate)
+
+    eligible.sort(key=lambda h: (-capacity(context.downlink(h)), h))
+    chosen = eligible[:k]
+    total = capacity(d_r) + sum(capacity(context.downlink(h)) for h in chosen)
+    if total < k:
+        return None
+    return chosen
+
+
+def _build_tree(context: RepairContext, rate: float, chosen: list[int]) -> dict[int, int]:
+    """BFS slot filling: attach members to already-connected nodes."""
+    k = context.k
+
+    def capacity(down: float) -> int:
+        return int((down + RATE_EPS * rate) // rate)
+
+    # attach in descending capacity so interior nodes connect early
+    pending = sorted(chosen, key=lambda h: (-capacity(context.downlink(h)), h))
+    parents: dict[int, int] = {}
+    slots: list[tuple[int, int]] = [
+        (context.requester, capacity(context.downlink(context.requester)))
+    ]
+    frontier = 0
+    for node in pending:
+        while frontier < len(slots) and slots[frontier][1] == 0:
+            frontier += 1
+        if frontier >= len(slots):
+            raise RuntimeError("tree construction ran out of parent slots")
+        parent, room = slots[frontier]
+        parents[node] = parent
+        slots[frontier] = (parent, room - 1)
+        slots.append((node, capacity(context.downlink(node))))
+    return parents
+
+
+def optimal_tree(context: RepairContext) -> TreeSolution:
+    """The maximum-rate single repair tree for this context.
+
+    Raises ``ValueError`` when no tree achieves a positive rate.
+    """
+    k = context.k
+    candidates: set[float] = set()
+    for h in context.helpers:
+        candidates.add(context.uplink(h))
+        for j in range(1, k + 1):
+            candidates.add(context.downlink(h) / j)
+    for j in range(1, k + 1):
+        candidates.add(context.downlink(context.requester) / j)
+    best_rate, best_chosen = 0.0, None
+    for rate in sorted((c for c in candidates if c > 0), reverse=True):
+        chosen = _feasible_at(context, rate)
+        if chosen is not None:
+            best_rate, best_chosen = rate, chosen
+            break
+    if best_chosen is None:
+        raise ValueError("no feasible repair tree (helpers or requester dead)")
+    parents = _build_tree(context, best_rate, best_chosen)
+    return TreeSolution(rate=best_rate, parents=parents)

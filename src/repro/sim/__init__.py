@@ -1,0 +1,18 @@
+"""Execution engines: event queue, exact pipelined transfer, analytic model."""
+
+from .analytic import ideal_transfer_seconds, plan_transfer_seconds
+from .dynamics import DriftResult, simulate_under_drift
+from .events import EventQueue
+from .transfer import TransferParams, TransferResult, execute, repair_seconds
+
+__all__ = [
+    "EventQueue",
+    "DriftResult",
+    "simulate_under_drift",
+    "TransferParams",
+    "TransferResult",
+    "execute",
+    "repair_seconds",
+    "plan_transfer_seconds",
+    "ideal_transfer_seconds",
+]

@@ -1,0 +1,109 @@
+"""Closed-form transfer-time model.
+
+For a pipeline whose edges all run at the same rate ``r`` (true for every
+plan this library emits: RP/PPT/PivotRepair use the bottleneck rate on all
+edges, FullRepair assigns each pipeline a uniform rate), store-and-forward
+slice pipelining over a tree of depth ``d`` with ``S`` uniform slices
+completes at exactly
+
+    T = (S + d - 1) * (slice_bytes / rate + overhead) + d' * compute
+
+(the classic ``(S + stages - 1) x stage-time`` pipeline law), modulo the
+shorter final slice.  This module provides that formula as an independent
+oracle: the test suite requires the exact executor in
+:mod:`repro.sim.transfer` to agree with it on uniform-rate plans, which
+pins down both implementations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..net import units
+from ..repair.plan import Pipeline, RepairPlan
+from .transfer import TransferParams, effective_slice_bytes
+
+
+def pipeline_transfer_seconds(
+    pipeline: Pipeline,
+    requester: int,
+    params: TransferParams,
+    total_rate: float | None = None,
+) -> float:
+    """Closed-form completion time of a uniform-rate pipeline.
+
+    ``total_rate`` is the owning plan's aggregate rate, used for the
+    per-pipeline time-window slice scaling (defaults to the pipeline's
+    own rate — correct for single-pipeline plans).  Raises
+    ``ValueError`` if the pipeline's edges do not share one rate (the
+    formula does not apply then — use the exact executor).
+    """
+    rates = {e.rate for e in pipeline.edges}
+    if len(rates) != 1:
+        raise ValueError("closed form requires a uniform edge rate")
+    rate_mbps = rates.pop()
+    rate = units.mbps_to_bytes_per_s(rate_mbps)
+    seg_bytes = pipeline.segment.length * params.chunk_bytes
+    if seg_bytes <= 0:
+        return 0.0
+    slice_bytes = effective_slice_bytes(
+        pipeline, total_rate if total_rate is not None else rate_mbps, params
+    )
+    slice_bytes = slice_bytes or seg_bytes
+    slice_bytes = min(slice_bytes, seg_bytes)
+    full, rem = divmod(seg_bytes, slice_bytes)
+    full = int(full)
+    depth = pipeline.depth()
+    # number of combining stages on the deepest path, incl. the requester
+    interior = _max_combining_depth(pipeline, requester)
+    stage = slice_bytes / rate + params.slice_overhead_s
+    combine = params.compute_s_per_byte * slice_bytes
+    if rem <= 1e-9:
+        # exact for uniform slices: (S + d - 1) stage times + one GF
+        # combine per combining hop of the last slice's path
+        return (full + depth - 1) * stage + interior * combine
+    if full == 0:
+        # a single short slice crosses depth hops alone
+        last_stage = rem / rate + params.slice_overhead_s
+        return depth * last_stage + interior * params.compute_s_per_byte * rem
+    # short final slice: every hop's link stays busy with the full slices,
+    # so the short slice departs the last hop right after the preceding
+    # full slice — (full + depth - 1) full stages plus one short stage.
+    # Exact for zero compute; the combine term is a close upper bound.
+    last_stage = rem / rate + params.slice_overhead_s
+    return (full + depth - 1) * stage + last_stage + interior * combine
+
+
+def _max_combining_depth(pipeline: Pipeline, requester: int) -> int:
+    """Combining nodes (non-leaves incl. requester) on the deepest path."""
+    children: dict[int, list[int]] = {}
+    for e in pipeline.edges:
+        children.setdefault(e.parent, []).append(e.child)
+
+    def walk(node: int) -> int:
+        kids = children.get(node)
+        if not kids:
+            return 0
+        return 1 + max(walk(c) for c in kids)
+
+    return walk(requester)
+
+
+def plan_transfer_seconds(plan: RepairPlan, params: TransferParams) -> float:
+    """Closed-form makespan across all pipelines of a plan."""
+    total = plan.total_rate
+    return max(
+        pipeline_transfer_seconds(p, plan.context.requester, params, total)
+        for p in plan.pipelines
+    )
+
+
+def ideal_transfer_seconds(chunk_bytes: int, total_rate_mbps: float) -> float:
+    """Lower bound ignoring pipelining start-up and overheads.
+
+    ``chunk / aggregate-throughput`` — FullRepair's t_max target converts to
+    time through this function.
+    """
+    if total_rate_mbps <= 0:
+        raise ValueError("total rate must be positive")
+    return chunk_bytes / units.mbps_to_bytes_per_s(total_rate_mbps)

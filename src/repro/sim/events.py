@@ -1,0 +1,89 @@
+"""Deterministic discrete-event simulation core.
+
+A minimal heap-based scheduler used by the cluster prototype
+(:mod:`repro.cluster`) for control-plane message passing and task
+execution.  Events at equal timestamps are ordered by insertion sequence,
+which makes every simulation run bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """A deterministic event queue with cancellation support."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> _Entry:
+        """Schedule ``action`` to run ``delay`` seconds from now.
+
+        Returns a handle accepted by :meth:`cancel`.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        entry = _Entry(self._now + delay, next(self._seq), action)
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> _Entry:
+        """Schedule ``action`` at an absolute simulation time."""
+        return self.schedule(time - self._now, action)
+
+    def cancel(self, entry: _Entry) -> None:
+        """Cancel a scheduled event (lazy removal)."""
+        entry.cancelled = True
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when the queue is empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            entry.action()
+            return True
+        return False
+
+    def run(self, *, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Drain the queue; returns the final simulation time.
+
+        Parameters
+        ----------
+        until:
+            Stop once simulation time would pass this value (events beyond
+            it stay queued).
+        max_events:
+            Safety valve against runaway simulations.
+        """
+        executed = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self._now = until
+                break
+            if not self.step():
+                break
+            executed += 1
+            if executed > max_events:
+                raise RuntimeError(f"exceeded {max_events} events; runaway simulation?")
+        return self._now

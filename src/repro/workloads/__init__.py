@@ -1,0 +1,63 @@
+"""Synthetic workload bandwidth traces (TPC-DS / TPC-H / SWIM substitutes)."""
+
+from .base import (
+    DEFAULT_CAPACITY_MBPS,
+    DEFAULT_NUM_NODES,
+    DEFAULT_NUM_SNAPSHOTS,
+    Trace,
+    TraceGenerator,
+    WorkloadProfile,
+)
+from .cv import (
+    DEFAULT_BUCKETS,
+    bucket_index,
+    bucket_label,
+    bucketize_trace,
+    coefficient_of_variation,
+    trace_cv,
+)
+from .io import TraceStats, load_trace, save_trace, trace_stats
+from .swim import SWIMTrace
+from .tpcds import TPCDSTrace
+from .tpch import TPCHTrace
+
+WORKLOADS: dict[str, type[TraceGenerator]] = {
+    cls.name: cls for cls in (TPCDSTrace, TPCHTrace, SWIMTrace)
+}
+
+
+def make_trace(name: str, *, num_nodes: int = DEFAULT_NUM_NODES,
+               capacity_mbps: float = DEFAULT_CAPACITY_MBPS,
+               num_snapshots: int = DEFAULT_NUM_SNAPSHOTS, seed: int = 0) -> Trace:
+    """Generate a named workload trace in one call."""
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(WORKLOADS)}") from None
+    gen = cls(num_nodes=num_nodes, capacity_mbps=capacity_mbps, seed=seed)
+    return gen.generate(num_snapshots)
+
+
+__all__ = [
+    "DEFAULT_CAPACITY_MBPS",
+    "DEFAULT_NUM_NODES",
+    "DEFAULT_NUM_SNAPSHOTS",
+    "DEFAULT_BUCKETS",
+    "Trace",
+    "TraceGenerator",
+    "WorkloadProfile",
+    "TPCDSTrace",
+    "TPCHTrace",
+    "SWIMTrace",
+    "WORKLOADS",
+    "make_trace",
+    "bucket_index",
+    "bucket_label",
+    "bucketize_trace",
+    "coefficient_of_variation",
+    "trace_cv",
+    "TraceStats",
+    "load_trace",
+    "save_trace",
+    "trace_stats",
+]

@@ -1,0 +1,68 @@
+"""Coefficient-of-variation utilities (the paper's C_v bucketing).
+
+Table I groups bandwidth snapshots by the coefficient of variation of the
+per-node bandwidth — the ratio of standard deviation to mean — as the
+measure of network unevenness.  This module provides the bucketing used by
+the Table-I reproduction and trace diagnostics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Trace
+
+#: The paper's bucket edges: [0, 0.1), [0.1, 0.2), ..., [0.4, 0.5).
+DEFAULT_BUCKETS: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+def coefficient_of_variation(values) -> float:
+    """std / mean of a 1-D collection (0 for a zero mean)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("need a non-empty 1-D array")
+    mean = float(arr.mean())
+    if mean == 0.0:
+        return 0.0
+    return float(arr.std() / mean)
+
+
+def trace_cv(trace: Trace) -> np.ndarray:
+    """Per-instant C_v of the mean per-node bandwidth of a trace."""
+    values = (trace.uplink + trace.downlink) / 2.0
+    mean = values.mean(axis=1)
+    std = values.std(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cv = np.where(mean > 0, std / mean, 0.0)
+    return cv
+
+
+def bucket_index(cv: float, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> int | None:
+    """Index of the bucket containing ``cv``; None if above the last edge.
+
+    ``buckets`` are left edges plus the final right edge, so ``len - 1``
+    buckets exist.
+    """
+    if cv < buckets[0]:
+        return None
+    for i in range(len(buckets) - 1):
+        if buckets[i] <= cv < buckets[i + 1]:
+            return i
+    return None
+
+
+def bucket_label(i: int, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> str:
+    """Human-readable bucket name, e.g. ``0.1<=Cv<0.2``."""
+    return f"{buckets[i]:.1f}<=Cv<{buckets[i + 1]:.1f}"
+
+
+def bucketize_trace(
+    trace: Trace, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+) -> dict[int, np.ndarray]:
+    """Map bucket index -> instants of the trace falling in the bucket."""
+    cv = trace_cv(trace)
+    out: dict[int, np.ndarray] = {}
+    for i in range(len(buckets) - 1):
+        mask = (cv >= buckets[i]) & (cv < buckets[i + 1])
+        out[i] = np.nonzero(mask)[0]
+    return out

@@ -1,0 +1,92 @@
+"""Trace persistence and summary statistics.
+
+Traces are stored as compressed ``.npz`` archives with the uplink and
+downlink matrices plus metadata, so experiment inputs can be frozen,
+shared, and replayed byte-identically across machines.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Trace
+from .cv import trace_cv
+
+#: Format marker stored in every archive.
+FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path) -> pathlib.Path:
+    """Write a trace to ``path`` (``.npz`` appended if missing)."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    np.savez_compressed(
+        path,
+        uplink=trace.uplink,
+        downlink=trace.downlink,
+        capacity_mbps=np.array([trace.capacity_mbps]),
+        workload=np.array([trace.workload]),
+        format_version=np.array([FORMAT_VERSION]),
+    )
+    return path
+
+
+def load_trace(path) -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises ``ValueError`` on a missing/foreign archive layout.
+    """
+    with np.load(pathlib.Path(path), allow_pickle=False) as archive:
+        try:
+            version = int(archive["format_version"][0])
+            uplink = archive["uplink"]
+            downlink = archive["downlink"]
+            capacity = float(archive["capacity_mbps"][0])
+            workload = str(archive["workload"][0])
+        except KeyError as exc:
+            raise ValueError(f"not a repro trace archive: missing {exc}") from None
+    if version > FORMAT_VERSION:
+        raise ValueError(f"trace format v{version} is newer than supported")
+    return Trace(
+        workload=workload,
+        capacity_mbps=capacity,
+        uplink=uplink,
+        downlink=downlink,
+    )
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a trace (for reports and sanity checks)."""
+
+    workload: str
+    num_snapshots: int
+    num_nodes: int
+    mean_available_mbps: float
+    p05_available_mbps: float
+    p95_available_mbps: float
+    cv_mean: float
+    cv_p95: float
+    congested_fraction: float
+
+
+def trace_stats(trace: Trace, *, congestion_threshold: float = 0.4) -> TraceStats:
+    """Compute :class:`TraceStats` for a trace."""
+    both = np.concatenate([trace.uplink.ravel(), trace.downlink.ravel()])
+    cv = trace_cv(trace)
+    congested = trace.congested_instants(threshold_fraction=congestion_threshold)
+    return TraceStats(
+        workload=trace.workload,
+        num_snapshots=len(trace),
+        num_nodes=trace.num_nodes,
+        mean_available_mbps=float(both.mean()),
+        p05_available_mbps=float(np.quantile(both, 0.05)),
+        p95_available_mbps=float(np.quantile(both, 0.95)),
+        cv_mean=float(cv.mean()),
+        cv_p95=float(np.quantile(cv, 0.95)),
+        congested_fraction=float(len(congested) / len(trace)),
+    )

@@ -1,0 +1,29 @@
+"""SWIM-like foreground workload (Facebook MapReduce trace replay).
+
+SWIM replays a 3000-machine Facebook MapReduce trace: heavy-tailed job
+sizes produce strong skew (shuffle-heavy reducers), abrupt ON/OFF shuffle
+bursts, and highly asymmetric up/down usage (mappers mostly upload,
+reducers mostly download).  The profile encodes high burstiness, strong
+skew, and weak up/down correlation.
+"""
+
+from __future__ import annotations
+
+from .base import TraceGenerator, WorkloadProfile
+
+
+class SWIMTrace(TraceGenerator):
+    """MapReduce shuffle-dominated bandwidth trace."""
+
+    name = "swim"
+    profile = WorkloadProfile(
+        base_load=0.26,
+        ar_coeff=0.85,
+        ar_sigma=0.07,
+        burst_rate=0.055,
+        burst_duration=10.0,
+        burst_load=0.42,
+        skew=0.30,
+        skew_load=0.16,
+        updown_corr=0.20,
+    )

@@ -1,0 +1,30 @@
+"""TPC-DS-like foreground workload.
+
+TPC-DS interleaves many concurrent analytic SQL queries of very different
+sizes, so per-node load is moderately high on average with frequent short
+congestion bursts whenever a heavy query's scan or exchange lands on a
+node, and little static skew (queries touch many tables).  The profile
+below encodes that: medium base load, short frequent bursts, low skew,
+moderate up/down correlation (exchange traffic is bidirectional).
+"""
+
+from __future__ import annotations
+
+from .base import TraceGenerator, WorkloadProfile
+
+
+class TPCDSTrace(TraceGenerator):
+    """Bursty concurrent-analytics bandwidth trace."""
+
+    name = "tpcds"
+    profile = WorkloadProfile(
+        base_load=0.3,
+        ar_coeff=0.90,
+        ar_sigma=0.055,
+        burst_rate=0.04,
+        burst_duration=6.0,
+        burst_load=0.34,
+        skew=0.12,
+        skew_load=0.1,
+        updown_corr=0.55,
+    )

@@ -1,0 +1,30 @@
+"""TPC-H-like foreground workload.
+
+TPC-H's decision-support queries are dominated by long sequential scans
+and large joins: a smaller number of long-running operators pin specific
+nodes at high utilisation for extended periods.  The profile encodes
+smooth, highly persistent load with long (if rarer) congestion episodes
+and noticeable static skew on the nodes holding the big lineitem/orders
+partitions.
+"""
+
+from __future__ import annotations
+
+from .base import TraceGenerator, WorkloadProfile
+
+
+class TPCHTrace(TraceGenerator):
+    """Long-scan decision-support bandwidth trace."""
+
+    name = "tpch"
+    profile = WorkloadProfile(
+        base_load=0.34,
+        ar_coeff=0.965,
+        ar_sigma=0.045,
+        burst_rate=0.018,
+        burst_duration=18.0,
+        burst_load=0.3,
+        skew=0.25,
+        skew_load=0.14,
+        updown_corr=0.45,
+    )

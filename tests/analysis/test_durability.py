@@ -1,0 +1,71 @@
+"""Durability Monte-Carlo."""
+
+import pytest
+
+from repro.analysis import (
+    compare_durability,
+    render_durability,
+    simulate_durability,
+)
+
+FAST = dict(
+    num_nodes=12,
+    n=6,
+    k=4,
+    num_stripes=24,
+    mttf_hours=24.0 * 20,
+    horizon_hours=24.0 * 120,
+    trials=60,
+    seed=5,
+)
+
+
+class TestSimulate:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_durability(repair_seconds=0.0, **FAST)
+        bad = dict(FAST, trials=0)
+        with pytest.raises(ValueError):
+            simulate_durability(repair_seconds=10.0, **bad)
+
+    def test_deterministic(self):
+        a = simulate_durability(repair_seconds=3600.0, **FAST)
+        b = simulate_durability(repair_seconds=3600.0, **FAST)
+        assert a == b
+
+    def test_paired_failure_streams(self):
+        """Different repair speeds face identical failure histories up to
+        down-time absorption, so failure counts are close and exposure
+        moves with repair time."""
+        fast = simulate_durability(repair_seconds=1800.0, **FAST)
+        slow = simulate_durability(repair_seconds=24 * 3600.0, **FAST)
+        assert fast.mean_exposed_stripe_hours < slow.mean_exposed_stripe_hours
+        assert fast.loss_probability <= slow.loss_probability
+
+    def test_instant_repair_never_loses(self):
+        res = simulate_durability(repair_seconds=1.0, **FAST)
+        assert res.loss_probability == 0.0
+        assert res.mean_exposed_stripe_hours < 1.0
+
+    def test_never_repairing_loses_often(self):
+        res = simulate_durability(repair_seconds=1e9, **FAST)
+        assert res.loss_probability > 0.5
+
+    def test_loss_probability_monotone_in_repair_time(self):
+        times = [3600.0 * h for h in (1, 24, 24 * 7, 24 * 30)]
+        probs = [
+            simulate_durability(repair_seconds=t, **FAST).loss_probability
+            for t in times
+        ]
+        assert all(a <= b + 1e-9 for a, b in zip(probs, probs[1:]))
+
+
+class TestCompareAndRender:
+    def test_compare_keys(self):
+        res = compare_durability({"a": 3600.0, "b": 7200.0}, **FAST)
+        assert set(res) == {"a", "b"}
+
+    def test_render(self):
+        res = compare_durability({"a": 3600.0, "b": 7200.0}, **FAST)
+        text = render_durability(res)
+        assert "P(loss)" in text and "a" in text and "b" in text

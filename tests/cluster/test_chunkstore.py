@@ -1,0 +1,68 @@
+"""Per-node chunk storage."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ChunkStore
+
+
+@pytest.fixture
+def store():
+    s = ChunkStore()
+    s.put("s1", 0, np.arange(32, dtype=np.uint8))
+    s.put("s1", 3, np.full(16, 7, dtype=np.uint8))
+    s.put("s2", 0, np.zeros(8, dtype=np.uint8))
+    return s
+
+
+class TestChunkStore:
+    def test_roundtrip(self, store):
+        assert np.array_equal(store.get("s1", 0), np.arange(32, dtype=np.uint8))
+
+    def test_put_copies(self, store):
+        payload = np.zeros(4, dtype=np.uint8)
+        store.put("s3", 1, payload)
+        payload[0] = 99
+        assert store.get("s3", 1)[0] == 0
+
+    def test_get_copies(self, store):
+        a = store.get("s1", 0)
+        a[0] = 99
+        assert store.get("s1", 0)[0] == 0
+
+    def test_get_range(self, store):
+        assert np.array_equal(
+            store.get_range("s1", 0, 4, 8), np.array([4, 5, 6, 7], dtype=np.uint8)
+        )
+
+    def test_get_range_bounds_checked(self, store):
+        with pytest.raises(ValueError):
+            store.get_range("s1", 0, 0, 100)
+        with pytest.raises(ValueError):
+            store.get_range("s1", 0, -1, 4)
+
+    def test_missing_raises(self, store):
+        with pytest.raises(KeyError):
+            store.get("s1", 1)
+
+    def test_has(self, store):
+        assert store.has("s1", 3)
+        assert not store.has("s1", 4)
+
+    def test_delete(self, store):
+        store.delete("s1", 3)
+        assert not store.has("s1", 3)
+        with pytest.raises(KeyError):
+            store.delete("s1", 3)
+
+    def test_stripe_chunks(self, store):
+        assert store.stripe_chunks("s1") == [0, 3]
+        assert store.stripe_chunks("nope") == []
+
+    def test_len_and_bytes(self, store):
+        assert len(store) == 3
+        assert store.bytes_stored == 32 + 16 + 8
+
+    def test_rejects_2d_payload(self, store):
+        with pytest.raises(ValueError):
+            store.put("s4", 0, np.zeros((2, 2), dtype=np.uint8))

@@ -1,0 +1,139 @@
+"""DataNode slice execution unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import DataNode, TransferTask
+from repro.ec import gf256
+from repro.sim import EventQueue
+
+
+def make_node(node_id=1, slice_bytes=256, **kw):
+    events = EventQueue()
+    node = DataNode(node_id, events, slice_bytes=slice_bytes, **kw)
+    delivered = []
+    node.deliver = lambda dest, msg: delivered.append((dest, msg))
+    return node, events, delivered
+
+
+def leaf_task(chunk_index=0, coeff=3, start=0, stop=1024, dest=9, rate=100.0,
+              num_slices=None):
+    return TransferTask(
+        stripe_id="s", pipeline_id=7, chunk_index=chunk_index, coeff=coeff,
+        start=start, stop=stop, destination=dest, rate_mbps=rate,
+        num_slices=num_slices,
+    )
+
+
+class TestLeafSending:
+    def test_sends_scaled_slices_in_order(self):
+        node, events, delivered = make_node()
+        chunk = np.arange(1024, dtype=np.uint8)
+        node.store.put("s", 0, chunk)
+        node.assign(leaf_task())
+        events.run()
+        assert len(delivered) == 4  # 1024 / 256
+        starts = [msg.start for _, msg in delivered]
+        assert starts == [0, 256, 512, 768]
+        for _, msg in delivered:
+            expected = gf256.mul_chunk(3, chunk[msg.start:msg.stop])
+            assert np.array_equal(msg.payload, expected)
+
+    def test_window_count_override(self):
+        node, events, delivered = make_node()
+        node.store.put("s", 0, np.zeros(1000, dtype=np.uint8))
+        node.assign(leaf_task(stop=1000, num_slices=3))
+        events.run()
+        assert len(delivered) == 3
+        sizes = [msg.stop - msg.start for _, msg in delivered]
+        assert sorted(sizes) == [333, 333, 334]
+        assert sum(sizes) == 1000
+
+    def test_fifo_serialisation_times(self):
+        node, events, delivered = make_node(slice_overhead_s=0.0)
+        node.store.put("s", 0, np.zeros(1024, dtype=np.uint8))
+        node.assign(leaf_task(rate=8.0))  # 1 byte/us
+        arrivals = []
+        node.deliver = lambda dest, msg: arrivals.append(events.now)
+        events.run()
+        # 256 bytes at 1e6 B/s = 256 us per slice, strictly serialised
+        assert arrivals == pytest.approx([256e-6 * i for i in (1, 2, 3, 4)])
+
+    def test_empty_segment_ignored(self):
+        node, events, delivered = make_node()
+        node.assign(leaf_task(start=100, stop=100))
+        events.run()
+        assert delivered == []
+        assert node.pending_tasks() == 0
+
+
+class TestHubCombining:
+    def _hub_setup(self):
+        node, events, delivered = make_node(node_id=2)
+        chunk = np.full(512, 7, dtype=np.uint8)
+        node.store.put("s", 1, chunk)
+        task = TransferTask(
+            stripe_id="s", pipeline_id=7, chunk_index=1, coeff=5,
+            start=0, stop=512, destination=9, rate_mbps=100.0,
+            wait_for=(4,), num_slices=2,
+        )
+        node.assign(task)
+        return node, events, delivered, chunk
+
+    def test_waits_for_upstream(self):
+        node, events, delivered, _ = self._hub_setup()
+        events.run()
+        assert delivered == []  # nothing sendable before slices arrive
+
+    def test_combines_and_forwards(self):
+        from repro.cluster import SliceData
+
+        node, events, delivered, chunk = self._hub_setup()
+        incoming = np.arange(256, dtype=np.uint8)
+        node.receive(SliceData("s", 7, source=4, start=0, stop=256,
+                               payload=incoming))
+        events.run()
+        assert len(delivered) == 1
+        dest, msg = delivered[0]
+        assert dest == 9
+        expected = np.bitwise_xor(gf256.mul_chunk(5, chunk[:256]), incoming)
+        assert np.array_equal(msg.payload, expected)
+
+    def test_duplicate_slice_rejected(self):
+        from repro.cluster import SliceData
+
+        node, events, delivered, _ = self._hub_setup()
+        payload = np.zeros(256, dtype=np.uint8)
+        node.receive(SliceData("s", 7, source=4, start=0, stop=256, payload=payload))
+        with pytest.raises(RuntimeError, match="duplicate"):
+            node.receive(SliceData("s", 7, source=4, start=0, stop=256, payload=payload))
+
+    def test_misaligned_slice_rejected(self):
+        from repro.cluster import SliceData
+
+        node, events, delivered, _ = self._hub_setup()
+        with pytest.raises(RuntimeError, match="misaligned"):
+            node.receive(
+                SliceData("s", 7, source=4, start=13, stop=256,
+                          payload=np.zeros(243, dtype=np.uint8))
+            )
+
+    def test_wrong_size_payload_rejected(self):
+        from repro.cluster import SliceData
+
+        node, events, delivered, _ = self._hub_setup()
+        with pytest.raises(RuntimeError, match="size"):
+            node.receive(
+                SliceData("s", 7, source=4, start=0, stop=256,
+                          payload=np.zeros(17, dtype=np.uint8))
+            )
+
+    def test_unknown_task_rejected(self):
+        from repro.cluster import SliceData
+
+        node, events, delivered = make_node()
+        with pytest.raises(RuntimeError, match="unknown task"):
+            node.receive(
+                SliceData("s", 99, source=4, start=0, stop=16,
+                          payload=np.zeros(16, dtype=np.uint8))
+            )

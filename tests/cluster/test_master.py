@@ -1,0 +1,134 @@
+"""Master: stripe metadata, bandwidth registry, context building."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Master, StripeLocation
+from repro.cluster.messages import BandwidthReport
+from repro.core import FullRepair
+from repro.ec import RSCode
+
+
+@pytest.fixture
+def master():
+    m = Master(RSCode(5, 3), FullRepair(), num_nodes=8)
+    m.register_stripe(StripeLocation("s1", (0, 1, 2, 3, 4)))
+    for i in range(8):
+        m.on_bandwidth_report(
+            BandwidthReport(node=i, uplink_mbps=100.0 + i, downlink_mbps=200.0 + i)
+        )
+    return m
+
+
+class TestStripeLocation:
+    def test_lookup(self):
+        loc = StripeLocation("s", (5, 3, 7))
+        assert loc.node_of(1) == 3
+        assert loc.chunk_on(7) == 2
+
+    def test_chunk_on_missing(self):
+        with pytest.raises(KeyError):
+            StripeLocation("s", (5, 3, 7)).chunk_on(9)
+
+
+class TestMaster:
+    def test_register_validates_length(self, master):
+        with pytest.raises(ValueError):
+            master.register_stripe(StripeLocation("bad", (0, 1, 2)))
+
+    def test_register_validates_distinct(self, master):
+        with pytest.raises(ValueError):
+            master.register_stripe(StripeLocation("bad", (0, 1, 2, 3, 3)))
+
+    def test_bandwidth_snapshot(self, master):
+        snap = master.snapshot()
+        assert snap.uplink[3] == 103.0
+        assert snap.downlink[5] == 205.0
+
+    def test_build_context(self, master):
+        ctx = master.build_context("s1", failed_node=2, requester=6)
+        assert ctx.requester == 6
+        assert set(ctx.helpers) == {0, 1, 3, 4}
+        assert ctx.k == 3
+        assert ctx.chunk_index[3] == 3
+
+    def test_build_context_requires_failed_in_stripe(self, master):
+        with pytest.raises(ValueError):
+            master.build_context("s1", failed_node=7, requester=6)
+
+    def test_build_context_requester_outside_stripe(self, master):
+        with pytest.raises(ValueError):
+            master.build_context("s1", failed_node=2, requester=0)
+
+    def test_schedule_repair_returns_valid_plan(self, master):
+        plan = master.schedule_repair("s1", failed_node=2, requester=6)
+        plan.validate()
+        assert plan.calc_seconds is not None
+
+    def test_compile_tasks_cover_chunk(self, master):
+        plan = master.schedule_repair("s1", failed_node=2, requester=6)
+        tasks = master.compile_tasks(plan, "s1", lost_chunk=2, chunk_bytes=1 << 20)
+        # per pipeline, k tasks (hub pipelines) or k (star) exist, and the
+        # byte ranges of any one pipeline id are identical across tasks
+        by_pipe = {}
+        for t in tasks:
+            by_pipe.setdefault(t.pipeline_id, []).append(t)
+        for pid, group in by_pipe.items():
+            assert len(group) == plan.context.k
+            assert len({(t.start, t.stop) for t in group}) == 1
+        # the union of pipeline ranges covers the chunk
+        spans = sorted({(g[0].start, g[0].stop) for g in by_pipe.values()})
+        assert spans[0][0] == 0
+        assert spans[-1][1] == 1 << 20
+
+    def test_compile_tasks_coefficients_repair(self, master):
+        """The per-pipeline coefficients actually rebuild the lost chunk."""
+        from repro.ec import gf256
+
+        code = master.code
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, (3, 1024), dtype=np.uint8)
+        stripe = code.encode(data)
+        plan = master.schedule_repair("s1", failed_node=2, requester=6)
+        tasks = master.compile_tasks(plan, "s1", lost_chunk=2, chunk_bytes=1024)
+        rebuilt = np.zeros(1024, dtype=np.uint8)
+        for t in tasks:
+            contrib = gf256.mul_chunk(t.coeff, stripe[t.chunk_index][t.start:t.stop])
+            rebuilt[t.start:t.stop] ^= contrib
+        assert np.array_equal(rebuilt, stripe[2])
+
+
+class TestRelocation:
+    def test_relocate_updates_lookup(self, master):
+        master.relocate_chunk("s1", 2, 7)
+        assert master.stripe("s1").node_of(2) == 7
+        assert master.stripe("s1").chunk_on(7) == 2
+        assert "s1" in master.stripes_with_node(7)
+
+    def test_relocate_rejects_conflicting_node(self, master):
+        with pytest.raises(ValueError):
+            master.relocate_chunk("s1", 2, 0)  # node 0 holds chunk 0
+
+    def test_relocate_to_same_node_is_noop(self, master):
+        master.relocate_chunk("s1", 2, 2)
+        assert master.stripe("s1").node_of(2) == 2
+
+    def test_repair_relocates_metadata(self, master):
+        """After repair(store=True) reads route to the replacement."""
+        import numpy as np
+
+        from repro.cluster import ClusterSystem
+        from repro.ec import RSCode
+        from repro.workloads import make_trace
+
+        sys_ = ClusterSystem(8, RSCode(5, 3), slice_bytes=2048)
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, (3, 8192), dtype=np.uint8)
+        sys_.write_stripe("x", data, placement=(0, 1, 2, 3, 4))
+        sys_.set_bandwidth(
+            make_trace("tpcds", num_nodes=8, num_snapshots=10, seed=1).snapshot(5)
+        )
+        sys_.fail_node(1)
+        sys_.repair("x", failed_node=1, requester=6)
+        assert sys_.master.stripe("x").node_of(1) == 6
+        assert np.array_equal(sys_.read_chunk("x", 1), data[1])

@@ -1,0 +1,105 @@
+"""Stripe-placement policies."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.placement import (
+    LoadBalancedPlacement,
+    RandomSpreadPlacement,
+    RoundRobinPlacement,
+    make_policy,
+)
+
+
+class TestCommon:
+    @pytest.mark.parametrize("name", ["round_robin", "random_spread", "load_balanced"])
+    def test_distinct_nodes(self, name):
+        policy = make_policy(name, num_nodes=12, n=9)
+        for i in range(20):
+            placement = policy.place(i)
+            assert len(placement) == 9
+            assert len(set(placement)) == 9
+            assert all(0 <= node < 12 for node in placement)
+
+    @pytest.mark.parametrize("name", ["round_robin", "random_spread", "load_balanced"])
+    def test_exclusion_respected(self, name):
+        policy = make_policy(name, num_nodes=12, n=9, exclude=(3, 7))
+        for i in range(10):
+            assert not {3, 7} & set(policy.place(i))
+
+    def test_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            RoundRobinPlacement(num_nodes=8, n=9)
+        with pytest.raises(ValueError):
+            RoundRobinPlacement(num_nodes=10, n=9, exclude=(0, 1))
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError):
+            make_policy("best_fit", 12, 9)
+
+    def test_place_many(self):
+        policy = make_policy("round_robin", 12, 9)
+        assert policy.place_many(5) == [policy.place(i) for i in range(5)]
+
+
+class TestRoundRobin:
+    def test_rotation(self):
+        policy = RoundRobinPlacement(num_nodes=6, n=3)
+        assert policy.place(0) == (0, 1, 2)
+        assert policy.place(1) == (3, 4, 5)
+        assert policy.place(2) == (0, 1, 2)
+
+    def test_even_long_run_distribution(self):
+        policy = RoundRobinPlacement(num_nodes=10, n=5)
+        counts = np.zeros(10, dtype=int)
+        for i in range(100):
+            for node in policy.place(i):
+                counts[node] += 1
+        assert counts.max() - counts.min() <= 1
+
+
+class TestRandomSpread:
+    def test_seeded_determinism(self):
+        a = RandomSpreadPlacement(12, 9, seed=5)
+        b = RandomSpreadPlacement(12, 9, seed=5)
+        assert a.place_many(10) == b.place_many(10)
+
+    def test_seeds_differ(self):
+        a = RandomSpreadPlacement(12, 9, seed=5)
+        b = RandomSpreadPlacement(12, 9, seed=6)
+        assert a.place_many(10) != b.place_many(10)
+
+    def test_roughly_uniform(self):
+        policy = RandomSpreadPlacement(16, 8, seed=0)
+        counts = np.zeros(16, dtype=int)
+        for i in range(400):
+            for node in policy.place(i):
+                counts[node] += 1
+        # each node expects 200 chunks; allow generous sampling noise
+        assert counts.min() > 150 and counts.max() < 250
+
+
+class TestLoadBalanced:
+    def test_minimises_spread(self):
+        policy = LoadBalancedPlacement(num_nodes=11, n=4)
+        for i in range(50):
+            policy.place(i)
+        counts = policy.chunk_counts()
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_counts_track_placements(self):
+        policy = LoadBalancedPlacement(num_nodes=8, n=4)
+        policy.place(0)
+        assert sum(policy.chunk_counts().values()) == 4
+
+    def test_beats_random_on_spread(self):
+        lb = LoadBalancedPlacement(16, 9)
+        rnd = RandomSpreadPlacement(16, 9, seed=1)
+        lb_counts = np.zeros(16, dtype=int)
+        rnd_counts = np.zeros(16, dtype=int)
+        for i in range(60):
+            for node in lb.place(i):
+                lb_counts[node] += 1
+            for node in rnd.place(i):
+                rnd_counts[node] += 1
+        assert lb_counts.std() <= rnd_counts.std()

@@ -1,0 +1,78 @@
+"""The four-constraint checker (Eqs. 2-5) and the LP oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core import constraints, max_pipelined_throughput
+from repro.core.optimality import ideal_bound, lp_max_throughput
+from repro.core.throughput import ThroughputResult
+from repro.net import BandwidthSnapshot, RepairContext
+
+
+@pytest.fixture
+def ctx():
+    snap = BandwidthSnapshot.uniform(5, 100.0)
+    return RepairContext(snapshot=snap, requester=0, helpers=(1, 2, 3, 4), k=3)
+
+
+def result(t, up, down, picked=()):
+    return ThroughputResult(t_max=t, uplink=up, downlink=down, picked=picked)
+
+
+class TestCheck:
+    def test_valid_result_passes(self, ctx):
+        res = max_pipelined_throughput(ctx)
+        assert constraints.check(ctx, res).all_ok
+
+    def test_uplink_violation_detected(self, ctx):
+        # t > sum(U)/k
+        res = result(200.0, {h: 100.0 for h in (1, 2, 3, 4)}, {h: 100.0 for h in (1, 2, 3, 4)})
+        rep = constraints.check(ctx, res)
+        assert not rep.uplink_ok
+
+    def test_storage_violation_detected(self, ctx):
+        # some uplink above t
+        res = result(50.0, {1: 80.0, 2: 10.0, 3: 10.0, 4: 10.0}, {h: 10.0 for h in (1, 2, 3, 4)})
+        rep = constraints.check(ctx, res)
+        assert not rep.storage_ok
+
+    def test_repairing_violation_detected(self, ctx):
+        res = result(
+            30.0,
+            {h: 30.0 for h in (1, 2, 3, 4)},
+            {1: 100.0, 2: 10.0, 3: 10.0, 4: 10.0},  # 100 > (k-1)*30
+        )
+        rep = constraints.check(ctx, res)
+        assert not rep.repairing_ok
+
+    def test_downlink_violation_detected(self):
+        snap = BandwidthSnapshot(
+            uplink=np.full(5, 100.0),
+            downlink=np.array([5.0, 5.0, 5.0, 5.0, 5.0]),
+        )
+        ctx = RepairContext(snapshot=snap, requester=0, helpers=(1, 2, 3, 4), k=3)
+        res = result(90.0, {h: 90.0 for h in (1, 2, 3, 4)}, {h: 5.0 for h in (1, 2, 3, 4)})
+        rep = constraints.check(ctx, res)
+        assert not rep.downlink_ok
+
+    def test_assert_holds_names_failures(self, ctx):
+        res = result(200.0, {h: 100.0 for h in (1, 2, 3, 4)}, {h: 100.0 for h in (1, 2, 3, 4)})
+        with pytest.raises(AssertionError, match="uplink"):
+            constraints.assert_holds(ctx, res)
+
+
+class TestLPOracle:
+    def test_fig2(self, fig2_context):
+        assert lp_max_throughput(fig2_context) == pytest.approx(900.0, rel=1e-6)
+
+    def test_uniform(self):
+        snap = BandwidthSnapshot.uniform(6, 100.0)
+        ctx = RepairContext(snapshot=snap, requester=0, helpers=(1, 2, 3, 4, 5), k=4)
+        assert lp_max_throughput(ctx) == pytest.approx(min(5 * 100 / 4, 100.0))
+
+    def test_ideal_bound_dominates_lp(self, fig2_context):
+        assert lp_max_throughput(fig2_context) <= ideal_bound(fig2_context) + 1e-6
+
+    def test_ideal_bound_formula(self, fig2_context):
+        # Fig 2: sum U = 2760, /3 = 920; sum D = 2900, /3 = 966.7; D0 = 1000
+        assert ideal_bound(fig2_context) == pytest.approx(920.0)

@@ -1,0 +1,100 @@
+"""Full-node repair batch planner."""
+
+import numpy as np
+import pytest
+
+from repro.core import StripeRepairSpec, plan_full_node_repair
+from repro.net import BandwidthSnapshot, units
+from repro.workloads import make_trace
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return make_trace("tpcds", num_nodes=16, num_snapshots=100, seed=9).snapshot(50)
+
+
+def make_specs(num, *, seed=0, chunk=units.mib(16), n=9):
+    rng = np.random.default_rng(seed)
+    specs = []
+    for i in range(num):
+        nodes = rng.permutation(16)
+        specs.append(
+            StripeRepairSpec(
+                stripe_id=f"s{i}",
+                requester=int(nodes[0]),
+                helpers=tuple(int(x) for x in nodes[1:n]),
+                chunk_bytes=chunk,
+            )
+        )
+    return specs
+
+
+class TestSpec:
+    def test_chunk_bytes_positive(self):
+        with pytest.raises(ValueError):
+            StripeRepairSpec("s", 0, (1, 2, 3), 0)
+
+
+class TestPlanner:
+    def test_sequential_one_per_batch(self, snapshot):
+        plan = plan_full_node_repair(
+            make_specs(5), snapshot, k=6, strategy="sequential"
+        )
+        assert [len(b) for b in plan.batches] == [1] * 5
+        plan.validate()
+
+    def test_batched_never_slower_than_sequential(self, snapshot):
+        specs = make_specs(8, seed=3)
+        seq = plan_full_node_repair(specs, snapshot, k=6, strategy="sequential")
+        bat = plan_full_node_repair(specs, snapshot, k=6, strategy="batched")
+        assert bat.makespan_seconds <= seq.makespan_seconds * 1.001
+        assert len(bat.batches) <= len(seq.batches)
+
+    def test_all_stripes_planned_once(self, snapshot):
+        specs = make_specs(7, seed=4)
+        plan = plan_full_node_repair(specs, snapshot, k=6)
+        planned = [sid for batch in plan.batches for sid in batch]
+        assert sorted(planned) == sorted(s.stripe_id for s in specs)
+        assert set(plan.plans) == set(planned)
+
+    def test_batches_simultaneously_feasible(self, snapshot):
+        plan = plan_full_node_repair(make_specs(8, seed=5), snapshot, k=6)
+        plan.validate()  # aggregate flows within capacities
+
+    def test_starvation_threshold_limits_batch(self, snapshot):
+        loose = plan_full_node_repair(
+            make_specs(8, seed=6), snapshot, k=6, min_rate_fraction=0.05
+        )
+        strict = plan_full_node_repair(
+            make_specs(8, seed=6), snapshot, k=6, min_rate_fraction=0.9
+        )
+        assert max(len(b) for b in loose.batches) >= max(
+            len(b) for b in strict.batches
+        )
+
+    def test_unknown_strategy(self, snapshot):
+        with pytest.raises(ValueError):
+            plan_full_node_repair(make_specs(2), snapshot, k=6, strategy="chaos")
+
+    def test_empty_specs(self, snapshot):
+        with pytest.raises(ValueError):
+            plan_full_node_repair([], snapshot, k=6)
+
+    def test_single_pipeline_algorithms_batch_too(self, snapshot):
+        plan = plan_full_node_repair(
+            make_specs(5, seed=7), snapshot, k=6, algorithm="pivotrepair"
+        )
+        plan.validate()
+        assert plan.makespan_seconds > 0
+
+    def test_batching_beats_single_pipeline_batching(self, snapshot):
+        """FullRepair packs the shared bandwidth better across stripes."""
+        specs = make_specs(6, seed=8)
+        fr = plan_full_node_repair(specs, snapshot, k=6, algorithm="fullrepair")
+        pv = plan_full_node_repair(specs, snapshot, k=6, algorithm="pivotrepair")
+        assert fr.makespan_seconds <= pv.makespan_seconds * 1.05
+
+    def test_dead_cluster_raises(self):
+        snap = BandwidthSnapshot(uplink=np.zeros(16), downlink=np.zeros(16))
+        with pytest.raises((RuntimeError, ValueError)):
+            plan_full_node_repair(make_specs(2), snap, k=6)

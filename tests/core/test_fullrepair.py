@@ -1,0 +1,167 @@
+"""FullRepair end-to-end: plan validity, optimality, dominance."""
+
+import numpy as np
+import pytest
+
+from repro.core import FullRepair
+from repro.core.optimality import lp_max_throughput
+from repro.net import BandwidthSnapshot, RepairContext, units
+from repro.repair import (
+    ConventionalRepair,
+    PivotRepair,
+    RepairPipelining,
+    compute_plan,
+    get_algorithm,
+)
+from repro.sim import TransferParams, execute
+from tests.conftest import random_context
+
+
+class TestFig2:
+    def test_reaches_900_mbps(self, fig2_context):
+        plan = FullRepair().schedule(fig2_context)
+        plan.validate()
+        assert plan.total_rate == pytest.approx(900.0, rel=1e-6)
+
+    def test_beats_all_baselines(self, fig2_context):
+        fr = FullRepair().schedule(fig2_context).total_rate
+        assert fr > RepairPipelining().schedule(fig2_context).total_rate
+        assert fr > PivotRepair().schedule(fig2_context).total_rate
+        assert fr > ConventionalRepair().schedule(fig2_context).total_rate
+
+    def test_transfer_time_ratio_vs_single_pipeline(self, fig2_context):
+        """900 vs 500 Mbps shows up as exactly 1.8x without overheads."""
+        pure = TransferParams(
+            chunk_bytes=units.mib(64), slice_overhead_s=0.0, compute_s_per_byte=0.0
+        )
+        t_fr = execute(FullRepair().schedule(fig2_context), pure).transfer_seconds
+        t_pivot = execute(PivotRepair().schedule(fig2_context), pure).transfer_seconds
+        assert t_pivot / t_fr == pytest.approx(900 / 500, rel=0.01)
+        # with realistic per-slice overheads the gap compresses but stays big
+        real = TransferParams(chunk_bytes=units.mib(64))
+        t_fr = execute(FullRepair().schedule(fig2_context), real).transfer_seconds
+        t_pivot = execute(PivotRepair().schedule(fig2_context), real).transfer_seconds
+        assert 1.4 < t_pivot / t_fr < 1.8
+
+    def test_meta_payload(self, fig2_context):
+        plan = FullRepair().schedule(fig2_context)
+        assert plan.meta["t_max"] == pytest.approx(900.0)
+        assert plan.meta["num_tasks"] == 4
+        assert plan.meta["requester_task_rate"] == 0.0
+
+    def test_registry_name(self, fig2_context):
+        plan = compute_plan("fullrepair", fig2_context)
+        assert plan.algorithm == "fullrepair"
+        assert plan.calc_seconds is not None and plan.calc_seconds > 0
+
+
+class TestDominance:
+    def test_plan_rate_equals_lp_optimum(self):
+        """The emitted plan realises the LP-optimal throughput, not just
+        the Algorithm-1 number."""
+        rng = np.random.default_rng(31)
+        fr = FullRepair()
+        for _ in range(40):
+            ctx = random_context(rng, min_nodes=5, max_nodes=10, max_k=6)
+            try:
+                plan = fr.schedule(ctx)
+            except ValueError:
+                continue
+            plan.validate()
+            assert plan.total_rate == pytest.approx(
+                lp_max_throughput(ctx), rel=1e-4
+            )
+
+    def test_never_loses_to_single_pipeline_schemes(self):
+        rng = np.random.default_rng(32)
+        fr = FullRepair()
+        compared = 0
+        for _ in range(80):
+            ctx = random_context(rng)
+            try:
+                fr_rate = fr.schedule(ctx).total_rate
+            except ValueError:
+                continue
+            for algo in (RepairPipelining(), PivotRepair()):
+                try:
+                    base = algo.schedule(ctx).total_rate
+                except ValueError:
+                    continue
+                assert fr_rate >= base - 1e-6
+                compared += 1
+        assert compared > 50
+
+    def test_all_plans_validate(self):
+        rng = np.random.default_rng(33)
+        fr = FullRepair()
+        checked = 0
+        for _ in range(150):
+            ctx = random_context(rng)
+            try:
+                plan = fr.schedule(ctx)
+            except ValueError:
+                continue
+            plan.validate()
+            checked += 1
+        assert checked > 100
+
+    def test_uses_more_than_k_helpers_when_beneficial(self, fig2_context):
+        """The defining feature: all n-1 nodes participate (here 4 > k=3)."""
+        plan = FullRepair().schedule(fig2_context)
+        uploaders = {e.child for p in plan.pipelines for e in p.edges}
+        assert uploaders == {1, 2, 3, 4}
+
+    def test_uniform_network_gain_over_single_pipeline(self):
+        """Even networks: t_max = (n-1)*b/k > b (Conclusion 1)."""
+        snap = BandwidthSnapshot.uniform(10, 300.0)
+        ctx = RepairContext(
+            snapshot=snap, requester=0, helpers=tuple(range(1, 10)), k=4
+        )
+        plan = FullRepair().schedule(ctx)
+        assert plan.total_rate == pytest.approx(min(9 * 300 / 4, 300.0))
+        # capped by requester downlink here: 300 vs single-pipeline 300
+        # -> raise R's downlink and the gain appears
+        snap2 = BandwidthSnapshot(
+            uplink=np.full(10, 300.0),
+            downlink=np.concatenate([[1000.0], np.full(9, 300.0)]),
+        )
+        ctx2 = RepairContext(
+            snapshot=snap2, requester=0, helpers=tuple(range(1, 10)), k=4
+        )
+        plan2 = FullRepair().schedule(ctx2)
+        single = PivotRepair().schedule(ctx2).total_rate
+        assert plan2.total_rate > 2 * single
+
+    def test_check_constraints_flag(self, fig2_context):
+        plan = FullRepair(check_constraints=False).schedule(fig2_context)
+        plan.validate()
+
+
+class TestEdgeCases:
+    def test_exactly_k_helpers(self):
+        snap = BandwidthSnapshot.uniform(5, 200.0)
+        ctx = RepairContext(snapshot=snap, requester=0, helpers=(1, 2, 3), k=3)
+        plan = FullRepair().schedule(ctx)
+        plan.validate()
+        assert plan.total_rate > 0
+
+    def test_one_congested_helper(self):
+        snap = BandwidthSnapshot(
+            uplink=np.array([500.0, 500, 500, 5.0, 500]),
+            downlink=np.full(5, 500.0),
+        )
+        ctx = RepairContext(snapshot=snap, requester=0, helpers=(1, 2, 3, 4), k=3)
+        plan = FullRepair().schedule(ctx)
+        plan.validate()
+        # the congested node still contributes its trickle
+        assert plan.total_rate > PivotRepair().schedule(ctx).total_rate - 1e-9
+
+    def test_dead_cluster_raises(self):
+        snap = BandwidthSnapshot(uplink=np.zeros(5), downlink=np.zeros(5))
+        ctx = RepairContext(snapshot=snap, requester=0, helpers=(1, 2, 3, 4), k=3)
+        with pytest.raises(ValueError):
+            FullRepair().schedule(ctx)
+
+    def test_get_algorithm_kwargs(self):
+        algo = get_algorithm("fullrepair", check_constraints=False)
+        assert algo.check_constraints is False

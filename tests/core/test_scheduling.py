@@ -1,0 +1,182 @@
+"""Algorithm 2: Table III fidelity + feasibility invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core import max_pipelined_throughput, schedule_tasks
+from repro.core.scheduling import Task
+from repro.net import BandwidthSnapshot, RepairContext
+from tests.conftest import random_context
+
+
+@pytest.fixture
+def fig2_schedule(fig2_context):
+    throughput = max_pipelined_throughput(fig2_context)
+    return schedule_tasks(fig2_context, throughput)
+
+
+class TestWorkedExample:
+    """Paper §IV-B design example / Fig. 3 / Table III.
+
+    Node ids: 1=N2, 2=N3, 3=N4, 4=N5, 0=R."""
+
+    def test_task_numbering_and_speeds(self, fig2_schedule):
+        got = [(t.task_id, t.hub, round(t.speed, 6)) for t in fig2_schedule.tasks]
+        assert got == [(1, 4, 100.0), (2, 1, 150.0), (3, 3, 150.0), (4, 2, 500.0)]
+
+    def test_no_requester_task(self, fig2_schedule):
+        assert fig2_schedule.requester_task is None
+
+    def test_greedy_needs_no_flow_fallback(self, fig2_schedule):
+        assert not fig2_schedule.flow_completion_used
+
+    def test_sender_amounts_match_table3(self, fig2_schedule):
+        amounts = {t.task_id: t.amounts for t in fig2_schedule.tasks}
+        assert amounts[1] == {1: 100.0, 2: 100.0}          # Task1: N2, N3
+        assert amounts[2] == {3: 150.0, 2: 150.0}          # Task2: N4, N3
+        assert amounts[3] == {1: 150.0, 2: 150.0}          # Task3: N2, N3
+        assert amounts[4] == {4: 500.0, 1: 200.0, 3: 300.0}  # Task4: N5, N2, N4
+
+    def test_task4_split_into_4a_4b(self, fig2_schedule):
+        """Task4 splits at 600: [400,600) senders N2+N5, [600,900) N4+N5."""
+        segs = [
+            (p.segment.start * 900, p.segment.stop * 900, set(p.participants))
+            for p in fig2_schedule.pipelines
+            if p.task_id == 4
+        ]
+        assert len(segs) == 2
+        (a_lo, a_hi, a_part), (b_lo, b_hi, b_part) = segs
+        assert (round(a_lo), round(a_hi)) == (400, 600)
+        assert (round(b_lo), round(b_hi)) == (600, 900)
+        assert a_part == {1, 4, 2}  # N2, N5 send; N3 is hub
+        assert b_part == {3, 4, 2}  # N4, N5 send; N3 is hub
+
+    def test_five_elementary_pipelines(self, fig2_schedule):
+        assert len(fig2_schedule.pipelines) == 5
+
+    def test_segment_boundaries(self, fig2_schedule):
+        cuts = sorted(
+            {round(p.segment.start * 900) for p in fig2_schedule.pipelines}
+            | {round(p.segment.stop * 900) for p in fig2_schedule.pipelines}
+        )
+        assert cuts == [0, 100, 250, 400, 600, 900]
+
+
+class TestTaskBookkeeping:
+    def test_demand_and_filled(self):
+        t = Task(task_id=1, hub=5, speed=100.0, slots=2)
+        assert t.demand == 200.0
+        assert t.filled == 0.0
+        assert t.add(1, 60.0) == 60.0
+        assert t.filled == 60.0
+
+    def test_per_node_cap_is_speed(self):
+        t = Task(task_id=1, hub=5, speed=100.0, slots=3)
+        assert t.add(1, 250.0) == 100.0  # capped at slot width
+        assert t.room(1) == 0.0
+
+    def test_hub_cannot_send(self):
+        t = Task(task_id=1, hub=5, speed=100.0, slots=2)
+        assert t.room(5) == 0.0
+        assert t.add(5, 50.0) == 0.0
+
+    def test_demand_cap(self):
+        t = Task(task_id=1, hub=5, speed=100.0, slots=1)
+        t.add(1, 80.0)
+        assert t.add(2, 80.0) == pytest.approx(20.0)  # demand 100 total
+
+    def test_remain_counts_open_slots_and_own(self):
+        t = Task(task_id=1, hub=5, speed=100.0, slots=2)
+        assert t.remain == 3  # 2 slots + own
+        t.own_assigned = True
+        assert t.remain == 2
+        t.add(1, 100.0)
+        assert t.remain == 1
+        t.add(2, 50.0)
+        assert t.remain == 1  # partial slot still pending
+        t.add(3, 50.0)
+        assert t.remain == 0
+
+
+class TestScheduleInvariants:
+    def _check(self, ctx):
+        throughput = max_pipelined_throughput(ctx)
+        result = schedule_tasks(ctx, throughput)
+        # (1) total own-task speed equals t_max
+        total = sum(t.speed for t in result.tasks)
+        assert total == pytest.approx(throughput.t_max, rel=1e-6)
+        # (2) every task fully covered
+        for t in result.tasks:
+            assert t.filled == pytest.approx(t.demand, rel=1e-4, abs=1e-3)
+            for node, amount in t.amounts.items():
+                assert node != t.hub
+                assert amount <= t.speed * (1 + 1e-6)
+        # (3) per-helper uplink respected (own upload + contributions)
+        used = {h: 0.0 for h in ctx.helpers}
+        for t in result.tasks:
+            if t.hub in used:
+                used[t.hub] += t.speed
+            for node, amount in t.amounts.items():
+                used[node] += amount
+        for h in ctx.helpers:
+            assert used[h] <= ctx.uplink(h) * (1 + 1e-6) + 1e-5
+        # (4) hub downlinks respected
+        for t in result.tasks:
+            if t.hub in used:  # helper hub
+                assert (ctx.k - 1) * t.speed <= ctx.downlink(t.hub) + 1e-6
+        # (5) pipelines tile [0, 1) with k distinct participants each
+        return result
+
+    def test_random_instances(self):
+        rng = np.random.default_rng(21)
+        checked = 0
+        for _ in range(300):
+            ctx = random_context(rng)
+            try:
+                result = self._check(ctx)
+            except ValueError as e:
+                if "no positive repair throughput" in str(e):
+                    continue
+                raise
+            checked += 1
+            segs = sorted(
+                (p.segment.start, p.segment.stop) for p in result.pipelines
+            )
+            assert segs[0][0] == 0.0
+            assert segs[-1][1] == 1.0
+            for (_, a_stop), (b_start, _) in zip(segs, segs[1:]):
+                assert b_start == pytest.approx(a_stop, abs=1e-9)
+        assert checked > 200
+
+    def test_requester_task_created_when_hubs_saturate(self):
+        """Thin helper downlinks push leftover throughput onto R."""
+        snap = BandwidthSnapshot(
+            uplink=np.array([1000.0, 500, 500, 500, 500]),
+            downlink=np.array([1000.0, 60, 60, 60, 60]),
+        )
+        ctx = RepairContext(snapshot=snap, requester=0, helpers=(1, 2, 3, 4), k=3)
+        throughput = max_pipelined_throughput(ctx)
+        result = schedule_tasks(ctx, throughput)
+        assert result.requester_task is not None
+        assert result.requester_task.slots == 3  # k senders, no own part
+        # requester downlink honours hub results + k * s_R
+        helper_hub_rate = sum(
+            t.speed for t in result.tasks if t.hub != ctx.requester
+        )
+        need = helper_hub_rate + ctx.k * result.requester_task.speed
+        assert need <= ctx.downlink(0) + 1e-6
+
+    def test_requester_task_pipelines_are_stars(self):
+        snap = BandwidthSnapshot(
+            uplink=np.array([1000.0, 500, 500, 500, 500]),
+            downlink=np.array([1000.0, 60, 60, 60, 60]),
+        )
+        ctx = RepairContext(snapshot=snap, requester=0, helpers=(1, 2, 3, 4), k=3)
+        result = schedule_tasks(ctx, max_pipelined_throughput(ctx))
+        r_id = result.requester_task.task_id
+        star = [p for p in result.pipelines if p.task_id == r_id]
+        assert star
+        for p in star:
+            assert p.depth() == 1
+            assert all(e.parent == ctx.requester for e in p.edges)
+            assert len(p.edges) == ctx.k

@@ -1,0 +1,222 @@
+"""Algorithm 1: worked example, constraints, optimality, invariances."""
+
+import numpy as np
+import pytest
+
+from repro.core import constraints, max_pipelined_throughput
+from repro.core.optimality import ideal_bound, lp_max_throughput
+from repro.core.throughput import water_filling_uplink
+from repro.net import BandwidthSnapshot, RepairContext
+from tests.conftest import random_context
+
+
+class TestWorkedExample:
+    """Paper §IV-A design example / Table II."""
+
+    def test_t_max_is_900(self, fig2_context):
+        assert max_pipelined_throughput(fig2_context).t_max == pytest.approx(900.0)
+
+    def test_n3_is_picked(self, fig2_context):
+        # N3 (id 2, uplink 960 > 920) violates the storage constraint
+        assert max_pipelined_throughput(fig2_context).picked == (2,)
+
+    def test_adjusted_uplinks_match_table2(self, fig2_context):
+        res = max_pipelined_throughput(fig2_context)
+        assert res.uplink == {1: 600.0, 2: 900.0, 3: 600.0, 4: 600.0}
+
+    def test_downlinks_unchanged_in_example(self, fig2_context):
+        res = max_pipelined_throughput(fig2_context)
+        assert res.downlink == {1: 300.0, 2: 1000.0, 3: 300.0, 4: 300.0}
+
+    def test_all_four_constraints_hold(self, fig2_context):
+        res = max_pipelined_throughput(fig2_context)
+        report = constraints.check(fig2_context, res)
+        assert report.all_ok
+
+
+class TestClosedForms:
+    def test_uniform_network(self):
+        """Homogeneous b: t_max = min(m*b/k, D_0) with no picking."""
+        snap = BandwidthSnapshot.uniform(8, 400.0)
+        ctx = RepairContext(snapshot=snap, requester=0, helpers=tuple(range(1, 8)), k=4)
+        res = max_pipelined_throughput(ctx)
+        assert res.t_max == pytest.approx(min(7 * 400 / 4, 400.0))
+        assert res.picked == ()
+
+    def test_requester_downlink_caps(self):
+        snap = BandwidthSnapshot(
+            uplink=np.full(6, 1000.0),
+            downlink=np.concatenate([[150.0], np.full(5, 1000.0)]),
+        )
+        ctx = RepairContext(snapshot=snap, requester=0, helpers=tuple(range(1, 6)), k=3)
+        assert max_pipelined_throughput(ctx).t_max == pytest.approx(150.0)
+
+    def test_k_equals_one_sums_uplinks(self):
+        """k=1 (replication-like): every helper streams a distinct range."""
+        snap = BandwidthSnapshot(
+            uplink=np.array([0.0, 100.0, 200.0, 50.0]),
+            downlink=np.full(4, 1000.0),
+        )
+        ctx = RepairContext(snapshot=snap, requester=0, helpers=(1, 2, 3), k=1)
+        assert max_pipelined_throughput(ctx).t_max == pytest.approx(350.0)
+
+    def test_single_dominant_uplink_capped(self):
+        """Storage constraint: one huge node cannot exceed t_max alone."""
+        snap = BandwidthSnapshot(
+            uplink=np.array([1e4, 1000.0, 10.0, 10.0, 10.0]),
+            downlink=np.full(5, 1e4),
+        )
+        ctx = RepairContext(snapshot=snap, requester=0, helpers=(1, 2, 3, 4), k=3)
+        res = max_pipelined_throughput(ctx)
+        # picked nodes capped at c; c = (sum of small) / (k - picked)
+        assert 1 in res.picked
+        assert res.t_max == pytest.approx((10 + 10 + 10) / 2)
+
+    def test_repairing_constraint_limits_downlink(self):
+        """A fat downlink on a thin-uplink node is trimmed by Eq. (5)."""
+        snap = BandwidthSnapshot(
+            uplink=np.array([1000.0, 10.0, 10.0, 10.0]),
+            downlink=np.array([1000.0, 1000.0, 1000.0, 1000.0]),
+        )
+        ctx = RepairContext(snapshot=snap, requester=0, helpers=(1, 2, 3), k=3)
+        res = max_pipelined_throughput(ctx)
+        for h in (1, 2, 3):
+            assert res.downlink[h] <= (ctx.k - 1) * res.uplink[h] + 1e-9
+
+    def test_zero_uplinks_raise(self):
+        snap = BandwidthSnapshot(uplink=np.zeros(5), downlink=np.full(5, 100.0))
+        ctx = RepairContext(snapshot=snap, requester=0, helpers=(1, 2, 3, 4), k=3)
+        with pytest.raises(ValueError):
+            max_pipelined_throughput(ctx)
+
+
+class TestProperties:
+    def test_uplink_phase_matches_water_filling_oracle(self):
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            ctx = random_context(rng, congestion=0.0)
+            res = max_pipelined_throughput(ctx)
+            # before downlink limiting, t <= water-filled uplink bound
+            assert res.t_max <= water_filling_uplink(ctx) + 1e-9
+
+    def test_equals_lp_optimum(self):
+        """Algorithm 1 == the LP over the multi-pipeline polytope."""
+        rng = np.random.default_rng(6)
+        for _ in range(60):
+            ctx = random_context(rng, min_nodes=5, max_nodes=11, max_k=7)
+            t_alg = max_pipelined_throughput(ctx).t_max
+            t_lp = lp_max_throughput(ctx)
+            assert t_alg == pytest.approx(t_lp, rel=1e-6, abs=1e-6)
+
+    def test_never_exceeds_ideal_bound(self):
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            ctx = random_context(rng)
+            try:
+                res = max_pipelined_throughput(ctx)
+            except ValueError:
+                continue
+            assert res.t_max <= ideal_bound(ctx) + 1e-9
+
+    def test_constraints_hold_on_random_inputs(self):
+        rng = np.random.default_rng(8)
+        for _ in range(200):
+            ctx = random_context(rng)
+            try:
+                res = max_pipelined_throughput(ctx)
+            except ValueError:
+                continue
+            constraints.assert_holds(ctx, res)
+
+    def test_monotone_in_bandwidth(self):
+        """More bandwidth can never reduce t_max."""
+        rng = np.random.default_rng(9)
+        for _ in range(50):
+            ctx = random_context(rng, congestion=0.2)
+            try:
+                base = max_pipelined_throughput(ctx).t_max
+            except ValueError:
+                continue
+            boosted = RepairContext(
+                snapshot=BandwidthSnapshot(
+                    uplink=ctx.snapshot.uplink * 1.5,
+                    downlink=ctx.snapshot.downlink * 1.5,
+                ),
+                requester=ctx.requester,
+                helpers=ctx.helpers,
+                k=ctx.k,
+            )
+            assert max_pipelined_throughput(boosted).t_max >= base - 1e-9
+
+    def test_scale_invariance(self):
+        """Scaling all bandwidths by a scales t_max by a."""
+        rng = np.random.default_rng(10)
+        for _ in range(50):
+            ctx = random_context(rng)
+            try:
+                base = max_pipelined_throughput(ctx).t_max
+            except ValueError:
+                continue
+            scaled_ctx = RepairContext(
+                snapshot=BandwidthSnapshot(
+                    uplink=ctx.snapshot.uplink * 3.0,
+                    downlink=ctx.snapshot.downlink * 3.0,
+                ),
+                requester=ctx.requester,
+                helpers=ctx.helpers,
+                k=ctx.k,
+            )
+            assert max_pipelined_throughput(scaled_ctx).t_max == pytest.approx(
+                3.0 * base, rel=1e-9
+            )
+
+    def test_extra_helpers_never_hurt(self):
+        """FullRepair's thesis: the n-1-k extra nodes only add throughput."""
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            ctx = random_context(rng, min_nodes=8, max_nodes=14, max_k=5)
+            if ctx.num_helpers <= ctx.k:
+                continue
+            try:
+                full = max_pipelined_throughput(ctx).t_max
+            except ValueError:
+                continue
+            reduced = RepairContext(
+                snapshot=ctx.snapshot,
+                requester=ctx.requester,
+                helpers=ctx.helpers[: ctx.k],
+                k=ctx.k,
+            )
+            try:
+                sub = max_pipelined_throughput(reduced).t_max
+            except ValueError:
+                continue
+            assert full >= sub - 1e-9
+
+
+class TestDownlinkFixpoint:
+    def test_matches_alternating_loop(self):
+        """Bisection fixpoint == the converged alternation on random data."""
+        from repro.core.throughput import _downlink_fixpoint
+
+        rng = np.random.default_rng(13)
+        for _ in range(100):
+            ctx = random_context(rng, congestion=0.2)
+            try:
+                res = max_pipelined_throughput(ctx)
+            except ValueError:
+                continue
+            orig_up = {h: ctx.uplink(h) for h in ctx.helpers}
+            orig_down = {h: ctx.downlink(h) for h in ctx.helpers}
+            c_up = water_filling_uplink(ctx)
+            exact = _downlink_fixpoint(
+                c_up, ctx.downlink(ctx.requester), orig_up, orig_down, ctx.k
+            )
+            assert exact == pytest.approx(res.t_max, rel=1e-6, abs=1e-6)
+
+    def test_feasible_start_returned_unchanged(self):
+        from repro.core.throughput import _downlink_fixpoint
+
+        # trivially feasible: huge downlinks
+        c = _downlink_fixpoint(100.0, 1e6, {1: 100.0}, {1: 1e6}, 2)
+        assert c == pytest.approx(100.0)

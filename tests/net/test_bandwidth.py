@@ -1,0 +1,93 @@
+"""Bandwidth snapshots and repair contexts."""
+
+import numpy as np
+import pytest
+
+from repro.net import BandwidthSnapshot, RepairContext
+
+
+class TestSnapshot:
+    def test_basic_properties(self, fig2_snapshot):
+        assert fig2_snapshot.num_nodes == 5
+        assert len(fig2_snapshot) == 5
+        assert fig2_snapshot.uplink[2] == 960.0
+        assert fig2_snapshot.downlink[2] == 1000.0
+
+    def test_immutable_arrays(self, fig2_snapshot):
+        with pytest.raises(ValueError):
+            fig2_snapshot.uplink[0] = 5.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            BandwidthSnapshot(uplink=np.ones(3), downlink=np.ones(4))
+
+    def test_negative_bandwidth_raises(self):
+        with pytest.raises(ValueError):
+            BandwidthSnapshot(uplink=np.array([-1.0]), downlink=np.array([1.0]))
+
+    def test_symmetric_constructor(self):
+        s = BandwidthSnapshot.symmetric([100.0, 200.0])
+        assert np.array_equal(s.uplink, s.downlink)
+        assert s.uplink[1] == 200.0
+
+    def test_uniform_constructor(self):
+        s = BandwidthSnapshot.uniform(4, 500.0)
+        assert s.num_nodes == 4
+        assert (s.uplink == 500.0).all() and (s.downlink == 500.0).all()
+
+    def test_restrict(self, fig2_snapshot):
+        sub = fig2_snapshot.restrict([2, 4])
+        assert sub.num_nodes == 2
+        assert sub.uplink[0] == 960.0
+        assert sub.uplink[1] == 600.0
+
+    def test_cv_uniform_is_zero(self):
+        assert BandwidthSnapshot.uniform(8, 300.0).cv() == 0.0
+
+    def test_cv_directions(self, fig2_snapshot):
+        up = fig2_snapshot.cv(direction="uplink")
+        down = fig2_snapshot.cv(direction="downlink")
+        mean = fig2_snapshot.cv(direction="mean")
+        assert up > 0 and down > 0 and mean > 0
+        assert down > up  # downlinks are more skewed in Fig. 2
+
+    def test_cv_zero_mean(self):
+        assert BandwidthSnapshot.uniform(4, 0.0).cv() == 0.0
+
+    def test_cv_unknown_direction(self, fig2_snapshot):
+        with pytest.raises(ValueError):
+            fig2_snapshot.cv(direction="sideways")
+
+
+class TestRepairContext:
+    def test_valid(self, fig2_context):
+        assert fig2_context.num_helpers == 4
+        assert fig2_context.k == 3
+        assert fig2_context.uplink(2) == 960.0
+        assert fig2_context.downlink(0) == 1000.0
+
+    def test_requester_among_helpers_raises(self, fig2_snapshot):
+        with pytest.raises(ValueError):
+            RepairContext(snapshot=fig2_snapshot, requester=1, helpers=(1, 2, 3), k=3)
+
+    def test_duplicate_helpers_raise(self, fig2_snapshot):
+        with pytest.raises(ValueError):
+            RepairContext(snapshot=fig2_snapshot, requester=0, helpers=(1, 1, 2), k=2)
+
+    def test_out_of_range_ids_raise(self, fig2_snapshot):
+        with pytest.raises(ValueError):
+            RepairContext(snapshot=fig2_snapshot, requester=9, helpers=(1, 2, 3), k=3)
+
+    def test_too_few_helpers_raise(self, fig2_snapshot):
+        with pytest.raises(ValueError):
+            RepairContext(snapshot=fig2_snapshot, requester=0, helpers=(1, 2), k=3)
+
+    def test_k_must_be_positive(self, fig2_snapshot):
+        with pytest.raises(ValueError):
+            RepairContext(snapshot=fig2_snapshot, requester=0, helpers=(1, 2, 3), k=0)
+
+    def test_helpers_coerced_to_ints(self, fig2_snapshot):
+        ctx = RepairContext(
+            snapshot=fig2_snapshot, requester=0, helpers=(np.int64(1), 2, 3), k=3
+        )
+        assert all(isinstance(h, int) for h in ctx.helpers)

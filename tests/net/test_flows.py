@@ -1,0 +1,145 @@
+"""Max-min fair flow allocation and rate validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import BandwidthSnapshot, Flow, max_min_rates, validate_rates
+
+
+class TestFlowValidation:
+    def test_self_loop_raises(self):
+        with pytest.raises(ValueError):
+            Flow(src=1, dst=1)
+
+    def test_negative_demand_raises(self):
+        with pytest.raises(ValueError):
+            Flow(src=0, dst=1, demand=-5.0)
+
+    def test_bad_weight_raises(self):
+        with pytest.raises(ValueError):
+            Flow(src=0, dst=1, weight=0.0)
+
+
+class TestMaxMin:
+    def test_empty(self):
+        snap = BandwidthSnapshot.uniform(2, 100.0)
+        assert max_min_rates(snap, []).shape == (0,)
+
+    def test_single_flow_bottleneck(self):
+        snap = BandwidthSnapshot(
+            uplink=np.array([40.0, 100.0]), downlink=np.array([100.0, 70.0])
+        )
+        rates = max_min_rates(snap, [Flow(0, 1)])
+        assert rates[0] == pytest.approx(40.0)  # sender uplink binds
+
+    def test_shared_downlink_split_evenly(self):
+        snap = BandwidthSnapshot.uniform(4, 300.0)
+        flows = [Flow(src=i, dst=0) for i in (1, 2, 3)]
+        rates = max_min_rates(snap, flows)
+        assert np.allclose(rates, 100.0)
+
+    def test_demand_cap(self):
+        snap = BandwidthSnapshot.uniform(2, 100.0)
+        rates = max_min_rates(snap, [Flow(0, 1, demand=25.0)])
+        assert rates[0] == pytest.approx(25.0)
+
+    def test_released_capacity_goes_to_others(self):
+        """A demand-capped flow frees headroom for its sharers."""
+        snap = BandwidthSnapshot.uniform(3, 90.0)
+        flows = [Flow(1, 0, demand=10.0), Flow(2, 0)]
+        rates = max_min_rates(snap, flows)
+        assert rates[0] == pytest.approx(10.0)
+        assert rates[1] == pytest.approx(80.0)
+
+    def test_weights_bias_shares(self):
+        snap = BandwidthSnapshot.uniform(3, 90.0)
+        flows = [Flow(1, 0, weight=2.0), Flow(2, 0, weight=1.0)]
+        rates = max_min_rates(snap, flows)
+        assert rates[0] == pytest.approx(60.0)
+        assert rates[1] == pytest.approx(30.0)
+
+    def test_zero_capacity_node(self):
+        snap = BandwidthSnapshot(
+            uplink=np.array([0.0, 100.0]), downlink=np.array([100.0, 100.0])
+        )
+        rates = max_min_rates(snap, [Flow(0, 1)])
+        assert rates[0] == 0.0
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_allocation_always_feasible(self, seed):
+        """Whatever the topology, the result respects every capacity."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 8))
+        snap = BandwidthSnapshot(
+            uplink=rng.uniform(0, 500, n), downlink=rng.uniform(0, 500, n)
+        )
+        flows = []
+        for _ in range(int(rng.integers(1, 10))):
+            a, b = rng.choice(n, 2, replace=False)
+            demand = float(rng.uniform(1, 400)) if rng.random() < 0.5 else None
+            flows.append(Flow(int(a), int(b), demand=demand))
+        rates = max_min_rates(snap, flows)
+        validate_rates(snap, flows, rates)  # must not raise
+        assert (rates >= 0).all()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_allocation_is_maximal(self, seed):
+        """No single flow can be raised without breaking a constraint."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        snap = BandwidthSnapshot(
+            uplink=rng.uniform(10, 500, n), downlink=rng.uniform(10, 500, n)
+        )
+        flows = []
+        for _ in range(int(rng.integers(1, 6))):
+            a, b = rng.choice(n, 2, replace=False)
+            flows.append(Flow(int(a), int(b)))
+        rates = max_min_rates(snap, flows)
+        bump = rates.copy()
+        eps = 1.0
+        for i in range(len(flows)):
+            bump = rates.copy()
+            bump[i] += eps
+            with pytest.raises(ValueError):
+                validate_rates(snap, flows, bump)
+
+
+class TestValidateRates:
+    def test_accepts_feasible(self):
+        snap = BandwidthSnapshot.uniform(2, 100.0)
+        validate_rates(snap, [Flow(0, 1)], [99.9999])
+
+    def test_rejects_uplink_violation(self):
+        snap = BandwidthSnapshot(
+            uplink=np.array([50.0, 100.0]), downlink=np.array([100.0, 100.0])
+        )
+        with pytest.raises(ValueError, match="uplink"):
+            validate_rates(snap, [Flow(0, 1)], [51.0])
+
+    def test_rejects_downlink_violation(self):
+        snap = BandwidthSnapshot(
+            uplink=np.array([100.0, 100.0]), downlink=np.array([100.0, 50.0])
+        )
+        with pytest.raises(ValueError, match="downlink"):
+            validate_rates(snap, [Flow(0, 1)], [51.0])
+
+    def test_rejects_negative_rate(self):
+        snap = BandwidthSnapshot.uniform(2, 100.0)
+        with pytest.raises(ValueError):
+            validate_rates(snap, [Flow(0, 1)], [-1.0])
+
+    def test_rejects_misaligned_rates(self):
+        snap = BandwidthSnapshot.uniform(2, 100.0)
+        with pytest.raises(ValueError):
+            validate_rates(snap, [Flow(0, 1)], [1.0, 2.0])
+
+    def test_aggregates_multiple_flows_per_node(self):
+        snap = BandwidthSnapshot.uniform(3, 100.0)
+        flows = [Flow(0, 1), Flow(0, 2)]
+        validate_rates(snap, flows, [50.0, 50.0])
+        with pytest.raises(ValueError):
+            validate_rates(snap, flows, [60.0, 60.0])

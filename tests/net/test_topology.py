@@ -1,0 +1,142 @@
+"""Rack topology: trunk constraints, scaling, feasibility."""
+
+import numpy as np
+import pytest
+
+from repro.core import FullRepair
+from repro.net import BandwidthSnapshot, Flow, RepairContext
+from repro.net.topology import (
+    RackTopology,
+    rack_scaled_context,
+    validate_rates_with_racks,
+)
+
+
+@pytest.fixture
+def topo():
+    # 8 nodes in 2 racks of 4, 1 Gbps NICs, 2:1 oversubscription
+    return RackTopology.uniform(8, 4, nic_mbps=1000.0, oversubscription=2.0)
+
+
+class TestConstruction:
+    def test_uniform_layout(self, topo):
+        assert topo.num_nodes == 8
+        assert topo.num_racks == 2
+        assert topo.nodes_in(0) == [0, 1, 2, 3]
+        assert topo.trunk_mbps == (2000.0, 2000.0)
+
+    def test_same_rack(self, topo):
+        assert topo.same_rack(0, 3)
+        assert not topo.same_rack(0, 4)
+
+    def test_ragged_last_rack(self):
+        topo = RackTopology.uniform(10, 4)
+        assert topo.num_racks == 3
+        assert topo.nodes_in(2) == [8, 9]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RackTopology(rack_of=(0, 5), trunk_mbps=(100.0,))
+        with pytest.raises(ValueError):
+            RackTopology(rack_of=(0,), trunk_mbps=(0.0,))
+        with pytest.raises(ValueError):
+            RackTopology.uniform(8, 4, oversubscription=0)
+
+
+class TestRackLoads:
+    def test_intra_rack_exempt(self, topo):
+        flows = [Flow(0, 1), Flow(2, 3)]
+        egress, ingress = topo.rack_loads(flows, [500.0, 500.0])
+        assert not egress.any() and not ingress.any()
+
+    def test_cross_rack_counted_both_sides(self, topo):
+        flows = [Flow(0, 4)]
+        egress, ingress = topo.rack_loads(flows, [300.0])
+        assert egress[0] == 300.0 and ingress[1] == 300.0
+        assert egress[1] == 0.0 and ingress[0] == 0.0
+
+    def test_max_feasible_scale(self, topo):
+        flows = [Flow(i, 4) for i in range(4)]  # 4 cross-rack flows
+        rates = [800.0] * 4  # 3200 egress vs 2000 trunk
+        assert topo.max_feasible_scale(flows, rates) == pytest.approx(2000 / 3200)
+
+    def test_feasible_scale_capped_at_one(self, topo):
+        assert topo.max_feasible_scale([Flow(0, 4)], [10.0]) == 1.0
+
+
+class TestValidation:
+    def test_accepts_trunk_feasible(self, topo):
+        snap = BandwidthSnapshot.uniform(8, 1000.0)
+        flows = [Flow(0, 4), Flow(1, 5)]
+        validate_rates_with_racks(snap, topo, flows, [900.0, 900.0])
+
+    def test_rejects_trunk_violation(self, topo):
+        snap = BandwidthSnapshot.uniform(8, 1000.0)
+        flows = [Flow(i, 4 + i) for i in range(4)]
+        with pytest.raises(ValueError, match="trunk"):
+            validate_rates_with_racks(snap, topo, flows, [700.0] * 4)
+
+    def test_node_check_still_applies(self, topo):
+        snap = BandwidthSnapshot.uniform(8, 100.0)
+        with pytest.raises(ValueError, match="uplink"):
+            validate_rates_with_racks(snap, topo, [Flow(0, 4)], [200.0])
+
+    def test_size_mismatch(self, topo):
+        snap = BandwidthSnapshot.uniform(5, 100.0)
+        with pytest.raises(ValueError, match="mismatch"):
+            validate_rates_with_racks(snap, topo, [], [])
+
+
+class TestRackScaledContext:
+    def test_scaled_plans_are_trunk_feasible(self, topo):
+        """The conservative workaround: plans computed on the scaled
+        context always pass the full two-tier validation."""
+        snap = BandwidthSnapshot.uniform(8, 1000.0)
+        ctx = RepairContext(
+            snapshot=snap, requester=0, helpers=tuple(range(1, 8)), k=4
+        )
+        scaled = rack_scaled_context(ctx, topo)
+        plan = FullRepair().schedule(scaled)
+        flows, rates = plan.flows()
+        validate_rates_with_racks(snap, topo, flows, rates)
+
+    def test_oblivious_plans_can_violate_trunks(self):
+        """Without scaling, a rack-oblivious FullRepair plan can exceed a
+        heavily oversubscribed trunk — the gap the workaround closes."""
+        topo = RackTopology.uniform(8, 4, oversubscription=8.0)  # 500 Mbps trunk
+        snap = BandwidthSnapshot.uniform(8, 1000.0)
+        ctx = RepairContext(
+            snapshot=snap, requester=0, helpers=tuple(range(1, 8)), k=4
+        )
+        plan = FullRepair().schedule(ctx)
+        flows, rates = plan.flows()
+        with pytest.raises(ValueError, match="trunk"):
+            validate_rates_with_racks(snap, topo, flows, rates)
+        scale = topo.max_feasible_scale(flows, rates)
+        assert scale < 1.0
+
+    def test_scaling_preserves_roles(self, topo):
+        snap = BandwidthSnapshot.uniform(8, 1000.0)
+        ctx = RepairContext(
+            snapshot=snap, requester=2, helpers=(0, 1, 3, 4, 5), k=3,
+            chunk_index={0: 1, 1: 2, 3: 3, 4: 4, 5: 5},
+        )
+        scaled = rack_scaled_context(ctx, topo)
+        assert scaled.requester == 2
+        assert scaled.helpers == ctx.helpers
+        assert scaled.chunk_index == ctx.chunk_index
+
+    def test_scaled_bandwidth_is_fair_share(self, topo):
+        snap = BandwidthSnapshot.uniform(8, 1000.0)
+        ctx = RepairContext(
+            snapshot=snap, requester=0, helpers=tuple(range(1, 8)), k=4
+        )
+        scaled = rack_scaled_context(ctx, topo)
+        # trunk 2000 over 4 members = 500 each
+        assert (scaled.snapshot.uplink == 500.0).all()
+
+    def test_mismatch_rejected(self, topo):
+        snap = BandwidthSnapshot.uniform(5, 100.0)
+        ctx = RepairContext(snapshot=snap, requester=0, helpers=(1, 2, 3), k=2)
+        with pytest.raises(ValueError):
+            rack_scaled_context(ctx, topo)

@@ -1,0 +1,50 @@
+"""Unit conversions: Mbps <-> bytes/s, transfer times."""
+
+import pytest
+
+from repro.net import units
+
+
+class TestConversions:
+    def test_mbps_to_bytes(self):
+        assert units.mbps_to_bytes_per_s(8.0) == 1_000_000.0
+
+    def test_bytes_to_mbps(self):
+        assert units.bytes_per_s_to_mbps(1_000_000.0) == 8.0
+
+    def test_roundtrip(self):
+        for v in (0.5, 100.0, 937.2):
+            assert units.bytes_per_s_to_mbps(units.mbps_to_bytes_per_s(v)) == pytest.approx(v)
+
+    def test_mib(self):
+        assert units.mib(1) == 1024 * 1024
+        assert units.mib(64) == 64 * 1024 * 1024
+
+    def test_kib(self):
+        assert units.kib(2) == 2048
+
+    def test_fractional_mib(self):
+        assert units.mib(0.5) == 512 * 1024
+
+
+class TestTransferSeconds:
+    def test_basic(self):
+        # 1 MB over 8 Mbps = 1 second
+        assert units.transfer_seconds(1_000_000, 8.0) == pytest.approx(1.0)
+
+    def test_zero_payload_is_instant(self):
+        assert units.transfer_seconds(0, 100.0) == 0.0
+        assert units.transfer_seconds(0, 0.0) == 0.0
+
+    def test_dead_link_raises(self):
+        with pytest.raises(ValueError):
+            units.transfer_seconds(100, 0.0)
+
+    def test_negative_size_raises(self):
+        with pytest.raises(ValueError):
+            units.transfer_seconds(-1, 10.0)
+
+    def test_64mib_at_900mbps(self):
+        """The paper's headline case: ~0.6 s to move a chunk at t_max."""
+        t = units.transfer_seconds(units.mib(64), 900.0)
+        assert 0.55 < t < 0.65

@@ -1,0 +1,215 @@
+"""Conventional, RP, PPT and PivotRepair baselines."""
+
+import numpy as np
+import pytest
+
+from repro.net import BandwidthSnapshot, RepairContext
+from repro.repair import (
+    ConventionalRepair,
+    ParallelPipelineTree,
+    PivotRepair,
+    RepairPipelining,
+    optimal_tree,
+)
+from tests.conftest import random_context
+
+
+def uniform_context(num_nodes=8, bw=500.0, k=4):
+    snap = BandwidthSnapshot.uniform(num_nodes, bw)
+    return RepairContext(
+        snapshot=snap, requester=0, helpers=tuple(range(1, num_nodes)), k=k
+    )
+
+
+class TestConventional:
+    def test_star_structure(self, fig2_context):
+        plan = ConventionalRepair().schedule(fig2_context)
+        plan.validate()
+        assert len(plan.pipelines) == 1
+        pipe = plan.pipelines[0]
+        assert pipe.depth() == 1
+        assert all(e.parent == 0 for e in pipe.edges)
+        assert len(pipe.edges) == 3
+
+    def test_requester_downlink_shared(self, fig2_context):
+        plan = ConventionalRepair().schedule(fig2_context)
+        total_in = sum(e.rate for e in plan.pipelines[0].edges)
+        assert total_in <= fig2_context.downlink(0) + 1e-6
+
+    def test_prefers_high_uplink_helpers(self, fig2_context):
+        plan = ConventionalRepair().schedule(fig2_context)
+        # N3 (id 2, uplink 960) must be among the chosen helpers
+        assert 2 in plan.pipelines[0].participants
+
+    def test_uniform_rate_is_downlink_over_k(self):
+        ctx = uniform_context(bw=400.0, k=4)
+        plan = ConventionalRepair().schedule(ctx)
+        # R downlink 400 shared by 4 flows
+        assert plan.total_rate == pytest.approx(100.0)
+
+    def test_dead_helpers_raise(self):
+        snap = BandwidthSnapshot(
+            uplink=np.array([100.0, 0.0, 0.0, 0.0]),
+            downlink=np.full(4, 100.0),
+        )
+        ctx = RepairContext(snapshot=snap, requester=0, helpers=(1, 2, 3), k=3)
+        with pytest.raises(ValueError):
+            ConventionalRepair().schedule(ctx)
+
+
+class TestRP:
+    def test_fig2_bottleneck_is_300(self, fig2_context):
+        """Paper §II-E: RP's chain is limited to 300 Mbps by N2's downlink."""
+        plan = RepairPipelining().schedule(fig2_context)
+        plan.validate()
+        assert plan.total_rate == pytest.approx(300.0)
+
+    def test_chain_structure(self, fig2_context):
+        plan = RepairPipelining().schedule(fig2_context)
+        pipe = plan.pipelines[0]
+        assert pipe.depth() == 3  # k hops for k=3
+        # every node has at most one child (a path)
+        for node in pipe.participants:
+            assert len(pipe.children_of(node)) <= 1
+
+    def test_uniform_network_rate(self):
+        ctx = uniform_context(bw=400.0, k=4)
+        plan = RepairPipelining().schedule(ctx)
+        assert plan.total_rate == pytest.approx(400.0)
+
+    def test_exhaustive_beats_truncated(self):
+        """Limiting subset enumeration can only hurt (or tie)."""
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            ctx = random_context(rng, min_nodes=8, max_nodes=12, max_k=5)
+            try:
+                full = RepairPipelining().schedule(ctx).total_rate
+                trunc = RepairPipelining(max_subsets=2).schedule(ctx).total_rate
+            except ValueError:
+                continue
+            assert full >= trunc - 1e-9
+
+    def test_chain_head_has_min_downlink(self, fig2_context):
+        """The chain head needs no downlink, so the best head is the
+        selected helper with the smallest one."""
+        plan = RepairPipelining().schedule(fig2_context)
+        pipe = plan.pipelines[0]
+        head = [h for h in pipe.participants if not pipe.children_of(h)]
+        assert len(head) == 1
+        chosen = pipe.participants
+        head_down = fig2_context.downlink(head[0])
+        assert head_down == min(fig2_context.downlink(h) for h in chosen)
+
+    def test_all_dead_raises(self):
+        snap = BandwidthSnapshot(
+            uplink=np.zeros(5), downlink=np.full(5, 100.0)
+        )
+        ctx = RepairContext(snapshot=snap, requester=0, helpers=(1, 2, 3, 4), k=3)
+        with pytest.raises(ValueError):
+            RepairPipelining().schedule(ctx)
+
+
+class TestTreeOpt:
+    def test_fig2_rate_is_500(self, fig2_context):
+        """Paper §II-E: tree pipelines reach 500 Mbps via N3 relaying."""
+        tree = optimal_tree(fig2_context)
+        assert tree.rate == pytest.approx(500.0)
+
+    def test_tree_at_least_chain(self):
+        """A chain is a tree, so the optimal tree never loses to RP."""
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            ctx = random_context(rng, min_nodes=7, max_nodes=12, max_k=6)
+            try:
+                chain_rate = RepairPipelining().schedule(ctx).total_rate
+                tree_rate = optimal_tree(ctx).rate
+            except ValueError:
+                continue
+            assert tree_rate >= chain_rate - 1e-9
+
+    def test_uniform_network(self):
+        ctx = uniform_context(bw=400.0, k=4)
+        assert optimal_tree(ctx).rate == pytest.approx(400.0)
+
+    def test_parents_form_tree_with_k_nodes(self, fig2_context):
+        tree = optimal_tree(fig2_context)
+        assert len(tree.parents) == fig2_context.k
+        # all parents are the requester or other participants
+        for child, parent in tree.parents.items():
+            assert parent == 0 or parent in tree.parents
+
+    def test_requester_dead_raises(self):
+        snap = BandwidthSnapshot(
+            uplink=np.full(5, 100.0),
+            downlink=np.array([0.0, 100, 100, 100, 100]),
+        )
+        ctx = RepairContext(snapshot=snap, requester=0, helpers=(1, 2, 3, 4), k=3)
+        with pytest.raises(ValueError):
+            optimal_tree(ctx)
+
+
+class TestPPT:
+    def test_fig2_matches_treeopt(self, fig2_context):
+        plan = ParallelPipelineTree().schedule(fig2_context)
+        plan.validate()
+        assert plan.total_rate == pytest.approx(500.0)
+
+    def test_small_exhaustive_equals_oracle(self):
+        """With a generous budget, brute force == polynomial optimum."""
+        rng = np.random.default_rng(11)
+        for _ in range(15):
+            ctx = random_context(rng, min_nodes=6, max_nodes=8, max_k=4)
+            try:
+                ppt = ParallelPipelineTree(max_emulations=200_000).schedule(ctx)
+                oracle = optimal_tree(ctx)
+            except ValueError:
+                continue
+            assert ppt.total_rate == pytest.approx(oracle.rate, rel=1e-9)
+
+    def test_budget_truncation_keeps_optimality(self):
+        """Even a tiny budget returns the optimal rate (oracle seeding)."""
+        rng = np.random.default_rng(13)
+        for _ in range(10):
+            ctx = random_context(rng, min_nodes=8, max_nodes=12, max_k=6)
+            try:
+                tiny = ParallelPipelineTree(max_emulations=5).schedule(ctx)
+                oracle = optimal_tree(ctx)
+            except ValueError:
+                continue
+            assert tiny.total_rate == pytest.approx(oracle.rate, rel=1e-9)
+            assert tiny.meta["budget_exhausted"] or tiny.meta["emulated_trees"] <= 5
+
+    def test_emulation_count_grows_with_k(self):
+        small = ParallelPipelineTree(max_emulations=None).schedule(
+            uniform_context(num_nodes=6, k=3)
+        )
+        large = ParallelPipelineTree(max_emulations=None).schedule(
+            uniform_context(num_nodes=8, k=5)
+        )
+        assert large.meta["emulated_trees"] > small.meta["emulated_trees"]
+
+
+class TestPivotRepair:
+    def test_fig2(self, fig2_context):
+        plan = PivotRepair().schedule(fig2_context)
+        plan.validate()
+        assert plan.total_rate == pytest.approx(500.0)
+        # N3 (id 2) is the pivot relaying through its fat downlink
+        assert 2 in plan.meta["pivots"]
+
+    def test_always_matches_ppt_rate(self):
+        """PivotRepair == PPT on throughput (the paper's Fig. 6 pairing)."""
+        rng = np.random.default_rng(17)
+        for _ in range(25):
+            ctx = random_context(rng, min_nodes=7, max_nodes=13, max_k=6)
+            try:
+                pivot = PivotRepair().schedule(ctx).total_rate
+                ppt = ParallelPipelineTree(max_emulations=100).schedule(ctx).total_rate
+            except ValueError:
+                continue
+            assert pivot == pytest.approx(ppt, rel=1e-9)
+
+    def test_plan_is_single_pipeline(self, fig2_context):
+        plan = PivotRepair().schedule(fig2_context)
+        assert plan.num_pipelines() == 1
+        assert len(plan.pipelines[0].participants) == fig2_context.k

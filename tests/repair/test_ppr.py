@@ -1,0 +1,94 @@
+"""PPR baseline: balanced-binary-tree structure and rate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.net import BandwidthSnapshot, RepairContext
+from repro.repair import PartialParallelRepair, PivotRepair
+from repro.repair.ppr import balanced_tree_parents
+from tests.conftest import random_context
+
+
+def uniform_context(num_nodes=12, bw=400.0, k=7):
+    snap = BandwidthSnapshot.uniform(num_nodes, bw)
+    return RepairContext(
+        snapshot=snap, requester=0, helpers=tuple(range(1, num_nodes)), k=k
+    )
+
+
+class TestBalancedTree:
+    def test_heap_layout(self):
+        parents = balanced_tree_parents([10, 11, 12, 13, 14], root=99)
+        assert parents == {10: 99, 11: 10, 12: 10, 13: 11, 14: 11}
+
+    def test_single_node(self):
+        assert balanced_tree_parents([5], root=0) == {5: 0}
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 7, 10, 15])
+    def test_depth_is_logarithmic(self, k):
+        nodes = list(range(1, k + 1))
+        parents = balanced_tree_parents(nodes, root=0)
+        depth = 0
+        for node in nodes:
+            d, cur = 0, node
+            while cur != 0:
+                cur = parents[cur]
+                d += 1
+            depth = max(depth, d)
+        assert depth == math.ceil(math.log2(k + 1))
+
+
+class TestPPR:
+    def test_plan_validates(self, fig2_context):
+        plan = PartialParallelRepair().schedule(fig2_context)
+        plan.validate()
+        assert plan.num_pipelines() == 1
+
+    def test_log_depth_rounds(self):
+        ctx = uniform_context(k=7)
+        plan = PartialParallelRepair().schedule(ctx)
+        assert plan.meta["rounds"] == 3  # ceil(log2(8))
+        assert plan.pipelines[0].depth() == 3
+
+    def test_uniform_rate_is_halved_by_fan_in(self):
+        """With fan-in 2, interior downlinks split across two children."""
+        ctx = uniform_context(bw=400.0, k=7)
+        plan = PartialParallelRepair().schedule(ctx)
+        assert plan.total_rate == pytest.approx(200.0)
+
+    def test_never_beats_optimal_tree(self):
+        """PPR's fixed topology is a tree, so PivotRepair dominates it."""
+        rng = np.random.default_rng(5)
+        compared = 0
+        for _ in range(40):
+            ctx = random_context(rng, min_nodes=7, max_nodes=14, max_k=8)
+            try:
+                ppr = PartialParallelRepair().schedule(ctx).total_rate
+                opt = PivotRepair().schedule(ctx).total_rate
+            except ValueError:
+                continue
+            assert opt >= ppr - 1e-9
+            compared += 1
+        assert compared > 25
+
+    def test_shallow_vs_chain_depth(self, fig2_context):
+        """PPR's depth beats RP's k-hop chain (its design goal)."""
+        from repro.repair import RepairPipelining
+
+        ppr = PartialParallelRepair().schedule(fig2_context)
+        rp = RepairPipelining().schedule(fig2_context)
+        assert ppr.pipelines[0].depth() < rp.pipelines[0].depth()
+
+    def test_dead_links_raise(self):
+        snap = BandwidthSnapshot(uplink=np.zeros(5), downlink=np.full(5, 10.0))
+        ctx = RepairContext(snapshot=snap, requester=0, helpers=(1, 2, 3, 4), k=3)
+        with pytest.raises(ValueError):
+            PartialParallelRepair().schedule(ctx)
+
+    def test_registered(self):
+        from repro.repair import algorithm_names, get_algorithm
+
+        assert "ppr" in algorithm_names()
+        assert isinstance(get_algorithm("ppr"), PartialParallelRepair)

@@ -1,0 +1,45 @@
+"""Plan rendering (text trees + Graphviz)."""
+
+from repro.core import FullRepair
+from repro.repair import RepairPipelining, compute_plan, plan_to_dot, render_plan
+
+
+class TestRenderPlan:
+    def test_header_and_throughput(self, fig2_context):
+        text = render_plan(FullRepair().schedule(fig2_context))
+        assert "fullrepair" in text
+        assert "900.0 Mbps" in text
+        assert "pipeline task" in text
+
+    def test_chain_renders_as_path(self, fig2_context):
+        text = render_plan(RepairPipelining().schedule(fig2_context))
+        # one `--/|-- connector per hop
+        assert text.count("Mbps up") == fig2_context.k
+
+    def test_requester_marked(self, fig2_context):
+        text = render_plan(compute_plan("pivotrepair", fig2_context))
+        assert "R(n0)" in text
+
+    def test_all_helpers_appear_for_fullrepair(self, fig2_context):
+        text = render_plan(FullRepair().schedule(fig2_context))
+        for node in (1, 2, 3, 4):
+            assert f"n{node}" in text
+
+
+class TestPlanToDot:
+    def test_valid_digraph(self, fig2_context):
+        dot = plan_to_dot(FullRepair().schedule(fig2_context))
+        assert dot.startswith("digraph repair {")
+        assert dot.rstrip().endswith("}")
+        assert "doublecircle" in dot  # requester styling
+
+    def test_edges_labelled_with_rates(self, fig2_context):
+        plan = RepairPipelining().schedule(fig2_context)
+        dot = plan_to_dot(plan)
+        assert 'label="300"' in dot
+
+    def test_one_edge_line_per_plan_edge(self, fig2_context):
+        plan = FullRepair().schedule(fig2_context)
+        dot = plan_to_dot(plan)
+        edge_lines = [l for l in dot.splitlines() if "->" in l]
+        assert len(edge_lines) == sum(len(p.edges) for p in plan.pipelines)

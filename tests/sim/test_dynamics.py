@@ -1,0 +1,155 @@
+"""Repair under bandwidth drift."""
+
+import numpy as np
+import pytest
+
+from repro.net import BandwidthSnapshot, units
+from repro.repair import get_algorithm
+from repro.sim import simulate_under_drift
+from repro.sim.dynamics import _interval_progress
+from repro.workloads import Trace, make_trace
+
+
+def flat_trace(num_nodes=8, bw=400.0, length=100):
+    return Trace(
+        workload="flat",
+        capacity_mbps=1000.0,
+        uplink=np.full((length, num_nodes), bw),
+        downlink=np.full((length, num_nodes), bw),
+    )
+
+
+def run(algorithm, trace, *, chunk=units.mib(64), replan=None, start=0,
+        helpers=tuple(range(1, 7)), k=4, requester=7):
+    return simulate_under_drift(
+        get_algorithm(algorithm), trace, start_instant=start,
+        requester=requester, helpers=helpers, k=k, chunk_bytes=chunk,
+        replan_interval_s=replan,
+    )
+
+
+class TestFlatTrace:
+    def test_matches_ideal_time_on_constant_bandwidth(self):
+        """No drift: drift-sim time == chunk / plan-rate + calc."""
+        trace = flat_trace()
+        res = run("pivotrepair", trace)
+        assert res.completed
+        # uniform 400 Mbps, 6 helpers, k=4: single pipeline at 400
+        expected = units.transfer_seconds(units.mib(64), 400.0)
+        assert res.seconds == pytest.approx(expected, rel=0.01)
+
+    def test_fullrepair_faster_than_single_pipeline(self):
+        # fat requester downlink: aggregate throughput beats any single
+        # pipeline (which is capped by the 300 Mbps helper links)
+        up = np.full((100, 8), 300.0)
+        down = np.full((100, 8), 300.0)
+        down[:, 7] = 1000.0
+        trace = Trace(workload="flat", capacity_mbps=1000.0, uplink=up, downlink=down)
+        t_full = run("fullrepair", trace).seconds
+        t_tree = run("pivotrepair", trace).seconds
+        assert t_full < t_tree
+
+    def test_replan_noop_on_stable_bandwidth(self):
+        trace = flat_trace(length=300)
+        static = run("fullrepair", trace, chunk=units.mib(512))
+        adaptive = run("fullrepair", trace, chunk=units.mib(512), replan=2.0)
+        # replans happen but cannot improve a stationary optimum
+        assert adaptive.replans > 0
+        assert adaptive.seconds == pytest.approx(
+            static.seconds, rel=0.02, abs=adaptive.calc_seconds_total + 0.05
+        )
+
+
+class TestDrift:
+    @pytest.fixture(scope="class")
+    def swim_trace(self):
+        return make_trace("swim", num_nodes=16, num_snapshots=1500, seed=3)
+
+    def _args(self, trace):
+        rng = np.random.default_rng(1)
+        nodes = rng.permutation(16)
+        start = int(trace.congested_instants()[200])
+        return dict(
+            helpers=tuple(int(x) for x in nodes[1:9]),
+            requester=int(nodes[9]),
+            k=6,
+            start=start,
+        )
+
+    def test_replanning_helps_under_drift(self, swim_trace):
+        kw = self._args(swim_trace)
+        static = run("fullrepair", swim_trace, chunk=units.mib(1024), **kw)
+        adaptive = run(
+            "fullrepair", swim_trace, chunk=units.mib(1024), replan=3.0, **kw
+        )
+        assert static.completed and adaptive.completed
+        assert adaptive.replans > 0
+        assert adaptive.seconds < static.seconds
+
+    def test_goodput_trace_recorded(self, swim_trace):
+        kw = self._args(swim_trace)
+        res = run("rp", swim_trace, chunk=units.mib(256), **kw)
+        assert res.goodput_mbps
+        assert all(g >= 0 for g in res.goodput_mbps)
+
+    def test_timeout_reports_incomplete(self):
+        dead = Trace(
+            workload="dead",
+            capacity_mbps=1000.0,
+            uplink=np.zeros((50, 8)),
+            downlink=np.zeros((50, 8)),
+        )
+        # schedule against a healthy first instant, then everything dies
+        start_ok = flat_trace(length=1)
+        mixed = Trace(
+            workload="mixed",
+            capacity_mbps=1000.0,
+            uplink=np.vstack([start_ok.uplink, dead.uplink]),
+            downlink=np.vstack([start_ok.downlink, dead.downlink]),
+        )
+        res = simulate_under_drift(
+            get_algorithm("rp"), mixed, start_instant=0, requester=7,
+            helpers=tuple(range(1, 7)), k=4, chunk_bytes=units.mib(64),
+            max_seconds=30.0,
+        )
+        assert not res.completed
+        assert res.stalled_intervals > 0
+
+    def test_bad_start_instant(self):
+        with pytest.raises(ValueError):
+            run("rp", flat_trace(length=10), start=99)
+
+
+class TestIntervalProgress:
+    def test_partial_capacity_slows_flows(self):
+        from repro.ec.slicing import Segment
+        from repro.net import RepairContext
+        from repro.repair.plan import Edge, Pipeline, RepairPlan
+
+        snap_full = BandwidthSnapshot.uniform(4, 100.0)
+        ctx = RepairContext(
+            snapshot=snap_full, requester=0, helpers=(1, 2, 3), k=2
+        )
+        plan = RepairPlan(
+            "t", ctx,
+            [Pipeline(0, Segment(0, 1), [Edge(1, 2, 100.0), Edge(2, 0, 100.0)])],
+        )
+        remaining = {0: units.mib(10)}
+        degraded = BandwidthSnapshot.uniform(4, 50.0)
+        step, moved = _interval_progress(plan, degraded, remaining, 1.0)
+        assert step == 1.0
+        assert moved == pytest.approx(units.mbps_to_bytes_per_s(50.0))
+
+    def test_finished_pipeline_ignored(self):
+        from repro.ec.slicing import Segment
+        from repro.net import RepairContext
+        from repro.repair.plan import Edge, Pipeline, RepairPlan
+
+        snap = BandwidthSnapshot.uniform(4, 100.0)
+        ctx = RepairContext(snapshot=snap, requester=0, helpers=(1, 2, 3), k=2)
+        plan = RepairPlan(
+            "t", ctx,
+            [Pipeline(0, Segment(0, 1), [Edge(1, 2, 100.0), Edge(2, 0, 100.0)])],
+        )
+        step, moved = _interval_progress(plan, snap, {0: 0.0}, 1.0)
+        assert step == 0.0 and moved == 0.0

@@ -1,0 +1,84 @@
+"""Deterministic event-queue core."""
+
+import pytest
+
+from repro.sim import EventQueue
+
+
+class TestEventQueue:
+    def test_starts_at_zero(self):
+        assert EventQueue().now == 0.0
+
+    def test_runs_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.schedule(3.0, lambda: order.append("c"))
+        q.schedule(1.0, lambda: order.append("a"))
+        q.schedule(2.0, lambda: order.append("b"))
+        q.run()
+        assert order == ["a", "b", "c"]
+        assert q.now == 3.0
+
+    def test_fifo_at_equal_times(self):
+        q = EventQueue()
+        order = []
+        for name in "abc":
+            q.schedule(1.0, lambda n=name: order.append(n))
+        q.run()
+        assert order == ["a", "b", "c"]
+
+    def test_schedule_at_absolute(self):
+        q = EventQueue()
+        hits = []
+        q.schedule_at(5.0, lambda: hits.append(q.now))
+        q.run()
+        assert hits == [5.0]
+
+    def test_negative_delay_raises(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule(-1.0, lambda: None)
+
+    def test_cancel(self):
+        q = EventQueue()
+        hits = []
+        handle = q.schedule(1.0, lambda: hits.append(1))
+        q.cancel(handle)
+        q.run()
+        assert hits == []
+
+    def test_events_scheduling_events(self):
+        q = EventQueue()
+        hits = []
+
+        def first():
+            hits.append(q.now)
+            q.schedule(2.0, lambda: hits.append(q.now))
+
+        q.schedule(1.0, first)
+        q.run()
+        assert hits == [1.0, 3.0]
+
+    def test_step_returns_false_when_empty(self):
+        assert EventQueue().step() is False
+
+    def test_run_until(self):
+        q = EventQueue()
+        hits = []
+        q.schedule(1.0, lambda: hits.append(1))
+        q.schedule(10.0, lambda: hits.append(2))
+        q.run(until=5.0)
+        assert hits == [1]
+        assert q.now == 5.0
+        q.run()
+        assert hits == [1, 2]
+
+    def test_runaway_guard(self):
+        q = EventQueue()
+
+        def loop():
+            q.schedule(0.0, loop)
+
+        q.schedule(0.0, loop)
+        with pytest.raises(RuntimeError):
+            q.run(max_events=100)

@@ -1,0 +1,109 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.algorithm == "fullrepair"
+        assert args.k == 3
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--algorithm", "magic"])
+
+
+class TestPlanCommand:
+    def test_demo_plan(self, capsys):
+        assert main(["plan", "--chunk-mib", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "fullrepair" in out
+        assert "900.0 Mbps" in out
+        assert "transfer" in out
+
+    def test_plan_from_bandwidth_file(self, tmp_path, capsys):
+        path = tmp_path / "bw.txt"
+        np.savetxt(path, np.array([[1000.0, 600, 960, 600, 600],
+                                   [1000.0, 300, 1000, 300, 300]]))
+        assert main(["plan", "--bandwidth", str(path), "--algorithm", "rp"]) == 0
+        out = capsys.readouterr().out
+        assert "plan: rp" in out
+
+    def test_csv_bandwidth_file(self, tmp_path, capsys):
+        path = tmp_path / "bw.csv"
+        path.write_text("1000,600,960,600,600\n1000,300,1000,300,300\n")
+        assert main(["plan", "--bandwidth", str(path)]) == 0
+        assert "900.0" in capsys.readouterr().out
+
+    def test_malformed_bandwidth_file(self, tmp_path):
+        path = tmp_path / "bw.txt"
+        np.savetxt(path, np.ones((3, 4)))
+        with pytest.raises(SystemExit):
+            main(["plan", "--bandwidth", str(path)])
+
+
+class TestTraceCommand:
+    def test_trace_summary(self, capsys):
+        assert main(["trace", "swim", "--snapshots", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "swim" in out and "100 snapshots" in out
+
+    def test_trace_save_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "t"
+        assert main([
+            "trace", "tpcds", "--snapshots", "50", "--out", str(out_path)
+        ]) == 0
+        from repro.workloads import load_trace
+
+        trace = load_trace(str(out_path) + ".npz")
+        assert len(trace) == 50
+        assert trace.workload == "tpcds"
+
+
+class TestCompareCommand:
+    def test_tiny_sweep(self, capsys):
+        assert main([
+            "compare", "--workloads", "swim", "--nk", "6,4",
+            "--samples", "2", "--snapshots", "200", "--ppt-budget", "100",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "FullRepair" in out
+        assert "reduction" in out
+
+
+class TestSweepCommand:
+    def test_chunk_sweep(self, capsys):
+        assert main(["sweep", "chunk"]) == 0
+        out = capsys.readouterr().out
+        assert "MiB" in out
+
+
+class TestTable1Command:
+    def test_small_table(self, capsys):
+        assert main(["table1", "--samples", "40", "--snapshots", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+
+class TestHeteroCommand:
+    def test_sweep_output(self, capsys):
+        assert main(["hetero", "--samples", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "unevenness" in out and "fullrepair" in out
+
+
+class TestFullnodeCommand:
+    def test_strategies_reported(self, capsys):
+        assert main([
+            "fullnode", "--stripes", "3", "--chunk-mib", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out and "batched" in out

@@ -1,0 +1,187 @@
+"""Cross-module property-based tests.
+
+These hypothesis suites tie the whole stack together: for arbitrary
+bandwidth conditions and code parameters, every registered algorithm
+must emit a valid plan, timing must respect universal bounds, and the
+core optimality relations must hold.  They are the library's strongest
+regression net — any scheduling, validation, or execution change that
+breaks an invariant fails here on a shrunk counterexample.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import FullRepair, max_pipelined_throughput
+from repro.core.optimality import ideal_bound
+from repro.net import BandwidthSnapshot, RepairContext, units
+from repro.repair import algorithm_names, get_algorithm
+from repro.sim import TransferParams, execute, ideal_transfer_seconds
+from repro.analysis import plan_utilization
+
+
+@st.composite
+def repair_contexts(draw, min_nodes=5, max_nodes=14, max_k=8):
+    """Arbitrary repair instances with mixed congestion."""
+    num_nodes = draw(st.integers(min_nodes, max_nodes))
+    k = draw(st.integers(2, min(num_nodes - 2, max_k)))
+    num_helpers = draw(st.integers(k, num_nodes - 1))
+    seed = draw(st.integers(0, 2**32 - 1))
+    rng = np.random.default_rng(seed)
+    up = rng.uniform(5.0, 1000.0, num_nodes)
+    down = rng.uniform(5.0, 1000.0, num_nodes)
+    congested = rng.random(num_nodes) < draw(st.floats(0.0, 0.5))
+    up[congested] *= 0.05
+    down[rng.random(num_nodes) < 0.2] *= 0.05
+    ids = rng.permutation(num_nodes)
+    return RepairContext(
+        snapshot=BandwidthSnapshot(uplink=up, downlink=down),
+        requester=int(ids[0]),
+        helpers=tuple(int(x) for x in ids[1 : num_helpers + 1]),
+        k=k,
+    )
+
+
+ALL_ALGORITHMS = tuple(algorithm_names())
+
+slow = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestEveryAlgorithmEmitsValidPlans:
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    @given(ctx=repair_contexts())
+    @slow
+    def test_plan_validates(self, name, ctx):
+        kwargs = {"max_emulations": 50} if name == "ppt" else {}
+        try:
+            plan = get_algorithm(name, **kwargs).schedule(ctx)
+        except ValueError:
+            return  # dead links: a refusal is a legal outcome
+        plan.validate()
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    @given(ctx=repair_contexts())
+    @slow
+    def test_rate_within_ideal_bound(self, name, ctx):
+        kwargs = {"max_emulations": 50} if name == "ppt" else {}
+        try:
+            plan = get_algorithm(name, **kwargs).schedule(ctx)
+        except ValueError:
+            return
+        assert plan.total_rate <= ideal_bound(ctx) * (1 + 1e-6)
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    @given(ctx=repair_contexts())
+    @slow
+    def test_utilization_ratios_partition(self, name, ctx):
+        kwargs = {"max_emulations": 50} if name == "ppt" else {}
+        try:
+            plan = get_algorithm(name, **kwargs).schedule(ctx)
+        except ValueError:
+            return
+        b = plan_utilization(plan)
+        assert 0 <= b.selected_used <= 1
+        assert 0 <= b.unselected <= 1
+        assert 0 <= b.selected_unused <= 1
+
+
+class TestFullRepairOptimality:
+    @given(ctx=repair_contexts())
+    @slow
+    def test_dominates_single_pipeline(self, ctx):
+        try:
+            fr = FullRepair().schedule(ctx).total_rate
+        except ValueError:
+            return
+        for name in ("rp", "pivotrepair", "ppr"):
+            try:
+                base = get_algorithm(name).schedule(ctx).total_rate
+            except ValueError:
+                continue
+            assert fr >= base * (1 - 1e-9)
+
+    @given(ctx=repair_contexts())
+    @slow
+    def test_plan_rate_equals_t_max(self, ctx):
+        try:
+            throughput = max_pipelined_throughput(ctx)
+            plan = FullRepair().schedule(ctx)
+        except ValueError:
+            return
+        assert plan.total_rate == pytest.approx(throughput.t_max, rel=1e-4)
+
+    @given(ctx=repair_contexts())
+    @slow
+    def test_schedule_deterministic(self, ctx):
+        fr = FullRepair()
+        try:
+            a = fr.schedule(ctx)
+        except ValueError:
+            return
+        b = fr.schedule(ctx)
+        assert [(p.task_id, p.segment.start, p.segment.stop) for p in a.pipelines] == [
+            (p.task_id, p.segment.start, p.segment.stop) for p in b.pipelines
+        ]
+        assert [
+            (e.child, e.parent, e.rate) for p in a.pipelines for e in p.edges
+        ] == [(e.child, e.parent, e.rate) for p in b.pipelines for e in p.edges]
+
+
+class TestExecutionBounds:
+    @given(
+        ctx=repair_contexts(),
+        chunk_mib=st.sampled_from([1, 4, 16, 64]),
+        slice_kib=st.sampled_from([4, 64, 512]),
+    )
+    @slow
+    def test_never_beats_ideal_time(self, ctx, chunk_mib, slice_kib):
+        try:
+            plan = FullRepair().schedule(ctx)
+        except ValueError:
+            return
+        params = TransferParams(
+            chunk_bytes=units.mib(chunk_mib), slice_bytes=units.kib(slice_kib)
+        )
+        measured = execute(plan, params).transfer_seconds
+        assert measured >= ideal_transfer_seconds(
+            units.mib(chunk_mib), plan.total_rate
+        ) * (1 - 1e-9)
+
+    @given(ctx=repair_contexts())
+    @slow
+    def test_transfer_monotone_in_chunk_size(self, ctx):
+        try:
+            plan = FullRepair().schedule(ctx)
+        except ValueError:
+            return
+        times = [
+            execute(plan, TransferParams(chunk_bytes=units.mib(m))).transfer_seconds
+            for m in (4, 16, 64)
+        ]
+        assert times[0] <= times[1] <= times[2]
+
+    @given(ctx=repair_contexts())
+    @slow
+    def test_whole_chunk_mode_is_fastest_per_pipeline(self, ctx):
+        """slice_bytes=None (no slicing) removes all per-slice overhead
+        but also all pipelining; for a depth-1 star both executors agree,
+        and slicing can only add overhead terms."""
+        try:
+            plan = get_algorithm("conventional").schedule(ctx)
+        except ValueError:
+            return
+        chunky = execute(
+            plan,
+            TransferParams(chunk_bytes=units.mib(8), slice_bytes=None,
+                           slice_overhead_s=0.0, compute_s_per_byte=0.0),
+        ).transfer_seconds
+        sliced = execute(
+            plan,
+            TransferParams(chunk_bytes=units.mib(8), slice_bytes=units.kib(64)),
+        ).transfer_seconds
+        assert chunky <= sliced * (1 + 1e-9)

@@ -1,0 +1,70 @@
+"""Coefficient-of-variation utilities and bucketing."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    DEFAULT_BUCKETS,
+    bucket_index,
+    bucket_label,
+    bucketize_trace,
+    coefficient_of_variation,
+    make_trace,
+    trace_cv,
+)
+
+
+class TestCv:
+    def test_uniform_is_zero(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+
+    def test_known_value(self):
+        values = np.array([1.0, 3.0])
+        assert coefficient_of_variation(values) == pytest.approx(1.0 / 2.0)
+
+    def test_zero_mean(self):
+        assert coefficient_of_variation([0.0, 0.0]) == 0.0
+
+    def test_scale_invariant(self):
+        v = np.array([1.0, 4.0, 7.0])
+        assert coefficient_of_variation(v) == pytest.approx(
+            coefficient_of_variation(v * 100)
+        )
+
+    def test_rejects_empty_and_2d(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([])
+        with pytest.raises(ValueError):
+            coefficient_of_variation(np.ones((2, 2)))
+
+
+class TestBuckets:
+    def test_default_edges(self):
+        assert DEFAULT_BUCKETS == (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+    def test_bucket_index(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(0.05) == 0
+        assert bucket_index(0.1) == 1
+        assert bucket_index(0.45) == 4
+        assert bucket_index(0.5) is None
+        assert bucket_index(0.99) is None
+
+    def test_bucket_label(self):
+        assert bucket_label(0) == "0.0<=Cv<0.1"
+        assert bucket_label(4) == "0.4<=Cv<0.5"
+
+    def test_trace_cv_matches_manual(self):
+        tr = make_trace("tpcds", num_snapshots=20, seed=1)
+        cv = trace_cv(tr)
+        mean_bw = (tr.uplink[7] + tr.downlink[7]) / 2
+        assert cv[7] == pytest.approx(coefficient_of_variation(mean_bw))
+
+    def test_bucketize_partition(self):
+        tr = make_trace("swim", num_snapshots=500, seed=2)
+        buckets = bucketize_trace(tr)
+        cv = trace_cv(tr)
+        covered = np.concatenate([v for v in buckets.values()])
+        assert len(set(covered)) == len(covered)  # disjoint
+        # everything below 0.5 is covered
+        assert len(covered) == int((cv < 0.5).sum())

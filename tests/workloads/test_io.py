@@ -1,0 +1,82 @@
+"""Trace persistence and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    Trace,
+    load_trace,
+    make_trace,
+    save_trace,
+    trace_stats,
+)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        trace = make_trace("tpch", num_snapshots=80, seed=3)
+        path = save_trace(trace, tmp_path / "t.npz")
+        loaded = load_trace(path)
+        assert loaded.workload == "tpch"
+        assert loaded.capacity_mbps == trace.capacity_mbps
+        assert np.array_equal(loaded.uplink, trace.uplink)
+        assert np.array_equal(loaded.downlink, trace.downlink)
+
+    def test_suffix_added(self, tmp_path):
+        trace = make_trace("swim", num_snapshots=10, seed=1)
+        path = save_trace(trace, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_foreign_archive_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, stuff=np.ones(3))
+        with pytest.raises(ValueError, match="not a repro trace"):
+            load_trace(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "future.npz"
+        np.savez(
+            path,
+            uplink=np.ones((2, 2)),
+            downlink=np.ones((2, 2)),
+            capacity_mbps=np.array([100.0]),
+            workload=np.array(["x"]),
+            format_version=np.array([99]),
+        )
+        with pytest.raises(ValueError, match="newer"):
+            load_trace(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "absent.npz")
+
+
+class TestStats:
+    def test_fields_consistent(self):
+        trace = make_trace("swim", num_snapshots=300, seed=5)
+        stats = trace_stats(trace)
+        assert stats.workload == "swim"
+        assert stats.num_snapshots == 300
+        assert stats.num_nodes == 16
+        assert 0 < stats.p05_available_mbps <= stats.mean_available_mbps
+        assert stats.mean_available_mbps <= stats.p95_available_mbps
+        assert 0 <= stats.congested_fraction <= 1
+        assert stats.cv_mean <= stats.cv_p95
+
+    def test_threshold_changes_congestion(self):
+        trace = make_trace("tpcds", num_snapshots=300, seed=6)
+        strict = trace_stats(trace, congestion_threshold=0.1)
+        loose = trace_stats(trace, congestion_threshold=0.8)
+        assert strict.congested_fraction <= loose.congested_fraction
+
+    def test_uniform_trace_stats(self):
+        trace = Trace(
+            workload="flat",
+            capacity_mbps=100.0,
+            uplink=np.full((10, 4), 50.0),
+            downlink=np.full((10, 4), 50.0),
+        )
+        stats = trace_stats(trace)
+        assert stats.cv_mean == 0.0
+        assert stats.mean_available_mbps == 50.0

@@ -1,0 +1,71 @@
+"""Workload profile knobs: each parameter has its documented effect."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import TraceGenerator, WorkloadProfile, trace_cv
+
+
+def profile(**overrides) -> WorkloadProfile:
+    base = dict(
+        base_load=0.3,
+        ar_coeff=0.9,
+        ar_sigma=0.05,
+        burst_rate=0.03,
+        burst_duration=8.0,
+        burst_load=0.3,
+        skew=0.15,
+        skew_load=0.1,
+        updown_corr=0.5,
+    )
+    base.update(overrides)
+    return WorkloadProfile(**base)
+
+
+def make_generator(p: WorkloadProfile, name="custom"):
+    cls = type("CustomTrace", (TraceGenerator,), {"name": name, "profile": p})
+    return cls(num_nodes=16, seed=3)
+
+
+class TestProfileKnobs:
+    def test_base_load_lowers_available(self):
+        light = make_generator(profile(base_load=0.2)).generate(800)
+        heavy = make_generator(profile(base_load=0.6)).generate(800)
+        assert heavy.uplink.mean() < light.uplink.mean()
+
+    def test_burst_rate_increases_congestion(self):
+        calm = make_generator(profile(burst_rate=0.005)).generate(1500)
+        bursty = make_generator(profile(burst_rate=0.15)).generate(1500)
+        assert len(bursty.congested_instants()) > len(calm.congested_instants())
+
+    def test_burst_load_raises_cv_tail(self):
+        mild = make_generator(profile(burst_load=0.1)).generate(1500)
+        severe = make_generator(profile(burst_load=0.6)).generate(1500)
+        assert np.quantile(trace_cv(severe), 0.9) > np.quantile(
+            trace_cv(mild), 0.9
+        )
+
+    def test_ar_coeff_smooths_time_series(self):
+        choppy = make_generator(profile(ar_coeff=0.3)).generate(1500)
+        smooth = make_generator(profile(ar_coeff=0.99)).generate(1500)
+
+        def step_ratio(tr):
+            return np.abs(np.diff(tr.uplink, axis=0)).mean() / tr.uplink.std()
+
+        assert step_ratio(smooth) < step_ratio(choppy)
+
+    def test_updown_corr_couples_directions(self):
+        def corr(tr):
+            u = tr.uplink.ravel() - tr.uplink.mean()
+            d = tr.downlink.ravel() - tr.downlink.mean()
+            return float((u * d).mean() / (u.std() * d.std()))
+
+        weak = make_generator(profile(updown_corr=0.05)).generate(1200)
+        strong = make_generator(profile(updown_corr=0.95)).generate(1200)
+        assert corr(strong) > corr(weak)
+
+    def test_skew_creates_hot_nodes(self):
+        flat = make_generator(profile(skew=0.0, skew_load=0.0)).generate(1200)
+        skewed = make_generator(profile(skew=0.5, skew_load=0.35)).generate(1200)
+        # per-node long-run mean spread grows with static skew
+        assert skewed.uplink.mean(axis=0).std() > flat.uplink.mean(axis=0).std()

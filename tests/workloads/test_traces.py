@@ -1,0 +1,128 @@
+"""Synthetic workload traces: determinism, ranges, workload character."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    SWIMTrace,
+    TPCDSTrace,
+    TPCHTrace,
+    WORKLOADS,
+    make_trace,
+    trace_cv,
+)
+
+
+class TestGeneratorBasics:
+    def test_registry_names(self):
+        assert set(WORKLOADS) == {"tpcds", "tpch", "swim"}
+
+    def test_make_trace_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_trace("ycsb")
+
+    def test_shape(self):
+        tr = make_trace("tpcds", num_nodes=12, num_snapshots=100, seed=1)
+        assert tr.uplink.shape == (100, 12)
+        assert tr.downlink.shape == (100, 12)
+        assert len(tr) == 100
+        assert tr.num_nodes == 12
+
+    def test_determinism_same_seed(self):
+        a = make_trace("swim", num_snapshots=50, seed=9)
+        b = make_trace("swim", num_snapshots=50, seed=9)
+        assert np.array_equal(a.uplink, b.uplink)
+        assert np.array_equal(a.downlink, b.downlink)
+
+    def test_different_seeds_differ(self):
+        a = make_trace("swim", num_snapshots=50, seed=1)
+        b = make_trace("swim", num_snapshots=50, seed=2)
+        assert not np.array_equal(a.uplink, b.uplink)
+
+    def test_workloads_differ_under_same_seed(self):
+        a = make_trace("tpcds", num_snapshots=50, seed=1)
+        b = make_trace("tpch", num_snapshots=50, seed=1)
+        assert not np.array_equal(a.uplink, b.uplink)
+
+    def test_bounds_respect_capacity(self):
+        for name in WORKLOADS:
+            tr = make_trace(name, num_snapshots=500, seed=3)
+            assert (tr.uplink >= 0).all() and (tr.uplink <= 1000.0).all()
+            assert (tr.downlink >= 0).all() and (tr.downlink <= 1000.0).all()
+
+    def test_custom_capacity(self):
+        tr = make_trace("tpcds", num_snapshots=50, seed=1, capacity_mbps=250.0)
+        assert (tr.uplink <= 250.0).all()
+        assert tr.capacity_mbps == 250.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TPCDSTrace(num_nodes=1)
+        with pytest.raises(ValueError):
+            TPCDSTrace(capacity_mbps=0)
+        with pytest.raises(ValueError):
+            TPCDSTrace().generate(0)
+
+
+class TestTemporalStructure:
+    def test_continuity(self):
+        """Adjacent instants are correlated (the paper's 'continuous in
+        time' requirement): step changes are small vs the global spread."""
+        for name in WORKLOADS:
+            tr = make_trace(name, num_snapshots=2000, seed=4)
+            steps = np.abs(np.diff(tr.uplink, axis=0)).mean()
+            spread = tr.uplink.std()
+            assert steps < spread * 0.8, name
+
+    def test_congested_instants_exist(self):
+        for name in WORKLOADS:
+            tr = make_trace(name, num_snapshots=2000, seed=5)
+            assert len(tr.congested_instants()) > 50, name
+
+    def test_congested_threshold_monotone(self):
+        tr = make_trace("swim", num_snapshots=1000, seed=6)
+        strict = tr.congested_instants(threshold_fraction=0.2)
+        loose = tr.congested_instants(threshold_fraction=0.6)
+        assert len(strict) <= len(loose)
+        assert set(strict) <= set(loose)
+
+
+class TestWorkloadCharacter:
+    def test_cv_spans_paper_buckets(self):
+        """Pooled across workloads, C_v must populate all five buckets."""
+        from repro.workloads import bucketize_trace
+
+        counts = {i: 0 for i in range(5)}
+        for name in WORKLOADS:
+            tr = make_trace(name, num_snapshots=6000, seed=7)
+            for i, idx in bucketize_trace(tr).items():
+                counts[i] += len(idx)
+        assert all(counts[i] > 50 for i in range(5)), counts
+
+    def test_swim_more_uneven_than_tpch(self):
+        """SWIM's shuffle bursts produce a heavier C_v tail."""
+        swim = trace_cv(make_trace("swim", num_snapshots=4000, seed=8))
+        tpch = trace_cv(make_trace("tpch", num_snapshots=4000, seed=8))
+        assert np.quantile(swim, 0.9) > np.quantile(tpch, 0.9)
+
+    def test_swim_updown_asymmetry(self):
+        """MapReduce up/down usage is weakly correlated vs TPC-DS."""
+        swim = make_trace("swim", num_snapshots=4000, seed=9)
+        tpcds = make_trace("tpcds", num_snapshots=4000, seed=9)
+
+        def updown_corr(tr):
+            u = tr.uplink.ravel() - tr.uplink.mean()
+            d = tr.downlink.ravel() - tr.downlink.mean()
+            return float((u * d).mean() / (u.std() * d.std()))
+
+        assert updown_corr(swim) < updown_corr(tpcds)
+
+    def test_snapshot_accessor(self):
+        tr = make_trace("tpcds", num_snapshots=10, seed=10)
+        snap = tr.snapshot(3)
+        assert np.array_equal(snap.uplink, tr.uplink[3])
+        assert snap.num_nodes == tr.num_nodes
+
+    def test_snapshots_iterator(self):
+        tr = make_trace("tpcds", num_snapshots=5, seed=10)
+        assert len(list(tr.snapshots())) == 5
