@@ -58,8 +58,17 @@ def plan_utilization(plan: RepairPlan) -> UtilizationBreakdown:
         for e in p.edges:
             used[e.child] = used.get(e.child, 0.0) + e.rate
     selected = set(used)
-    selected_used = sum(min(used[h], context.uplink(h)) for h in selected)
-    selected_avail = sum(context.uplink(h) for h in selected)
+    # sum in context.helpers order, matching `total`: per-term the used
+    # bandwidth is <= the uplink, and same-order float summation is
+    # monotone, so selected_used / total can never round above 1 (a
+    # set-iteration-order sum could, by one ulp, when every helper is
+    # saturated)
+    selected_used = sum(
+        min(used[h], context.uplink(h)) for h in context.helpers if h in selected
+    )
+    selected_avail = sum(
+        context.uplink(h) for h in context.helpers if h in selected
+    )
     unselected = sum(
         context.uplink(h) for h in context.helpers if h not in selected
     )

@@ -20,6 +20,7 @@ from ..net.bandwidth import BandwidthSnapshot, RepairContext
 from ..repair.base import RepairAlgorithm
 from ..repair.plan import Pipeline, RepairPlan
 from .messages import BandwidthReport, TransferTask
+from ..core.plancache import PlanCache
 
 
 @dataclass(frozen=True)
@@ -42,10 +43,17 @@ class StripeLocation:
 class Master:
     """Cluster metadata + repair scheduling brain."""
 
-    def __init__(self, code: RSCode, algorithm: RepairAlgorithm, num_nodes: int) -> None:
+    def __init__(
+        self,
+        code: RSCode,
+        algorithm: RepairAlgorithm,
+        num_nodes: int,
+        plan_cache: PlanCache | None = None,
+    ) -> None:
         self.code = code
         self.algorithm = algorithm
         self.num_nodes = num_nodes
+        self.plan_cache = plan_cache
         self._uplink = np.zeros(num_nodes)
         self._downlink = np.zeros(num_nodes)
         self._stripes: dict[str, StripeLocation] = {}
@@ -93,6 +101,10 @@ class Master:
     def on_bandwidth_report(self, report: BandwidthReport) -> None:
         self._uplink[report.node] = report.uplink_mbps
         self._downlink[report.node] = report.downlink_mbps
+        if self.plan_cache is not None:
+            self.plan_cache.observe_report(
+                report.node, report.uplink_mbps, report.downlink_mbps
+            )
 
     def snapshot(self) -> BandwidthSnapshot:
         return BandwidthSnapshot(
@@ -122,8 +134,15 @@ class Master:
     def schedule_repair(
         self, stripe_id: str, failed_node: int, requester: int
     ) -> RepairPlan:
-        """Compute and validate the repair plan for a failure."""
+        """Compute and validate the repair plan for a failure.
+
+        With a :class:`~repro.core.plancache.PlanCache` configured,
+        repeated failures with the same geometry and near-identical
+        bandwidth reuse the cached (already validated) plan.
+        """
         context = self.build_context(stripe_id, failed_node, requester)
+        if self.plan_cache is not None:
+            return self.plan_cache.get_or_compute(self.algorithm, context)
         plan = self.algorithm.plan(context)
         plan.validate()
         return plan

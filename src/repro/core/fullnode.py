@@ -34,6 +34,7 @@ from ..net.bandwidth import BandwidthSnapshot, RepairContext
 from ..repair.base import get_algorithm
 from ..repair.plan import RepairPlan
 from ..sim.transfer import TransferParams, execute
+from .plancache import PlanCache
 
 
 @dataclass(frozen=True)
@@ -109,6 +110,7 @@ def plan_full_node_repair(
     min_rate_fraction: float = 0.35,
     params_factory=None,
     algorithm_kwargs: dict | None = None,
+    plan_cache: PlanCache | None = None,
 ) -> FullNodeRepairPlan:
     """Pack the given chunk repairs into concurrent batches.
 
@@ -129,6 +131,11 @@ def plan_full_node_repair(
     params_factory:
         ``chunk_bytes -> TransferParams`` for makespan estimation
         (defaults to 64 KiB slices with standard overheads).
+    plan_cache:
+        Optional :class:`~repro.core.plancache.PlanCache`.  Stripes of a
+        dead node share the node's peer set, so many contexts here hit
+        the same quantised key — both the solo-throughput pass and the
+        batch packing reuse plans through the cache when one is given.
     """
     if strategy not in ("sequential", "batched"):
         raise ValueError(f"unknown strategy {strategy!r}")
@@ -137,6 +144,10 @@ def plan_full_node_repair(
     algo = get_algorithm(algorithm, **(algorithm_kwargs or {}))
     if params_factory is None:
         params_factory = lambda size: TransferParams(chunk_bytes=size)  # noqa: E731
+    if plan_cache is None:
+        make_plan = algo.plan
+    else:
+        make_plan = lambda ctx: plan_cache.get_or_compute(algo, ctx)  # noqa: E731
 
     # largest chunks first: they dominate batch makespans, so packing
     # them early lets small repairs ride along in the same batches
@@ -150,7 +161,7 @@ def plan_full_node_repair(
         ctx = RepairContext(
             snapshot=snapshot, requester=spec.requester, helpers=spec.helpers, k=k
         )
-        solo_rate[spec.stripe_id] = algo.plan(ctx).total_rate
+        solo_rate[spec.stripe_id] = make_plan(ctx).total_rate
 
     while pending:
         batch: list[str] = []
@@ -168,7 +179,7 @@ def plan_full_node_repair(
                     helpers=spec.helpers,
                     k=k,
                 )
-                plan = algo.plan(ctx)
+                plan = make_plan(ctx)
             except (ValueError, RuntimeError):
                 leftovers.append(spec)
                 continue

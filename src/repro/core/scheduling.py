@@ -16,8 +16,14 @@ multi-pipeline schedule in three steps:
    most once) and none from the hub itself.  Task priority follows the
    paper: most remaining unfilled slots first, already-touched tasks
    (``T_assigned``) preferred on ties; this walk reproduces Fig. 3 /
-   Table III exactly on the worked example.  The paper's *task exchange*
-   step is generalised into a max-flow re-solve (networkx) that provably
+   Table III exactly on the worked example.  The fast path selects the
+   target task with a single O(|tasks|) scan per assignment instead of
+   re-sorting both task lists every iteration (the seed's sort-based
+   walk is preserved in :mod:`repro.core.seedplanner` and the
+   test-suite pins the two selections to identical plans).  The paper's
+   *task exchange* step is generalised into a max-flow re-solve — an
+   in-repo Dinic's solver (:mod:`repro.core.maxflow`), so the planning
+   hot path carries no graph-library dependency — that provably
    completes the fill whenever ``t_max`` is schedulable at all.
 
 3. **Segment layout**: each task's per-sender amounts are laid out over
@@ -34,11 +40,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-import networkx as nx
-
 from ..ec.slicing import Segment
 from ..net.bandwidth import RepairContext
 from ..repair.plan import Edge, Pipeline
+from .maxflow import Dinic
 from .throughput import ThroughputResult
 
 #: Absolute bandwidth bookkeeping tolerance, in Mbps.
@@ -179,21 +184,22 @@ def schedule_tasks(
             has_own=False,
         )
         tasks.append(requester_task)
-    by_hub = {t.hub: t for t in tasks}
 
     # ---- sending-task assignment (Lines 14-21 + TASKASSIGN) ----------
     capacity = {h: up[h] for h in context.helpers}
     node_order = sorted(
         context.helpers, key=lambda h: (-(capacity[h] - own_speed.get(h, 0.0)), h)
     )
-    for u in node_order:
-        _task_assign(u, by_hub.get(u), tasks, capacity)
+    _assign_senders(node_order, tasks, capacity)
 
     # ---- flow completion (generalised task exchange) ------------------
     flow_used = False
-    if any(t.demand - t.filled > AMOUNT_TOL * max(1.0, t.demand) for t in tasks):
-        flow_used = True
-        _flow_completion(tasks, capacity, context, up, own_speed)
+    for t in tasks:
+        demand = t.slots * t.speed
+        if demand - t._filled > AMOUNT_TOL * (demand if demand > 1.0 else 1.0):
+            flow_used = True
+            _flow_completion(tasks, capacity, context, up, own_speed)
+            break
 
     shortfall = [
         t for t in tasks if t.demand - t.filled > 1e-4 * max(1.0, t.demand)
@@ -215,54 +221,97 @@ def schedule_tasks(
     )
 
 
-def _sorted_assigned(tasks: list[Task]) -> list[Task]:
-    """T_assigned ordering: descending remain, ascending task id."""
-    return sorted(
-        (t for t in tasks if t.touched), key=lambda t: (-t.remain, t.task_id)
-    )
-
-
-def _sorted_unassigned(tasks: list[Task]) -> list[Task]:
-    """T_unassigned ordering: descending remain, descending task id."""
-    return sorted(
-        (t for t in tasks if not t.touched), key=lambda t: (-t.remain, -t.task_id)
-    )
-
-
-def _task_assign(
-    node: int, own: Task | None, tasks: list[Task], capacity: dict[int, float]
+def _assign_senders(
+    node_order: list[int], tasks: list[Task], capacity: dict[int, float]
 ) -> None:
-    """The paper's TASKASSIGN for one node.
+    """The paper's TASKASSIGN over all nodes (flat-array fast path).
 
-    First charges the node's own task (its hub -> requester result
-    upload), then greedily packs the node's residual uplink into sender
-    demand, always preferring the task with the most remaining unfilled
-    parts (``T_assigned`` wins ties, per Function TASKASSIGN Lines 8-12).
+    For each node: first charge the node's own task (its hub -> requester
+    result upload), then greedily pack the node's residual uplink into
+    sender demand, always preferring the task with the most remaining
+    unfilled parts (``T_assigned`` wins ties, per Function TASKASSIGN
+    Lines 8-12).
+
+    Each node's picks are computed with **one sort + one walk**: after a
+    pick, either the node's capacity is exhausted (the loop ends) or the
+    picked task's per-node room is exactly zero (``take == room``), so a
+    task is picked at most once per node — and since a pick only changes
+    the *picked* task's ``(remain, touched)`` key, the priority order of
+    the remaining candidates never changes mid-node.  Sorting the
+    candidates once by the seed's composite key and walking down the
+    list therefore reproduces the seed's pick-by-pick re-sorted walk
+    exactly (pinned by the equivalence tests against
+    :mod:`repro.core.seedplanner`).  The whole phase runs on parallel
+    local lists — attribute/property dispatch on :class:`Task` dominated
+    the planner profile — and results are written back into the ``Task``
+    objects at the end, amounts in first-contribution order.
     """
-    if own is not None and own.speed > AMOUNT_TOL:
-        own.own_assigned = True
-        own.touched = True
-        capacity[node] = max(0.0, capacity[node] - own.speed)
+    num = len(tasks)
+    speed = [t.speed for t in tasks]
+    slots = [t.slots for t in tasks]
+    hub = [t.hub for t in tasks]
+    has_own = [t.has_own for t in tasks]
+    tid = [t.task_id for t in tasks]
+    amounts: list[dict[int, float]] = [{} for _ in range(num)]
+    filled = [0.0] * num
+    residual = [t.slots * t.speed for t in tasks]  # demand - filled
+    touched = [False] * num
+    own_done = [False] * num
+    # remain = unfilled slots + (1 while the hub's own part is unclaimed)
+    remain = [slots[j] + (1 if has_own[j] else 0) for j in range(num)]
+    own_of = {hub[j]: j for j in range(num)}
 
-    while capacity[node] > AMOUNT_TOL:
-        assigned_pick = next(
-            (t for t in _sorted_assigned(tasks) if t.room(node) > AMOUNT_TOL), None
-        )
-        unassigned_pick = next(
-            (t for t in _sorted_unassigned(tasks) if t.room(node) > AMOUNT_TOL),
-            None,
-        )
-        target = assigned_pick
-        if unassigned_pick is not None and (
-            target is None or unassigned_pick.remain > target.remain
-        ):
-            target = unassigned_pick
-        if target is None:
-            break
-        took = target.add(node, capacity[node])
-        capacity[node] -= took
-        if took <= AMOUNT_TOL:
-            break
+    for u in node_order:
+        cap = capacity[u]
+        oj = own_of.get(u)
+        if oj is not None and speed[oj] > AMOUNT_TOL:
+            own_done[oj] = True
+            touched[oj] = True
+            remain[oj] -= 1
+            cap = cap - speed[oj]
+            if cap < 0.0:
+                cap = 0.0
+        if cap > AMOUNT_TOL:
+            # seed priority: most remain first; T_assigned beats
+            # T_unassigned on ties; lowest id within T_assigned, highest
+            # within T_unassigned.  The trailing j makes lookups free
+            # (never compared: the id component is already unique).
+            cands = sorted(
+                [
+                    (-remain[j], 0, tid[j], j)
+                    if touched[j]
+                    else (-remain[j], 1, -tid[j], j)
+                    for j in range(num)
+                    if residual[j] > AMOUNT_TOL and hub[j] != u
+                ]
+            )
+            for key in cands:
+                j = key[3]
+                res = residual[j]
+                room = speed[j] if speed[j] < res else res
+                take = room if room < cap else cap
+                amounts[j][u] = take
+                filled[j] += take
+                residual[j] = res - take
+                touched[j] = True
+                complete = int((filled[j] + AMOUNT_TOL) / speed[j])
+                if complete > slots[j]:
+                    complete = slots[j]
+                remain[j] = (
+                    slots[j]
+                    - complete
+                    + (1 if has_own[j] and not own_done[j] else 0)
+                )
+                cap -= take
+                if cap <= AMOUNT_TOL:
+                    break
+        capacity[u] = cap
+
+    for j, t in enumerate(tasks):
+        t.amounts = amounts[j]
+        t._filled = filled[j]
+        t.touched = touched[j]
+        t.own_assigned = own_done[j]
 
 
 def _flow_completion(
@@ -282,34 +331,49 @@ def _flow_completion(
     excluded), task -> sink (full sender demand).  Whenever any feasible
     assignment at ``t_max`` exists, the flow saturates; amounts are
     integral in 1e-6 Mbps units so no sender ever exceeds a slot width.
+
+    Solved with the in-repo Dinic's implementation
+    (:class:`repro.core.maxflow.Dinic`) — max-flow *solutions* are not
+    unique, so the exact sender split may differ from the seed's
+    networkx preflow-push result, but the flow value (and hence task
+    fill, rates, and feasibility) is identical; the test-suite pins the
+    value against the networkx oracle.
     """
-    g = nx.DiGraph()
     scale = 1e6
+    helpers = list(context.helpers)
+    live = [t for t in tasks if t.demand > AMOUNT_TOL]
+    helper_node = {u: 2 + i for i, u in enumerate(helpers)}
+    source, sink = 0, 1
+    g = Dinic(2 + len(helpers) + len(live))
+    edge_of: dict[tuple[int, int], int] = {}  # (task_id, helper) -> edge id
     total_demand = 0
-    for t in tasks:
-        if t.demand <= AMOUNT_TOL:
-            continue
+    for j, t in enumerate(live):
+        tnode = 2 + len(helpers) + j
         demand_units = int(t.demand * scale)  # floored: never unsatisfiable
         total_demand += demand_units
-        g.add_edge(f"t{t.task_id}", "sink", capacity=demand_units)
-        for u in context.helpers:
+        g.add_edge(tnode, sink, demand_units)
+        for u in helpers:
             if u == t.hub:
                 continue
-            g.add_edge(f"u{u}", f"t{t.task_id}", capacity=int(t.speed * scale))
+            edge_of[(t.task_id, u)] = g.add_edge(
+                helper_node[u], tnode, int(t.speed * scale)
+            )
     if total_demand == 0:
         return
-    for u in context.helpers:
+    any_supply = False
+    for u in helpers:
         cap = uplink[u] - own_speed.get(u, 0.0)
         if cap > AMOUNT_TOL:
-            g.add_edge("source", f"u{u}", capacity=int(cap * scale))
-    if "source" not in g or "sink" not in g:
+            g.add_edge(source, helper_node[u], int(cap * scale))
+            any_supply = True
+    if not any_supply:
         return
-    _value, flows = nx.maximum_flow(g, "source", "sink")
+    g.max_flow(source, sink)
     for t in tasks:
-        key = f"t{t.task_id}"
         amounts: dict[int, float] = {}
-        for u in context.helpers:
-            amt = flows.get(f"u{u}", {}).get(key, 0) / scale
+        for u in helpers:
+            eid = edge_of.get((t.task_id, u))
+            amt = g.flow_on(eid) / scale if eid is not None else 0.0
             if amt > AMOUNT_TOL:
                 amounts[u] = min(amt, t.speed)
         # the integral flow undershoots the real demand by up to one unit
@@ -320,16 +384,18 @@ def _flow_completion(
             factor = t.demand / filled
             amounts = {u: min(a * factor, t.speed) for u, a in amounts.items()}
         t.set_amounts(amounts)
-    for u in context.helpers:
-        used = sum(flows.get(f"u{u}", {}).values()) / scale
-        capacity[u] = uplink[u] - own_speed.get(u, 0.0) - used
+    used_by: dict[int, float] = {u: 0.0 for u in helpers}
+    for (_tid, u), eid in edge_of.items():
+        used_by[u] += g.flow_on(eid)
+    for u in helpers:
+        capacity[u] = uplink[u] - own_speed.get(u, 0.0) - used_by[u] / scale
 
 
 #: Tick resolution of the integer layout grid (per task row).
 LAYOUT_GRID = 1 << 30
 
 
-def _quantize_amounts(task: Task) -> dict[int, int]:
+def _quantize_amounts(task: Task) -> list[tuple[int, int]]:
     """Sender amounts as integer ticks summing exactly to ``slots * GRID``.
 
     Quantisation makes the wrap-around layout exact: every row is exactly
@@ -341,20 +407,29 @@ def _quantize_amounts(task: Task) -> dict[int, int]:
     ``speed / LAYOUT_GRID`` — about 1e-7 Mbps per task.
     """
     target = task.slots * LAYOUT_GRID
+    speed = task.speed
     ticks: dict[int, int] = {}
+    total = 0
     for u, a in task.amounts.items():
-        t = int(round(a / task.speed * LAYOUT_GRID))
-        ticks[u] = max(0, min(t, LAYOUT_GRID))
-    diff = target - sum(ticks.values())
+        t = round(a / speed * LAYOUT_GRID)
+        if t < 0:
+            t = 0
+        elif t > LAYOUT_GRID:
+            t = LAYOUT_GRID
+        ticks[u] = t
+        total += t
+    diff = target - total
     if diff > 0:
-        for u in sorted(ticks, key=lambda u: -(LAYOUT_GRID - ticks[u])):
+        # ascending ticks == descending headroom; sort is stable, so ties
+        # keep first-contribution order exactly like the seed's key sort
+        for u in sorted(ticks, key=ticks.__getitem__):
             give = min(diff, LAYOUT_GRID - ticks[u])
             ticks[u] += give
             diff -= give
             if diff == 0:
                 break
     elif diff < 0:
-        for u in sorted(ticks, key=lambda u: -ticks[u]):
+        for u in sorted(ticks, key=ticks.__getitem__, reverse=True):
             take = min(-diff, ticks[u])
             ticks[u] -= take
             diff += take
@@ -365,43 +440,60 @@ def _quantize_amounts(task: Task) -> dict[int, int]:
             f"task {task.task_id}: cannot tile {task.slots} slots from "
             f"amounts {task.amounts} (residual {diff} ticks)"
         )
-    return {u: t for u, t in ticks.items() if t > 0}
+    return [(u, t) for u, t in ticks.items() if t > 0]
 
 
-def _wraparound_rows(task: Task) -> list[list[tuple[int, int]]]:
-    """McNaughton wrap-around layout of a task's sender amounts, in ticks.
+def _wraparound_columns(task: Task) -> tuple[list[int], list[list[int]]]:
+    """McNaughton wrap-around layout, as ``(cut_list, sender_columns)``.
 
-    Senders are laid end-to-end (first-contribution order) over rows of
-    exactly ``LAYOUT_GRID`` ticks; a sender split by a row boundary
-    occupies the end of one row and the start of the next, and since its
-    total is at most one row it never covers the same column twice.
+    Senders are laid end-to-end (first-contribution order) over
+    ``task.slots`` rows of exactly ``LAYOUT_GRID`` ticks; a sender split
+    by a row boundary occupies the end of one row and the start of the
+    next, and since its total is at most one row it never covers the
+    same column twice.  Instead of materialising the rows, the layout is
+    kept as the cumulative sender boundaries on the global tick axis
+    ``[0, slots * LAYOUT_GRID)``: every internal boundary lands at cut
+    ``B mod LAYOUT_GRID`` of its row, and the occupant of column ``c``
+    in row ``r`` is the sender whose span contains ``r * GRID + c``.
+    Visiting (row, cut) positions in row-major order makes the global
+    positions ascending, so one monotone walk over the boundaries fills
+    every cut's sender column — O(senders + rows * cuts) with no
+    per-row scans or transposition.
+
+    Returns the sorted cut positions (ending at ``LAYOUT_GRID``) and,
+    per cut segment, the senders occupying it in ascending-row order —
+    exactly the seed layout's per-cut ``_occupant_at`` columns.
     """
     ticks = _quantize_amounts(task)
-    rows: list[list[tuple[int, int]]] = []
-    row: list[tuple[int, int]] = []
-    fill = 0
-    for u, a in ticks.items():
-        while a > 0:
-            take = min(a, LAYOUT_GRID - fill)
-            row.append((u, take))
-            fill += take
-            a -= take
-            if fill == LAYOUT_GRID:
-                rows.append(row)
-                row, fill = [], 0
-    if row:
-        rows.append(row)
-    return rows
-
-
-def _occupant_at(row: list[tuple[int, int]], position: int) -> int:
-    """The node covering integer tick ``position`` in a row."""
-    pos = 0
-    for u, a in row:
-        if position < pos + a:
-            return u
-        pos += a
-    raise RuntimeError(f"no occupant at tick {position} (row ends at {pos})")
+    senders = [u for u, _ in ticks]
+    bounds = [0]
+    acc = 0
+    cuts = {0, LAYOUT_GRID}
+    for _, t in ticks:
+        acc += t
+        bounds.append(acc)
+        # boundaries on a row edge map to 0, already a cut
+        cuts.add(acc % LAYOUT_GRID)
+    if len(cuts) == 2:
+        # common case: every boundary sits on a row edge, so (ticks
+        # being positive and at most LAYOUT_GRID) every sender holds
+        # exactly one full row — the single column is the sender list
+        return [0, LAYOUT_GRID], [senders]
+    cut_list = sorted(cuts)
+    ncols = len(cut_list) - 1
+    cols: list[list[int]] = [[] for _ in range(ncols)]
+    bi = 0
+    nxt = bounds[1]
+    base = 0
+    for _r in range(task.slots):
+        for ci in range(ncols):
+            g = base + cut_list[ci]
+            while nxt <= g:
+                bi += 1
+                nxt = bounds[bi + 1]
+            cols[ci].append(senders[bi])
+        base += LAYOUT_GRID
+    return cut_list, cols
 
 
 def _layout_pipelines(
@@ -417,51 +509,48 @@ def _layout_pipelines(
     requester's own task, the senders stream directly).
     """
     pipelines: list[Pipeline] = []
+    append = pipelines.append
     offset = 0.0
     live = [t for t in sorted(tasks, key=lambda t: t.task_id) if t.speed > AMOUNT_TOL]
+    requester = context.requester
+    make_edge = Edge._unchecked  # inputs valid by construction (below)
+    last = len(live) - 1
     for index, task in enumerate(live):
-        rows = _wraparound_rows(task)
-        if len(rows) != task.slots:
-            raise RuntimeError(
-                f"task {task.task_id}: {len(rows)} filled rows != {task.slots} slots"
-            )
-        cuts = {0, LAYOUT_GRID}
-        for row in rows:
-            pos = 0
-            for _, a in row[:-1]:
-                pos += a
-                cuts.add(pos)
-        cut_list = sorted(cuts)
+        cut_list, sender_cols = _wraparound_columns(task)
         # the final task absorbs float slack so segments tile [0, 1) exactly
-        task_end = 1.0 if index == len(live) - 1 else (offset + task.speed) / t_max
-        for lo, hi in zip(cut_list[:-1], cut_list[1:]):
-            senders = [_occupant_at(row, lo) for row in rows]
-            if len(set(senders)) != task.slots:
-                raise RuntimeError(
-                    f"task {task.task_id}: tick {lo} covered by senders "
-                    f"{senders}, expected {task.slots} distinct"
-                )
-            rate = (hi - lo) / LAYOUT_GRID * task.speed
-            if task.hub == context.requester:
-                edges = [
-                    Edge(child=u, parent=context.requester, rate=rate)
-                    for u in senders
-                ]
+        speed = task.speed
+        task_end = 1.0 if index == last else (offset + speed) / t_max
+        hub = task.hub
+        tid = task.task_id
+        direct = hub == requester
+        lo = 0
+        for ci, hi in enumerate(cut_list[1:]):
+            senders = sender_cols[ci]
+            # Senders at any tick are distinct by construction: each
+            # sender's ticks total at most LAYOUT_GRID (clamped in
+            # _quantize_amounts) and occupy one contiguous span, so a
+            # wrapped sender's two row pieces can never share a column.
+            # Plan-level validation (Pipeline.validate) still enforces
+            # the k-distinct-helpers invariant when requested; the seed
+            # layout's per-cut re-check lives on in seedplanner.
+            # rate > 0 (cuts are strictly increasing, speed > AMOUNT_TOL)
+            # and endpoints differ (senders are helpers, hub != requester,
+            # the hub occupies no sender slot) — Edge validation holds.
+            rate = (hi - lo) / LAYOUT_GRID * speed
+            if direct:
+                edges = [make_edge(u, requester, rate) for u in senders]
             else:
-                edges = [Edge(child=u, parent=task.hub, rate=rate) for u in senders]
-                edges.append(
-                    Edge(child=task.hub, parent=context.requester, rate=rate)
-                )
-            start = (offset + lo / LAYOUT_GRID * task.speed) / t_max
+                edges = [make_edge(u, hub, rate) for u in senders]
+                edges.append(make_edge(hub, requester, rate))
+            start = (offset + lo / LAYOUT_GRID * speed) / t_max
             stop = (
                 task_end
                 if hi == LAYOUT_GRID
-                else (offset + hi / LAYOUT_GRID * task.speed) / t_max
+                else (offset + hi / LAYOUT_GRID * speed) / t_max
             )
-            pipelines.append(
-                Pipeline(
-                    task_id=task.task_id, segment=Segment(start, stop), edges=edges
-                )
+            append(
+                Pipeline(task_id=tid, segment=Segment(start, stop), edges=edges)
             )
-        offset += task.speed
+            lo = hi
+        offset += speed
     return pipelines

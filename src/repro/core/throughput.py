@@ -10,13 +10,25 @@ exceed the achievable throughput are "picked" into ``E`` and later capped
 remaining nodes to share the other ``k - |E|`` slots, i.e. it finds the
 largest ``c`` with ``sum_i min(U_i, c) >= k * c``.
 
-The downlink phase alternately applies the aggregate downlink constraint
-``c <= (D_0 + sum_i D_i) / k`` and the repairing constraint
-``D_i <= (k - 1) * U_i`` until the fixpoint, exactly as the paper's
-Lines 13-25.  Because the alternation can in principle converge slowly on
-adversarial inputs, a breakpoint-exact fixpoint solver backs the loop and
-the test-suite cross-checks both (plus the LP oracle in
-:mod:`repro.core.optimality`).
+The downlink phase solves the paper's Lines 13-25 fixpoint — alternately
+the aggregate downlink constraint ``c <= (D_0 + sum_i D_i) / k`` and the
+repairing constraint ``D_i <= (k - 1) * U_i`` — in closed form.
+
+**Fast path.**  Both phases are vectorised:
+
+* the uplink water-filling sorts the helper uplinks once and scans the
+  suffix-sum breakpoints (the per-round ``sum``/``max`` Python loop of
+  the paper's pseudocode lives on in
+  :mod:`repro.core.seedplanner` as the equivalence oracle);
+* the downlink phase exploits that each helper's contribution to the
+  feasibility condition is ``(k-1) * min(c, a_h)`` with the single
+  breakpoint ``a_h = min(U_h, D_h / (k-1))`` — sorting the breakpoints
+  once and scanning prefix sums yields the *greatest* fixpoint exactly,
+  which is what the (monotone, from-above) alternation converges to.
+
+``_downlink_fixpoint`` (bisection) is kept as an independent oracle; the
+test-suite cross-checks all three solvers plus the LP in
+:mod:`repro.core.optimality`.
 """
 
 from __future__ import annotations
@@ -58,71 +70,222 @@ class ThroughputResult:
     picked: tuple[int, ...]
 
 
-def max_pipelined_throughput(context: RepairContext) -> ThroughputResult:
-    """Run Algorithm 1 on a repair context.
+#: Helper count below which the scalar closed-form path wins: numpy's
+#: per-call overhead (~15 array ops) exceeds plain-Python arithmetic on
+#: small inputs by several microseconds.
+VECTOR_THRESHOLD = 48
 
-    Raises ``ValueError`` if no positive throughput is achievable (e.g.
-    fewer than k helpers with usable uplink, or a zero requester
-    downlink).
+
+def max_pipelined_throughput(context: RepairContext) -> ThroughputResult:
+    """Run Algorithm 1 on a repair context (closed-form fast path).
+
+    Dispatches between two equivalent sort-once breakpoint-scan solvers:
+    a scalar one for ordinary repair widths and a numpy-vectorised one
+    for wide (full-node-scale) helper sets.  Raises ``ValueError`` if no
+    positive throughput is achievable (e.g. fewer than k helpers with
+    usable uplink, or a zero requester downlink).  Output is equivalent
+    (within float rounding) to the seed loop implementation preserved in
+    :mod:`repro.core.seedplanner`.
     """
+    if len(context.helpers) < VECTOR_THRESHOLD:
+        return _throughput_scalar(context)
+    return _throughput_vector(context)
+
+
+def _throughput_scalar(context: RepairContext) -> ThroughputResult:
+    """Closed-form Algorithm 1 in plain Python (small helper counts)."""
     k = context.k
     helpers = list(context.helpers)
-    up = {h: context.uplink(h) for h in helpers}
-    down = {h: context.downlink(h) for h in helpers}
-    d0 = context.downlink(context.requester)
+    m = len(helpers)
+    snapshot = context.snapshot
+    up = snapshot.uplink[helpers].tolist()
+    down = snapshot.downlink[helpers].tolist()
+    d0 = float(snapshot.downlink[context.requester])
 
-    # ---- Lines 2-12: limit by uplinks (water-filling) ----------------
-    picked: list[int] = []
-    pool = list(helpers)
-    while True:
-        denom = k - len(picked)
-        pool_sum = sum(up[h] for h in pool)
-        pool_max = max(up[h] for h in pool)
-        if denom <= 1 or pool_sum / denom >= pool_max:
+    # ---- Lines 2-12: limit by uplinks (sort-once water-filling) ------
+    order = sorted(range(m), key=lambda i: (-up[i], helpers[i]))
+    suffix = [0.0] * (m + 1)
+    for j in range(m - 1, -1, -1):
+        suffix[j] = suffix[j + 1] + up[order[j]]
+    steps = min(k, m)
+    jstar = 0
+    for j in range(steps):
+        denom = k - j
+        if denom <= 1 or suffix[j] / denom >= up[order[j]]:
+            jstar = j
             break
-        # pick the current maximum-uplink node out of the pool
-        best = max(pool, key=lambda h: (up[h], -h))
-        pool.remove(best)
-        picked.append(best)
-    c = min(sum(up[h] for h in pool) / (k - len(picked)), d0)
-    for h in picked:
-        up[h] = c
+    c = suffix[jstar] / (k - jstar)
+    if c > d0:
+        c = d0
+    picked = tuple(helpers[order[j]] for j in range(jstar))
+    for j in range(jstar):
+        up[order[j]] = c
 
-    # ---- Lines 13-25: limit by downlinks (alternating fixpoint) ------
-    for _ in range(MAX_ALTERNATIONS):
-        c = min((d0 + sum(down.values())) / k, c)
-        stable = True
-        for h in helpers:
-            up[h] = min(c, up[h])
-            cap = up[h] * (k - 1)
-            if cap < down[h]:
-                down[h] = cap
-                stable = False
-        if stable:
-            break
-    else:  # adversarial slow convergence: solve the fixpoint exactly
-        c = _downlink_fixpoint(
-            c,
-            d0,
-            {h: context.uplink(h) for h in helpers},
-            {h: context.downlink(h) for h in helpers},
-            k,
-        )
-        for h in helpers:
-            up[h] = min(c, up[h])
-            down[h] = min(down[h], up[h] * (k - 1))
+    # ---- Lines 13-25: limit by downlinks (breakpoint-exact fixpoint) --
+    if k == 1:
+        # every helper term vanishes: c is capped by d0 alone
+        c = min(c, d0)
+    else:
+        km1 = k - 1
+        a = [min(u, d / km1) for u, d in zip(up, down)]
+        total0 = d0 + km1 * sum(x if x <= c else c for x in a)
+        if k * c > total0 + FIXPOINT_TOL:
+            c = _scalar_breakpoint_scan(c, d0, a, k)
+    for i in range(m):
+        if up[i] > c:
+            up[i] = c
+        cap = up[i] * (k - 1)
+        if cap < down[i]:
+            down[i] = cap
 
     if c <= 0:
         raise ValueError(
             "no positive repair throughput achievable: uplinks "
-            f"{[context.uplink(h) for h in helpers]}, requester downlink {d0}"
+            f"{[float(snapshot.uplink[h]) for h in helpers]}, "
+            f"requester downlink {d0}"
         )
     return ThroughputResult(
         t_max=float(c),
-        uplink={h: float(v) for h, v in up.items()},
-        downlink={h: float(v) for h, v in down.items()},
-        picked=tuple(picked),
+        uplink=dict(zip(helpers, up)),
+        downlink=dict(zip(helpers, down)),
+        picked=picked,
     )
+
+
+def _scalar_breakpoint_scan(c0: float, d0: float, a: list[float], k: int) -> float:
+    """Scalar twin of :func:`_downlink_breakpoint_fixpoint`'s sorted scan.
+
+    Called only when the aggregate downlink binds (``g(c0) < 0``); finds
+    the greatest feasible ``c`` along the sorted breakpoints of the
+    concave piecewise-linear margin ``g`` (see the vector version for the
+    derivation — the formulas here mirror it term for term).
+    """
+    a_sorted = sorted(a)
+    m = len(a_sorted)
+    km1 = k - 1
+    prefix = 0.0
+    best_i = -1
+    best_prefix = 0.0
+    for i, ai in enumerate(a_sorted):
+        prefix += ai
+        if ai > c0:
+            break
+        g = d0 + km1 * (prefix + ai * (m - i - 1)) - k * ai
+        if g >= -FIXPOINT_TOL:
+            best_i = i
+            best_prefix = prefix
+    if best_i < 0:
+        # c* lies in [0, a_sorted[0]]: slope there is (k-1)*m - k
+        slope = km1 * m - k
+        if slope >= 0:
+            return 0.0  # g non-decreasing yet infeasible at first bp: c* = 0
+        return d0 / (k - km1 * m) if k > km1 * m else 0.0
+    lin = m - best_i - 1
+    denom = k - km1 * lin
+    if denom <= 0:
+        # degenerate boundary (see the vector version): stay at the bp
+        return a_sorted[best_i]
+    c = (d0 + km1 * best_prefix) / denom
+    return min(c, c0)
+
+
+def _throughput_vector(context: RepairContext) -> ThroughputResult:
+    """Closed-form Algorithm 1, numpy-vectorised (wide helper sets)."""
+    k = context.k
+    helpers = np.asarray(context.helpers, dtype=np.intp)
+    m = helpers.shape[0]
+    up = context.snapshot.uplink[helpers].copy()
+    down = context.snapshot.downlink[helpers].copy()
+    d0 = float(context.snapshot.downlink[context.requester])
+
+    # ---- Lines 2-12: limit by uplinks (sort-once water-filling) ------
+    # Picking order is descending uplink, ties broken by ascending node
+    # id — identical to the seed's max(pool, key=(up, -h)) loop.  After
+    # sorting once, the loop state at step j is fully determined:
+    # pool = sorted[j:], pool_max = ups[j], pool_sum = suffix[j].
+    order = np.lexsort((helpers, -up))
+    ups_sorted = up[order]
+    suffix = np.concatenate([np.cumsum(ups_sorted[::-1])[::-1], [0.0]])
+    steps = min(k, m)  # the loop stops at denom == 1, i.e. at most k-1 picks
+    j_range = np.arange(steps)
+    denom = k - j_range
+    stop = (denom <= 1) | (suffix[:steps] / np.maximum(denom, 1) >= ups_sorted[:steps])
+    jstar = int(np.argmax(stop))  # first j where the seed loop breaks
+    picked_idx = order[:jstar]
+    c = min(float(suffix[jstar]) / (k - jstar), d0)
+    up[picked_idx] = c
+
+    # ---- Lines 13-25: limit by downlinks (breakpoint-exact fixpoint) --
+    c = _downlink_breakpoint_fixpoint(c, d0, up, down, k)
+    np.minimum(up, c, out=up)
+    np.minimum(down, up * (k - 1), out=down)
+
+    if c <= 0:
+        raise ValueError(
+            "no positive repair throughput achievable: uplinks "
+            f"{[float(x) for x in context.snapshot.uplink[helpers]]}, "
+            f"requester downlink {d0}"
+        )
+    helper_ids = [int(h) for h in helpers]
+    picked = tuple(int(helpers[i]) for i in picked_idx)
+    return ThroughputResult(
+        t_max=float(c),
+        uplink={h: float(v) for h, v in zip(helper_ids, up)},
+        downlink={h: float(v) for h, v in zip(helper_ids, down)},
+        picked=picked,
+    )
+
+
+def _downlink_breakpoint_fixpoint(
+    c0: float, d0: float, up: np.ndarray, down: np.ndarray, k: int
+) -> float:
+    """Greatest ``c <= c0`` with ``k*c <= d0 + sum_h min(D_h, (k-1)*min(c, U_h))``.
+
+    Each helper's term equals ``(k-1) * min(c, a_h)`` with breakpoint
+    ``a_h = min(U_h, D_h / (k-1))``, so the feasibility margin
+    ``g(c) = d0 + (k-1) * sum_h min(c, a_h) - k*c`` is piecewise linear
+    and concave with ``g(0) = d0 >= 0``: the feasible set is ``[0, c*]``.
+    Sorting the breakpoints once and scanning prefix sums locates the
+    segment containing ``c*`` and solves it in closed form (the root is
+    exact; ``FIXPOINT_TOL`` only pads the feasibility tests, mirroring
+    the seed's acceptance slack).
+    """
+    if k == 1:
+        # every helper term vanishes: c is capped by d0 alone
+        return min(c0, d0)
+    a = np.minimum(up, down / (k - 1))
+    # feasible at c0? (the common case: aggregate downlink does not bind)
+    total0 = d0 + (k - 1) * float(np.minimum(a, c0).sum())
+    if k * c0 <= total0 + FIXPOINT_TOL:
+        return c0
+    a_sorted = np.sort(a)
+    m = a_sorted.shape[0]
+    prefix = np.concatenate([[0.0], np.cumsum(a_sorted)])
+    # g at each breakpoint (only breakpoints below c0 matter)
+    counts_above = m - np.arange(1, m + 1)  # helpers with a_h > a_sorted[i]
+    g_at = (
+        d0
+        + (k - 1) * (prefix[1:] + a_sorted * counts_above)
+        - k * a_sorted
+    )
+    feasible_bp = (g_at >= -FIXPOINT_TOL) & (a_sorted <= c0)
+    if not feasible_bp.any():
+        # c* lies in [0, a_sorted[0]]: slope there is (k-1)*m - k
+        slope = (k - 1) * m - k
+        if slope >= 0:
+            return 0.0  # g non-decreasing yet infeasible at first bp: c* = 0
+        return d0 / (k - (k - 1) * m) if k > (k - 1) * m else 0.0
+    i = int(np.nonzero(feasible_bp)[0][-1])  # last feasible breakpoint
+    # on (a_sorted[i], next]: j = i+1 helpers saturated, m-i-1 still linear
+    lin = m - i - 1
+    denom = k - (k - 1) * lin
+    if denom <= 0:
+        # g still non-decreasing past this breakpoint; since g(c0) was
+        # infeasible, a later (feasible) breakpoint would exist — so this
+        # only happens at the degenerate boundary: stay at the breakpoint
+        return float(a_sorted[i])
+    c = (d0 + (k - 1) * float(prefix[i + 1])) / denom
+    return min(c, c0)
 
 
 def _downlink_fixpoint(

@@ -144,26 +144,44 @@ def power(a, e: int):
     return out[0] if scalar_input else out
 
 
-def mul_chunk(coeff: int, chunk: np.ndarray) -> np.ndarray:
+def mul_chunk(coeff: int, chunk: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """Multiply every byte of ``chunk`` by the scalar ``coeff``.
 
     This is the data-plane kernel used by encoding and pipelined repair:
-    a single table gather over the chunk (no Python-level loop).
+    a single table gather over the chunk (no Python-level loop).  With
+    ``out`` given the gather writes into it directly (no allocation) —
+    ``out`` must have the chunk's shape and dtype ``uint8`` and may not
+    alias ``chunk``.
     """
     chunk = np.asarray(chunk, dtype=np.uint8)
     c = int(coeff) & 0xFF
+    if out is None:
+        if c == 0:
+            return np.zeros_like(chunk)
+        if c == 1:
+            return chunk.copy()
+        return MUL_TABLE[c][chunk]
+    if out.shape != chunk.shape or out.dtype != np.uint8:
+        raise ValueError("out must match the chunk's shape with dtype uint8")
     if c == 0:
-        return np.zeros_like(chunk)
-    if c == 1:
-        return chunk.copy()
-    return MUL_TABLE[c][chunk]
+        out[...] = 0
+    elif c == 1:
+        out[...] = chunk
+    else:
+        np.take(MUL_TABLE[c], chunk, out=out)
+    return out
 
 
-def addmul_chunk(acc: np.ndarray, coeff: int, chunk: np.ndarray) -> np.ndarray:
+def addmul_chunk(
+    acc: np.ndarray, coeff: int, chunk: np.ndarray, scratch: np.ndarray | None = None
+) -> np.ndarray:
     """In-place ``acc ^= coeff * chunk``; returns ``acc``.
 
     The accumulate-into form avoids a temporary per helper contribution,
-    which matters when combining many 64 MiB chunks.
+    which matters when combining many 64 MiB chunks.  Passing ``scratch``
+    (same shape as ``chunk``, dtype ``uint8``) removes the last remaining
+    allocation: the coefficient gather lands in the scratch buffer, which
+    callers combining many chunks reuse across calls.
     """
     c = int(coeff) & 0xFF
     if c == 0:
@@ -171,11 +189,15 @@ def addmul_chunk(acc: np.ndarray, coeff: int, chunk: np.ndarray) -> np.ndarray:
     if c == 1:
         np.bitwise_xor(acc, chunk, out=acc)
         return acc
-    np.bitwise_xor(acc, MUL_TABLE[c][chunk], out=acc)
+    if scratch is None:
+        np.bitwise_xor(acc, MUL_TABLE[c][chunk], out=acc)
+    else:
+        np.take(MUL_TABLE[c], chunk, out=scratch)
+        np.bitwise_xor(acc, scratch, out=acc)
     return acc
 
 
-def dot(coeffs, chunks) -> np.ndarray:
+def dot(coeffs, chunks, out: np.ndarray | None = None) -> np.ndarray:
     """Linear combination ``sum_i coeffs[i] * chunks[i]`` over the field.
 
     Parameters
@@ -184,12 +206,17 @@ def dot(coeffs, chunks) -> np.ndarray:
         Iterable of field scalars.
     chunks:
         Iterable of equal-length uint8 arrays.
+    out:
+        Optional pre-allocated result buffer (chunk shape, dtype uint8,
+        not aliasing any input chunk).  Reusing a buffer across repeated
+        combinations keeps the data plane allocation-free: one scratch
+        temporary is reused for every helper contribution either way.
 
     Returns
     -------
     numpy.ndarray
-        The combined chunk.  Raises ``ValueError`` on length mismatch or
-        empty input.
+        The combined chunk (``out`` when given).  Raises ``ValueError``
+        on length mismatch or empty input.
     """
     coeffs = list(coeffs)
     chunks = [np.asarray(c, dtype=np.uint8) for c in chunks]
@@ -199,7 +226,14 @@ def dot(coeffs, chunks) -> np.ndarray:
     for c in chunks[1:]:
         if c.shape != length:
             raise ValueError("all chunks must have the same shape")
-    acc = np.zeros(length, dtype=np.uint8)
+    if out is None:
+        acc = np.zeros(length, dtype=np.uint8)
+    else:
+        if out.shape != length or out.dtype != np.uint8:
+            raise ValueError("out must match the chunk shape with dtype uint8")
+        acc = out
+        acc[...] = 0
+    scratch = np.empty(length, dtype=np.uint8)
     for coeff, chunk in zip(coeffs, chunks):
-        addmul_chunk(acc, coeff, chunk)
+        addmul_chunk(acc, coeff, chunk, scratch)
     return acc

@@ -30,7 +30,9 @@ def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.bitwise_xor.reduce(products, axis=1)
 
 
-def matvec_chunks(matrix: np.ndarray, chunks: np.ndarray) -> np.ndarray:
+def matvec_chunks(
+    matrix: np.ndarray, chunks: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
     """Apply a coding matrix to a stack of chunks.
 
     Parameters
@@ -39,22 +41,38 @@ def matvec_chunks(matrix: np.ndarray, chunks: np.ndarray) -> np.ndarray:
         (m, p) coefficient matrix.
     chunks:
         (p, L) array — p chunks of L bytes each.
+    out:
+        Optional pre-allocated (m, L) uint8 result buffer, for callers
+        that encode/decode repeatedly with a steady stripe shape.
 
     Returns
     -------
-    (m, L) array of combined chunks.  This is the whole-stripe encode /
-    decode kernel: row ``i`` is ``sum_l matrix[i, l] * chunks[l]``.
+    (m, L) array of combined chunks (``out`` when given).  This is the
+    whole-stripe encode / decode kernel: row ``i`` is
+    ``sum_l matrix[i, l] * chunks[l]``.  A single scratch row is reused
+    for every coefficient gather, so the kernel allocates nothing beyond
+    the result (and nothing at all with ``out``).
     """
     matrix = np.asarray(matrix, dtype=np.uint8)
     chunks = np.asarray(chunks, dtype=np.uint8)
     if matrix.ndim != 2 or chunks.ndim != 2 or matrix.shape[1] != chunks.shape[0]:
         raise ValueError(f"incompatible shapes {matrix.shape} x {chunks.shape}")
     m, p = matrix.shape
-    out = np.zeros((m, chunks.shape[1]), dtype=np.uint8)
+    length = chunks.shape[1]
+    if out is None:
+        out = np.zeros((m, length), dtype=np.uint8)
+    else:
+        if out.shape != (m, length) or out.dtype != np.uint8:
+            raise ValueError(
+                f"out must be a uint8 array of shape {(m, length)}, got "
+                f"{out.dtype} {out.shape}"
+            )
+        out[...] = 0
+    scratch = np.empty(length, dtype=np.uint8)
     for i in range(m):
         row = matrix[i]
         for l in range(p):
-            gf256.addmul_chunk(out[i], int(row[l]), chunks[l])
+            gf256.addmul_chunk(out[i], int(row[l]), chunks[l], scratch)
     return out
 
 

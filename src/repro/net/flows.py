@@ -23,6 +23,12 @@ from .bandwidth import BandwidthSnapshot
 #: Relative numeric slack used when validating rate allocations.
 RATE_TOL = 1e-6
 
+#: Relative slack (against node capacity / flow demand) used by
+#: progressive filling to decide that a constraint saturated.  Must sit
+#: well above float rounding of capacity-scale sums yet far below any
+#: meaningful bandwidth difference.
+_SAT_TOL = 1e-9
+
 
 @dataclass(frozen=True)
 class Flow:
@@ -95,16 +101,25 @@ def max_min_rates(snapshot: BandwidthSnapshot, flows: list[Flow]) -> np.ndarray:
         )
         level = max(level, 0.0)
         rates[active] = weights[active] * level
-        # freeze flows through saturated nodes or at their demand cap
-        up_sat = np.isclose(up_level, level, rtol=1e-12, atol=1e-12) | (up_level <= level)
-        down_sat = np.isclose(down_level, level, rtol=1e-12, atol=1e-12) | (down_level <= level)
+        # freeze flows through saturated nodes or at their demand cap.
+        # Saturation is judged on the residual left after this round's
+        # grant, with slack *relative* to the constraint's own scale: the
+        # old absolute 1e-12 slack was below one float ulp at Gbps-scale
+        # capacities/demands, so ``res / w * w`` round-trip rounding could
+        # leave every test false and stall filling with flows frozen far
+        # below their fair share.
+        up_sat = up_res - up_w * level <= _SAT_TOL * np.maximum(up_cap, 1.0)
+        down_sat = down_res - down_w * level <= _SAT_TOL * np.maximum(down_cap, 1.0)
         newly = active & (
             up_sat[srcs]
             | down_sat[dsts]
-            | (weights * level >= demands - 1e-12)
+            | (weights * level >= demands * (1.0 - _SAT_TOL))
         )
-        if not np.any(newly & active):
-            frozen[active] = True  # numerical stalemate: everything is level
+        if not np.any(newly):
+            # unreachable with the relative test (the arg-min constraint
+            # saturates by construction); guard against pathological
+            # input rather than looping forever
+            frozen[active] = True
             break
         frozen |= newly
     return rates

@@ -59,6 +59,22 @@ class Edge:
         if self.rate <= 0:
             raise ValueError(f"edge rate must be positive, got {self.rate}")
 
+    @classmethod
+    def _unchecked(cls, child: int, parent: int, rate: float) -> "Edge":
+        """Construct without ``__init__``/``__post_init__`` validation.
+
+        For hot loops whose inputs are valid by construction (the segment
+        layout emits hundreds of edges per plan and the frozen-dataclass
+        ``object.__setattr__`` path dominated its profile).  The instance
+        is indistinguishable from a normally-constructed one.
+        """
+        edge = object.__new__(cls)
+        d = edge.__dict__
+        d["child"] = child
+        d["parent"] = parent
+        d["rate"] = rate
+        return edge
+
 
 @dataclass
 class Pipeline:

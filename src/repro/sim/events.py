@@ -47,8 +47,19 @@ class EventQueue:
         return entry
 
     def schedule_at(self, time: float, action: Callable[[], None]) -> _Entry:
-        """Schedule ``action`` at an absolute simulation time."""
-        return self.schedule(time - self._now, action)
+        """Schedule ``action`` at an absolute simulation time.
+
+        Callers often compute ``time`` from the same quantities that
+        advanced the clock (e.g. ``start + k * slice_seconds``), so the
+        target can land a few ulps *before* ``now`` purely from float
+        rounding.  Such microscopically-past times are clamped to ``now``
+        (the event runs immediately, in insertion order); genuinely past
+        times still raise through :meth:`schedule`.
+        """
+        delay = time - self._now
+        if delay < 0 and -delay <= 1e-12 * max(1.0, abs(self._now)):
+            delay = 0.0
+        return self.schedule(delay, action)
 
     def cancel(self, entry: _Entry) -> None:
         """Cancel a scheduled event (lazy removal)."""

@@ -139,11 +139,22 @@ def _pipeline_makespan(
 
     combine = params.compute_s_per_byte * sizes
 
-    def arrivals_into(node: int) -> np.ndarray:
-        """Element-wise max of arrival streams from all children of node."""
-        ready = np.zeros_like(sizes)
-        for child in children.get(node, ()):  # leaves: stays zero (local data)
-            child_in = arrivals_into(child)
+    # Bottom-up sweep over the tree: record a root-first order with an
+    # explicit stack, then process it reversed so every node sees its
+    # children's arrival streams first.  Iterating (rather than recursing
+    # per child) keeps arbitrarily deep chain trees — RP's path topology
+    # grows linearly in k — clear of the interpreter recursion limit.
+    order = [requester]
+    stack = [requester]
+    while stack:
+        for child in children.get(stack.pop(), ()):
+            order.append(child)
+            stack.append(child)
+    ready: dict[int, np.ndarray] = {}
+    for node in reversed(order):
+        acc = np.zeros_like(sizes)  # leaves: stays zero (local data)
+        for child in children.get(node, ()):
+            child_in = ready.pop(child)
             # the child combines its own chunk data with what it received
             sendable = child_in + (combine if children.get(child) else 0.0)
             rate = units.mbps_to_bytes_per_s(edge_rate[child])
@@ -151,10 +162,10 @@ def _pipeline_makespan(
             # per-slice occupancy varies only on the last slice; use the
             # exact FIFO recurrence with slice-wise occupancy
             arr = _fifo_arrivals(sendable, occ, latency=0.0)
-            ready = np.maximum(ready, arr)
-        return ready
+            acc = np.maximum(acc, arr)
+        ready[node] = acc
 
-    final = arrivals_into(requester) + combine  # requester's own combine
+    final = ready[requester] + combine  # requester's own combine
     bytes_moved = float(seg_bytes) * len(pipeline.edges)
     return float(final[-1]), bytes_moved
 

@@ -1,0 +1,157 @@
+"""Dinic max-flow: unit behaviour + networkx as a property-test oracle.
+
+The planner's flow-completion step depends on :class:`repro.core.maxflow.Dinic`
+being exact on small integral bipartite instances; ``networkx.maximum_flow``
+serves purely as the reference here (it must never appear on the planning
+hot path — see ``test_fastpath_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.maxflow import Dinic
+
+
+class TestUnit:
+    def test_single_edge(self):
+        d = Dinic(2)
+        eid = d.add_edge(0, 1, 7)
+        assert d.max_flow(0, 1) == 7
+        assert d.flow_on(eid) == 7
+
+    def test_series_bottleneck(self):
+        d = Dinic(3)
+        d.add_edge(0, 1, 10)
+        d.add_edge(1, 2, 4)
+        assert d.max_flow(0, 2) == 4
+
+    def test_parallel_paths(self):
+        d = Dinic(4)
+        d.add_edge(0, 1, 3)
+        d.add_edge(1, 3, 3)
+        d.add_edge(0, 2, 5)
+        d.add_edge(2, 3, 2)
+        assert d.max_flow(0, 3) == 5
+
+    def test_disconnected(self):
+        d = Dinic(3)
+        d.add_edge(0, 1, 5)
+        assert d.max_flow(0, 2) == 0
+
+    def test_zero_capacity_edge(self):
+        d = Dinic(2)
+        d.add_edge(0, 1, 0)
+        assert d.max_flow(0, 1) == 0
+
+    def test_rejects_bad_edges(self):
+        d = Dinic(2)
+        with pytest.raises(ValueError):
+            d.add_edge(0, 0, 1)
+        with pytest.raises(ValueError):
+            d.add_edge(0, 2, 1)
+        with pytest.raises(ValueError):
+            d.add_edge(0, 1, -1)
+        with pytest.raises(ValueError):
+            d.max_flow(0, 0)
+        with pytest.raises(ValueError):
+            Dinic(-1)
+
+    def test_classic_diamond_with_cross_edge(self):
+        # needs the residual arc of 0->1->3 to route 0->2->1->3 correctly
+        d = Dinic(4)
+        d.add_edge(0, 1, 1)
+        d.add_edge(0, 2, 1)
+        d.add_edge(1, 3, 1)
+        d.add_edge(2, 1, 1)
+        d.add_edge(2, 3, 1)
+        assert d.max_flow(0, 3) == 2
+
+
+@st.composite
+def bipartite_instance(draw):
+    """Random source->left->right->sink transportation instance."""
+    num_left = draw(st.integers(1, 5))
+    num_right = draw(st.integers(1, 5))
+    supplies = draw(
+        st.lists(st.integers(0, 40), min_size=num_left, max_size=num_left)
+    )
+    capacities = draw(
+        st.lists(st.integers(0, 40), min_size=num_right, max_size=num_right)
+    )
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_left - 1),
+                st.integers(0, num_right - 1),
+                st.integers(0, 30),
+            ),
+            min_size=0,
+            max_size=num_left * num_right,
+        )
+    )
+    return num_left, num_right, supplies, capacities, edges
+
+
+class TestAgainstNetworkx:
+    @settings(max_examples=120, deadline=None)
+    @given(bipartite_instance())
+    def test_flow_value_matches_oracle(self, instance):
+        num_left, num_right, supplies, capacities, edges = instance
+        source, sink = 0, 1
+        left = {i: 2 + i for i in range(num_left)}
+        right = {j: 2 + num_left + j for j in range(num_right)}
+
+        d = Dinic(2 + num_left + num_right)
+        g = nx.DiGraph()
+        supply_eids = []
+        for i, s in enumerate(supplies):
+            supply_eids.append(d.add_edge(source, left[i], s))
+            g.add_edge(source, left[i], capacity=s)
+        for j, c in enumerate(capacities):
+            d.add_edge(right[j], sink, c)
+            g.add_edge(right[j], sink, capacity=c)
+        mid_eids = []
+        for i, j, c in edges:
+            mid_eids.append((d.add_edge(left[i], right[j], c), c))
+            cap = g.edges.get((left[i], right[j]), {}).get("capacity", 0)
+            g.add_edge(left[i], right[j], capacity=cap + c)
+
+        value = d.max_flow(source, sink)
+        oracle, _ = nx.maximum_flow(g, source, sink)
+        assert value == oracle
+
+        # per-edge sanity: capacity respected, source edges account for all
+        for eid, cap in mid_eids:
+            assert 0 <= d.flow_on(eid) <= cap
+        assert sum(d.flow_on(e) for e in supply_eids) == value
+
+    @settings(max_examples=60, deadline=None)
+    @given(bipartite_instance())
+    def test_flow_conservation_at_internal_nodes(self, instance):
+        num_left, num_right, supplies, capacities, edges = instance
+        source, sink = 0, 1
+        n = 2 + num_left + num_right
+        d = Dinic(n)
+        out_edges: dict[int, list[int]] = {u: [] for u in range(n)}
+        in_edges: dict[int, list[int]] = {u: [] for u in range(n)}
+
+        def add(u, v, c):
+            eid = d.add_edge(u, v, c)
+            out_edges[u].append(eid)
+            in_edges[v].append(eid)
+
+        for i, s in enumerate(supplies):
+            add(source, 2 + i, s)
+        for j, c in enumerate(capacities):
+            add(2 + num_left + j, sink, c)
+        for i, j, c in edges:
+            add(2 + i, 2 + num_left + j, c)
+        d.max_flow(source, sink)
+        for u in range(2, n):
+            inflow = sum(d.flow_on(e) for e in in_edges[u])
+            outflow = sum(d.flow_on(e) for e in out_edges[u])
+            assert inflow == outflow

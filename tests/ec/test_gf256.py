@@ -202,3 +202,53 @@ class TestChunkKernels:
     def test_dot_shape_mismatch_raises(self):
         with pytest.raises(ValueError):
             gf256.dot([1, 2], [self.chunk, self.chunk[:10]])
+
+
+class TestOutParameters:
+    """Preallocated-buffer forms of the data-plane kernels."""
+
+    def setup_method(self):
+        rng = np.random.default_rng(11)
+        self.chunk = rng.integers(0, 256, 4096, dtype=np.uint8)
+        self.other = rng.integers(0, 256, 4096, dtype=np.uint8)
+
+    @pytest.mark.parametrize("coeff", [0, 1, 2, 7, 255])
+    def test_mul_chunk_out_matches_allocating(self, coeff):
+        out = np.empty_like(self.chunk)
+        result = gf256.mul_chunk(coeff, self.chunk, out=out)
+        assert result is out
+        assert np.array_equal(out, gf256.mul_chunk(coeff, self.chunk))
+
+    def test_mul_chunk_out_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            gf256.mul_chunk(3, self.chunk, out=np.empty(10, dtype=np.uint8))
+
+    def test_mul_chunk_out_dtype_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            gf256.mul_chunk(3, self.chunk, out=np.empty_like(self.chunk, dtype=np.uint16))
+
+    @pytest.mark.parametrize("coeff", [0, 1, 9])
+    def test_addmul_chunk_scratch_matches_plain(self, coeff):
+        acc_a = self.other.copy()
+        acc_b = self.other.copy()
+        scratch = np.empty_like(self.chunk)
+        gf256.addmul_chunk(acc_a, coeff, self.chunk)
+        gf256.addmul_chunk(acc_b, coeff, self.chunk, scratch)
+        assert np.array_equal(acc_a, acc_b)
+
+    def test_dot_out_matches_allocating(self):
+        coeffs = [3, 7, 11]
+        chunks = [self.chunk, self.other, self.chunk ^ self.other]
+        out = np.empty_like(self.chunk)
+        result = gf256.dot(coeffs, chunks, out=out)
+        assert result is out
+        assert np.array_equal(out, gf256.dot(coeffs, chunks))
+
+    def test_dot_out_is_overwritten_not_accumulated(self):
+        out = np.full_like(self.chunk, 0xFF)
+        gf256.dot([1], [self.chunk], out=out)
+        assert np.array_equal(out, self.chunk)
+
+    def test_dot_out_bad_buffer_raises(self):
+        with pytest.raises(ValueError):
+            gf256.dot([1], [self.chunk], out=np.empty(3, dtype=np.uint8))

@@ -142,3 +142,33 @@ class TestConstructions:
     def test_unknown_construction(self):
         with pytest.raises(ValueError):
             matrix.systematic_generator(5, 3, construction="fountain")
+
+
+class TestMatvecChunksOut:
+    def setup_method(self):
+        rng = np.random.default_rng(13)
+        self.mat = np.asarray(rng.integers(0, 256, (4, 6)), dtype=np.uint8)
+        self.chunks = rng.integers(0, 256, (6, 2048), dtype=np.uint8)
+
+    def test_out_matches_allocating(self):
+        out = np.empty((4, 2048), dtype=np.uint8)
+        result = matrix.matvec_chunks(self.mat, self.chunks, out=out)
+        assert result is out
+        assert np.array_equal(out, matrix.matvec_chunks(self.mat, self.chunks))
+
+    def test_out_is_overwritten(self):
+        out = np.full((4, 2048), 0xAA, dtype=np.uint8)
+        matrix.matvec_chunks(self.mat, self.chunks, out=out)
+        assert np.array_equal(out, matrix.matvec_chunks(self.mat, self.chunks))
+
+    def test_bad_out_shape_raises(self):
+        with pytest.raises(ValueError):
+            matrix.matvec_chunks(
+                self.mat, self.chunks, out=np.empty((3, 2048), dtype=np.uint8)
+            )
+
+    def test_bad_out_dtype_raises(self):
+        with pytest.raises(ValueError):
+            matrix.matvec_chunks(
+                self.mat, self.chunks, out=np.empty((4, 2048), dtype=np.uint16)
+            )

@@ -143,3 +143,47 @@ class TestValidateRates:
         validate_rates(snap, flows, [50.0, 50.0])
         with pytest.raises(ValueError):
             validate_rates(snap, flows, [60.0, 60.0])
+
+
+class TestSaturationToleranceRegression:
+    """Progressive filling must not stall on capacity-scale rounding.
+
+    The old freeze test used absolute 1e-12 slack, below one float ulp at
+    Mbps->Gbps scale: a demand cap whose fair-share round-trip
+    ``w * (d / w)`` lands a few ulps under ``d`` froze *every* active
+    flow at the capped level via the stalemate fallback.
+    """
+
+    def test_demand_roundtrip_does_not_stall_elastic_flow(self):
+        # chosen so w * (d / w) < d - 1e-12 (verified below): the old
+        # absolute check missed the cap and stalemated the whole round
+        weight, demand = 7.0, 999999.6
+        assert weight * (demand / weight) < demand - 1e-12
+        snap = BandwidthSnapshot(
+            uplink=np.array([1e9, 1e9, 0.0, 0.0]),
+            downlink=np.array([0.0, 0.0, 1e9, 1e9]),
+        )
+        flows = [Flow(0, 2, demand=demand, weight=weight), Flow(1, 3)]
+        rates = max_min_rates(snap, flows)
+        assert rates[0] == pytest.approx(demand, rel=1e-9)
+        assert rates[1] == pytest.approx(1e9, rel=1e-9)  # not frozen at 1.4e5
+
+    def test_near_equal_capacities_at_gbps_scale(self):
+        caps = np.array([1e9, 1e9 * (1 + 3e-13), 1e9 * (1 - 2e-13), 3e9])
+        snap = BandwidthSnapshot(
+            uplink=np.concatenate([caps, np.zeros(4)]),
+            downlink=np.concatenate([np.zeros(4), np.full(4, 1e10)]),
+        )
+        flows = [Flow(i, 4 + i) for i in range(4)]
+        rates = max_min_rates(snap, flows)
+        np.testing.assert_allclose(rates, caps, rtol=1e-9)
+        validate_rates(snap, flows, rates)
+
+    def test_near_equal_shared_uplink_fair_split(self):
+        snap = BandwidthSnapshot(
+            uplink=np.array([1e9 * (1 + 1e-13), 0.0, 0.0]),
+            downlink=np.array([0.0, 1e10, 1e10]),
+        )
+        flows = [Flow(0, 1), Flow(0, 2)]
+        rates = max_min_rates(snap, flows)
+        np.testing.assert_allclose(rates, [5e8, 5e8], rtol=1e-9)

@@ -82,3 +82,44 @@ class TestEventQueue:
         q.schedule(0.0, loop)
         with pytest.raises(RuntimeError):
             q.run(max_events=100)
+
+
+class TestScheduleAtClamp:
+    """Absolute times a few ulps in the past clamp to now (float rounding
+    from ``start + k * dt``-style arithmetic); genuinely past times raise."""
+
+    def test_microscopic_past_runs_immediately(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.run()
+        fired = []
+        q.schedule_at(1.0 - 1e-13, lambda: fired.append(q.now))
+        q.run()
+        assert fired == [1.0]
+
+    def test_clamp_scales_with_simulation_time(self):
+        q = EventQueue()
+        q.schedule(1e6, lambda: None)
+        q.run()
+        fired = []
+        # one ulp of 1e6 is ~1.2e-10: representative accumulated rounding
+        q.schedule_at(1e6 - 1e-10, lambda: fired.append(True))
+        q.run()
+        assert fired == [True]
+
+    def test_genuinely_past_time_still_raises(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.run()
+        with pytest.raises(ValueError):
+            q.schedule_at(0.5, lambda: None)
+
+    def test_clamped_events_keep_insertion_order(self):
+        q = EventQueue()
+        q.schedule(2.0, lambda: None)
+        q.run()
+        order = []
+        q.schedule_at(2.0 - 1e-13, lambda: order.append("first"))
+        q.schedule_at(2.0, lambda: order.append("second"))
+        q.run()
+        assert order == ["first", "second"]

@@ -264,3 +264,41 @@ class TestScalingShapes:
         assert all(a < b for a, b in zip(times, times[1:]))
         # near-linear: doubling the chunk ~doubles the time
         assert times[-1] / times[0] == pytest.approx(16, rel=0.05)
+
+
+class TestDeepChains:
+    def test_chain_deeper_than_recursion_limit(self):
+        """RP-style path trees can exceed Python's recursion limit; the
+        bottom-up sweep in ``_pipeline_makespan`` must stay iterative."""
+        import sys
+
+        depth = sys.getrecursionlimit() + 200
+        ctx = make_context(num_nodes=depth + 1, k=depth)
+        plan = chain_plan(ctx, rate=100.0, nodes=list(range(depth, 0, -1)))
+        params = TransferParams(
+            chunk_bytes=units.mib(1),
+            slice_bytes=None,
+            slice_overhead_s=0.0,
+            compute_s_per_byte=0.0,
+        )
+        result = execute(plan, params)
+        # store-and-forward over `depth` hops of the whole chunk
+        hop = units.transfer_seconds(units.mib(1), 100.0)
+        assert result.transfer_seconds == pytest.approx(depth * hop)
+        assert result.bytes_moved == pytest.approx(units.mib(1) * depth)
+
+    def test_iterative_matches_small_chain_with_overheads(self):
+        """Same recurrence as before the rewrite on a small case."""
+        ctx = make_context(k=3)
+        plan = chain_plan(ctx, rate=200.0, nodes=[3, 2, 1])
+        params = TransferParams(
+            chunk_bytes=units.mib(2),
+            slice_bytes=64 * units.KIB,
+            slice_overhead_s=100e-6,
+            compute_s_per_byte=1e-10,
+        )
+        result = execute(plan, params)
+        assert np.isfinite(result.transfer_seconds)
+        assert result.transfer_seconds > 0
+        # three hops move the full segment each
+        assert result.bytes_moved == pytest.approx(units.mib(2) * 3)
