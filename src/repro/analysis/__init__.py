@@ -35,9 +35,11 @@ from .sensitivity import (
 )
 from .reporting import (
     render_comparison,
+    render_fault_report,
     render_reductions,
     render_sweep,
     render_utilization_table,
+    summarize_outcomes,
 )
 from .utilization import UtilizationBreakdown, mean_breakdown, plan_utilization
 
@@ -71,6 +73,8 @@ __all__ = [
     "render_reductions",
     "render_sweep",
     "render_utilization_table",
+    "render_fault_report",
+    "summarize_outcomes",
     "UtilizationBreakdown",
     "mean_breakdown",
     "plan_utilization",

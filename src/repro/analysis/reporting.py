@@ -93,6 +93,78 @@ def render_reductions(
     return "\n".join(lines)
 
 
+def summarize_outcomes(outcomes) -> dict:
+    """Aggregate fault-tolerant repair outcomes into headline counters.
+
+    ``outcomes`` is any iterable of objects with the
+    :class:`~repro.cluster.system.RepairOutcome` fields (duck-typed so
+    chaos harnesses can pass stripped-down records).  Returns a dict
+    with per-status counts and totals for retries, replans, transferred
+    and re-transferred bytes, and wall time.
+    """
+    summary = {
+        "total": 0,
+        "by_status": {},
+        "verified": 0,
+        "retries": 0,
+        "replans": 0,
+        "bytes_received": 0,
+        "bytes_retransferred": 0,
+        "elapsed_seconds": 0.0,
+    }
+    for o in outcomes:
+        summary["total"] += 1
+        status = getattr(o, "status", "completed")
+        summary["by_status"][status] = summary["by_status"].get(status, 0) + 1
+        summary["verified"] += int(bool(getattr(o, "verified", False)))
+        summary["retries"] += getattr(o, "retries", 0)
+        summary["replans"] += getattr(o, "replans", 0)
+        summary["bytes_received"] += getattr(o, "bytes_received", 0)
+        summary["bytes_retransferred"] += getattr(o, "bytes_retransferred", 0)
+        summary["elapsed_seconds"] += getattr(o, "elapsed_seconds", 0.0)
+    return summary
+
+
+def render_fault_report(outcomes, title: str = "repair under faults") -> str:
+    """Render a table of fault-tolerant repair outcomes.
+
+    One row per repair (status, attempts, retries, replans, bytes
+    re-transferred, wall time, verdict) plus the aggregate footer from
+    :func:`summarize_outcomes` — the under-faults companion to the
+    paper-style tables above.
+    """
+    outcomes = list(outcomes)
+    header = (
+        f"{'#':>3} | {'status':>9} | {'att':>3} {'rtr':>3} {'rpl':>3} | "
+        f"{'retx bytes':>10} | {'wall time':>11} | verdict"
+    )
+    lines = [title, header, "-" * len(header)]
+    for i, o in enumerate(outcomes):
+        status = getattr(o, "status", "completed")
+        verified = bool(getattr(o, "verified", False))
+        verdict = "ok" if verified else (
+            getattr(o, "failure_reason", None) or "not verified"
+        )
+        lines.append(
+            f"{i:>3} | {status:>9} | {getattr(o, 'attempts', 1):>3} "
+            f"{getattr(o, 'retries', 0):>3} {getattr(o, 'replans', 0):>3} | "
+            f"{getattr(o, 'bytes_retransferred', 0):>10} | "
+            f"{_fmt_seconds(getattr(o, 'elapsed_seconds', 0.0)):>11} | "
+            f"{verdict}"
+        )
+    s = summarize_outcomes(outcomes)
+    by_status = ", ".join(
+        f"{k}={v}" for k, v in sorted(s["by_status"].items())
+    ) or "none"
+    lines.append("-" * len(header))
+    lines.append(
+        f"{s['total']} repairs ({by_status}); {s['verified']} verified; "
+        f"{s['retries']} retries, {s['replans']} replans, "
+        f"{s['bytes_retransferred']} bytes re-transferred"
+    )
+    return "\n".join(lines)
+
+
 def render_sweep(series: dict[str, dict[int, float]], xlabel: str) -> str:
     """Render Fig. 7/8 data: per-algorithm repair time over a size sweep."""
     algorithms = list(series)

@@ -3,7 +3,13 @@
 from .chunkstore import ChunkStore
 from .datanode import DataNode
 from .files import FileEntry, FileStore
-from .master import Master, StripeLocation
+from .master import (
+    DeadNodeError,
+    Master,
+    RepairImpossibleError,
+    StripeLocation,
+    UnknownNodeError,
+)
 from .placement import (
     LoadBalancedPlacement,
     PlacementPolicy,
@@ -27,6 +33,9 @@ __all__ = [
     "FileStore",
     "Master",
     "StripeLocation",
+    "UnknownNodeError",
+    "DeadNodeError",
+    "RepairImpossibleError",
     "PlacementPolicy",
     "RoundRobinPlacement",
     "RandomSpreadPlacement",

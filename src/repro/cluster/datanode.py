@@ -34,11 +34,18 @@ class _TaskState:
     partials: list[np.ndarray | None] = field(default_factory=list)
     #: per-slice set of sources already folded in
     arrived: list[set] = field(default_factory=list)
+    #: per-slice time the slice became sendable (arrival + GF combine);
+    #: recorded when the last dependency lands so combine time overlaps
+    #: the edge occupancy of earlier slices, as in the analytic model
+    ready_at: list = field(default_factory=list)
     #: next index this node may send (FIFO order)
     next_send: int = 0
     #: when the outgoing edge frees up
     edge_free: float = 0.0
+    #: a send-completion event is pending (edge busy)
+    in_flight: bool = False
     sent: int = 0
+    cancelled: bool = False
 
 
 class DataNode:
@@ -62,6 +69,16 @@ class DataNode:
         self._tasks: dict[tuple[str, int], _TaskState] = {}
         #: delivery callback installed by the cluster: (dest, SliceData)
         self.deliver = None
+        #: total payload bytes this node has put on the wire
+        self.bytes_sent = 0
+        # ---- fault state (set by the cluster's fault hooks) ----------- #
+        #: straggler: persistent cap (Mbps) on every rate this node sends at
+        self.rate_cap_mbps: float | None = None
+        #: stall: no slice may *start* transmitting before this time
+        self.stalled_until: float = 0.0
+        #: report faults: heartbeat reports dropped until / delayed by
+        self.reports_suppressed_until: float = 0.0
+        self.report_delay_s: float = 0.0
 
     # ------------------------------------------------------------------ #
 
@@ -80,6 +97,7 @@ class DataNode:
             slice_bytes=self.slice_bytes,
             partials=[None] * num,
             arrived=[set() for _ in range(num)],
+            ready_at=[None] * num,
             edge_free=self.events.now,
         )
         self._tasks[(task.repair_id or task.stripe_id, task.pipeline_id)] = state
@@ -87,7 +105,21 @@ class DataNode:
             # leaf sender: every slice is immediately ready
             for i in range(num):
                 self._prepare_own(state, i)
+                state.ready_at[i] = self.events.now
             self._pump(state)
+
+    def cancel_repair(self, repair_id: str) -> int:
+        """Stop executing tasks of a retired repair attempt.
+
+        Already in-flight slices still arrive (packets on the wire);
+        nothing further is sent.  Returns the number of tasks cancelled.
+        """
+        cancelled = 0
+        for (rid, _), state in self._tasks.items():
+            if rid == repair_id and not state.cancelled:
+                state.cancelled = True
+                cancelled += 1
+        return cancelled
 
     def receive(self, data: SliceData) -> None:
         """Fold an incoming partial into the matching task state."""
@@ -112,6 +144,13 @@ class DataNode:
             )
         np.bitwise_xor(state.partials[idx], data.payload, out=state.partials[idx])
         state.arrived[idx].add(data.source)
+        if not set(state.task.wait_for) - state.arrived[idx]:
+            # last dependency landed: the slice becomes sendable after the
+            # GF combine, which overlaps earlier slices' edge occupancy
+            lo, hi = self._slice_bounds(state, idx)
+            state.ready_at[idx] = (
+                self.events.now + self.compute_s_per_byte * (hi - lo)
+            )
         self._pump(state)
 
     # ------------------------------------------------------------------ #
@@ -154,38 +193,55 @@ class DataNode:
             state.partials[idx] = gf256.mul_chunk(t.coeff, raw)
 
     def _pump(self, state: _TaskState) -> None:
-        """Send every consecutive ready slice, honouring edge FIFO order."""
+        """Start transmitting the next ready slice (edge FIFO order).
+
+        One send is in flight per task at a time: the next slice starts
+        when the previous one's edge occupancy ends, so fault state
+        (straggler caps, stalls) applied mid-transfer affects every
+        slice that has not yet started — unlike scheduling the whole
+        segment ahead of time, which would bake rates in at assign time.
+        """
         t = state.task
-        rate = units.mbps_to_bytes_per_s(t.rate_mbps)
-        while state.next_send < state.num_slices:
-            idx = state.next_send
-            if state.partials[idx] is None:
-                break
-            if set(t.wait_for) - state.arrived[idx]:
-                break  # still waiting on upstream partials for this slice
-            lo, hi = self._slice_bounds(state, idx)
-            payload = state.partials[idx]
-            ready = self.events.now
-            if t.wait_for:  # combining nodes pay the GF cost per byte
-                ready += self.compute_s_per_byte * (hi - lo)
-            occupancy = (hi - lo) / rate + self.slice_overhead_s
-            start_tx = max(ready, state.edge_free)
-            state.edge_free = start_tx + occupancy
-            arrival = state.edge_free
-            msg = SliceData(
-                stripe_id=t.stripe_id,
-                pipeline_id=t.pipeline_id,
-                source=self.node_id,
-                start=lo,
-                stop=hi,
-                payload=payload,
-                repair_id=t.repair_id,
-            )
-            dest = t.destination
-            self.events.schedule_at(arrival, lambda m=msg, d=dest: self.deliver(d, m))
-            state.partials[idx] = payload  # ownership passes with the message
-            state.next_send += 1
-            state.sent += 1
+        if state.in_flight or state.cancelled:
+            return
+        idx = state.next_send
+        if idx >= state.num_slices:
+            return
+        if state.partials[idx] is None or state.ready_at[idx] is None:
+            return
+        if set(t.wait_for) - state.arrived[idx]:
+            return  # still waiting on upstream partials for this slice
+        rate_mbps = t.rate_mbps
+        if self.rate_cap_mbps is not None:
+            rate_mbps = min(rate_mbps, self.rate_cap_mbps)
+        rate = units.mbps_to_bytes_per_s(rate_mbps)
+        lo, hi = self._slice_bounds(state, idx)
+        payload = state.partials[idx]
+        occupancy = (hi - lo) / rate + self.slice_overhead_s
+        start_tx = max(state.ready_at[idx], state.edge_free, self.stalled_until)
+        state.edge_free = start_tx + occupancy
+        arrival = state.edge_free
+        msg = SliceData(
+            stripe_id=t.stripe_id,
+            pipeline_id=t.pipeline_id,
+            source=self.node_id,
+            start=lo,
+            stop=hi,
+            payload=payload,
+            repair_id=t.repair_id,
+        )
+        dest = t.destination
+        state.in_flight = True
+        state.next_send += 1
+        state.sent += 1
+        self.bytes_sent += hi - lo
+
+        def _complete(m=msg, d=dest, s=state) -> None:
+            s.in_flight = False
+            self.deliver(d, m)
+            self._pump(s)
+
+        self.events.schedule_at(arrival, _complete)
 
     def pending_tasks(self) -> int:
         """Tasks not yet fully sent (diagnostic)."""

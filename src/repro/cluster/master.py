@@ -19,8 +19,21 @@ from ..ec.rs import RSCode
 from ..net.bandwidth import BandwidthSnapshot, RepairContext
 from ..repair.base import RepairAlgorithm
 from ..repair.plan import Pipeline, RepairPlan
+from ..repair.recovery import substitute_nodes
 from .messages import BandwidthReport, TransferTask
 from ..core.plancache import PlanCache
+
+
+class UnknownNodeError(ValueError):
+    """A report or request referenced a node id the master never registered."""
+
+
+class DeadNodeError(ValueError):
+    """A report or request referenced a node the master has declared dead."""
+
+
+class RepairImpossibleError(RuntimeError):
+    """No correct repair exists (e.g. fewer than k live helpers remain)."""
 
 
 @dataclass(frozen=True)
@@ -49,14 +62,79 @@ class Master:
         algorithm: RepairAlgorithm,
         num_nodes: int,
         plan_cache: PlanCache | None = None,
+        *,
+        lease_seconds: float | None = None,
+        lease_missed_reports: int = 3,
     ) -> None:
         self.code = code
         self.algorithm = algorithm
         self.num_nodes = num_nodes
         self.plan_cache = plan_cache
+        self.lease_seconds = lease_seconds
+        self.lease_missed_reports = lease_missed_reports
         self._uplink = np.zeros(num_nodes)
         self._downlink = np.zeros(num_nodes)
         self._stripes: dict[str, StripeLocation] = {}
+        self._dead: set[int] = set()
+        #: node -> simulation time of its last bandwidth report (lease basis)
+        self._last_report: dict[int, float] = {}
+
+    # ---- node liveness / leases --------------------------------------- #
+
+    def _check_node_id(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise UnknownNodeError(
+                f"node {node} is not registered with this master "
+                f"(cluster has nodes 0..{self.num_nodes - 1})"
+            )
+
+    def mark_node_dead(self, node: int) -> None:
+        """Declare a node dead: exclude it from planning, purge its plans."""
+        self._check_node_id(node)
+        self._dead.add(node)
+        self._last_report.pop(node, None)
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate_node(node)
+
+    def mark_node_live(self, node: int) -> None:
+        """Re-admit a node (it rejoined and reported)."""
+        self._check_node_id(node)
+        self._dead.discard(node)
+
+    def is_node_dead(self, node: int) -> bool:
+        return node in self._dead
+
+    def dead_nodes(self) -> tuple[int, ...]:
+        return tuple(sorted(self._dead))
+
+    def configure_lease(
+        self, lease_seconds: float, missed_reports: int = 3
+    ) -> None:
+        """Enable heartbeat leases: a node missing ``missed_reports``
+        consecutive report intervals of ``lease_seconds`` is declared dead."""
+        if lease_seconds <= 0 or missed_reports < 1:
+            raise ValueError("lease needs positive period and missed count")
+        self.lease_seconds = lease_seconds
+        self.lease_missed_reports = missed_reports
+
+    def check_leases(self, now: float) -> list[int]:
+        """Expire leases at time ``now``; returns the newly dead nodes.
+
+        Only nodes that have reported at least once are leased — a node
+        that never reported cannot be distinguished from one that was
+        never deployed.
+        """
+        if self.lease_seconds is None:
+            return []
+        deadline = self.lease_seconds * self.lease_missed_reports
+        expired = [
+            n
+            for n, last in self._last_report.items()
+            if n not in self._dead and now - last > deadline
+        ]
+        for n in sorted(expired):
+            self.mark_node_dead(n)
+        return sorted(expired)
 
     # ---- metadata ----------------------------------------------------- #
 
@@ -98,9 +176,28 @@ class Master:
             stripe_id=stripe_id, placement=tuple(placement)
         )
 
-    def on_bandwidth_report(self, report: BandwidthReport) -> None:
+    def on_bandwidth_report(
+        self, report: BandwidthReport, now: float | None = None
+    ) -> None:
+        """Fold a node's report into the bandwidth picture.
+
+        Reports for unregistered node ids raise :class:`UnknownNodeError`
+        and reports from nodes already declared dead raise
+        :class:`DeadNodeError` — a dead node's report must go through
+        :meth:`mark_node_live` (rejoin) first, never silently mutate the
+        snapshot a plan may be computed from.  ``now`` (simulation time)
+        renews the node's heartbeat lease when leases are configured.
+        """
+        self._check_node_id(report.node)
+        if report.node in self._dead:
+            raise DeadNodeError(
+                f"rejecting bandwidth report from dead node {report.node}; "
+                "mark_node_live() it first if it rejoined"
+            )
         self._uplink[report.node] = report.uplink_mbps
         self._downlink[report.node] = report.downlink_mbps
+        if now is not None:
+            self._last_report[report.node] = now
         if self.plan_cache is not None:
             self.plan_cache.observe_report(
                 report.node, report.uplink_mbps, report.downlink_mbps
@@ -114,15 +211,37 @@ class Master:
     # ---- repair scheduling -------------------------------------------- #
 
     def build_context(
-        self, stripe_id: str, failed_node: int, requester: int
+        self,
+        stripe_id: str,
+        failed_node: int,
+        requester: int,
+        *,
+        exclude: tuple[int, ...] = (),
     ) -> RepairContext:
-        """Repair context for a stripe/failure pair from current bandwidth."""
+        """Repair context for a stripe/failure pair from current bandwidth.
+
+        Helpers exclude the failed node, every node the master has
+        declared dead, and any explicitly ``exclude``-d ids.  Raises
+        :class:`RepairImpossibleError` when fewer than k helpers survive
+        — the caller's only correct moves are the multi-chunk path or an
+        explicit failure verdict.
+        """
         loc = self.stripe(stripe_id)
         if failed_node not in loc.placement:
             raise ValueError(f"node {failed_node} holds no chunk of {stripe_id}")
-        helpers = tuple(n for n in loc.placement if n != failed_node)
         if requester in loc.placement:
             raise ValueError("requester must not already hold a stripe chunk")
+        if requester in self._dead:
+            raise DeadNodeError(f"requester {requester} is dead")
+        dropped = self._dead.union(exclude)
+        helpers = tuple(
+            n for n in loc.placement if n != failed_node and n not in dropped
+        )
+        if len(helpers) < self.code.k:
+            raise RepairImpossibleError(
+                f"{stripe_id}: only {len(helpers)} live helpers remain, "
+                f"need k={self.code.k}"
+            )
         return RepairContext(
             snapshot=self.snapshot(),
             requester=requester,
@@ -131,21 +250,86 @@ class Master:
             chunk_index={n: loc.chunk_on(n) for n in helpers},
         )
 
-    def schedule_repair(
-        self, stripe_id: str, failed_node: int, requester: int
-    ) -> RepairPlan:
-        """Compute and validate the repair plan for a failure.
-
-        With a :class:`~repro.core.plancache.PlanCache` configured,
-        repeated failures with the same geometry and near-identical
-        bandwidth reuse the cached (already validated) plan.
-        """
-        context = self.build_context(stripe_id, failed_node, requester)
+    def plan_for_context(self, context: RepairContext) -> RepairPlan:
+        """One validated plan via the configured algorithm (cache-aware)."""
         if self.plan_cache is not None:
             return self.plan_cache.get_or_compute(self.algorithm, context)
         plan = self.algorithm.plan(context)
         plan.validate()
         return plan
+
+    def plan_with_fallback(
+        self,
+        context: RepairContext,
+        *,
+        prev_plan: RepairPlan | None = None,
+        newly_dead: tuple[int, ...] = (),
+    ) -> RepairPlan:
+        """Plan down the degradation ladder; never returns an invalid plan.
+
+        1. **Promotion** — when re-planning because helpers died, first
+           try splicing spare helpers into the previous plan's trees
+           (:func:`~repro.repair.recovery.substitute_nodes`): zero
+           scheduling cost and the surviving transfers keep their rates.
+        2. **Re-plan** — run the configured algorithm on the current
+           snapshot and surviving helpers.
+        3. **Star fallback** — if the algorithm cannot produce a feasible
+           plan (degenerate bandwidth, helper set at exactly k, ...),
+           degrade to conventional star repair, which only needs k
+           helpers with positive uplink.
+
+        Raises :class:`RepairImpossibleError` when every rung fails.
+        ``plan.meta["recovery"]`` records which rung produced the plan.
+        """
+        if prev_plan is not None and newly_dead:
+            promoted = substitute_nodes(prev_plan, newly_dead, context)
+            if promoted is not None:
+                return promoted
+        try:
+            return self.plan_for_context(context)
+        except (ValueError, RuntimeError):
+            pass
+        from ..repair.conventional import ConventionalRepair
+
+        if self.algorithm.name != "conventional":
+            try:
+                star = ConventionalRepair().plan(context)
+                star.validate()
+                star.meta["recovery"] = "star-fallback"
+                return star
+            except (ValueError, RuntimeError):
+                pass
+        raise RepairImpossibleError(
+            f"no feasible plan for requester {context.requester} with "
+            f"helpers {context.helpers}"
+        )
+
+    def schedule_repair(
+        self,
+        stripe_id: str,
+        failed_node: int,
+        requester: int,
+        *,
+        exclude: tuple[int, ...] = (),
+        prev_plan: RepairPlan | None = None,
+        newly_dead: tuple[int, ...] = (),
+    ) -> RepairPlan:
+        """Compute and validate the repair plan for a failure.
+
+        With a :class:`~repro.core.plancache.PlanCache` configured,
+        repeated failures with the same geometry and near-identical
+        bandwidth reuse the cached (already validated) plan.  On a
+        re-plan after a mid-repair helper loss, pass the previous plan
+        and the newly dead nodes to enable the promotion fast path and
+        the star fallback (the degradation ladder of
+        :meth:`plan_with_fallback`).
+        """
+        context = self.build_context(
+            stripe_id, failed_node, requester, exclude=exclude
+        )
+        return self.plan_with_fallback(
+            context, prev_plan=prev_plan, newly_dead=newly_dead
+        )
 
     def compile_tasks(
         self,
@@ -155,6 +339,7 @@ class Master:
         chunk_bytes: int | None = None,
         num_slices: int | None = None,
         repair_id: str = "",
+        intervals: list[tuple[int, int]] | None = None,
     ) -> list[TransferTask]:
         """Turn plan pipelines into concrete per-node transfer tasks.
 
@@ -163,20 +348,37 @@ class Master:
         scaled by 2^20 (callers re-compile with the real size).
         ``num_slices`` is the repair-wide pipelining window count shared
         by every task (see :class:`~repro.cluster.messages.TransferTask`).
+
+        ``intervals`` (half-open byte ranges, disjoint and ascending)
+        restricts the repair to the *unfinished remainder* of the chunk:
+        the plan's normalised ``[0, 1)`` space is laid over the
+        concatenation of the intervals, so each pipeline repairs its
+        proportional share of what is actually left.  A pipeline whose
+        share straddles an interval boundary is emitted as several task
+        groups with distinct pipeline ids (the transfer tree and rates
+        are identical; only byte ranges differ).
         """
         size = chunk_bytes if chunk_bytes is not None else (1 << 20)
+        if intervals is None:
+            spans = [(0, size)]
+        else:
+            spans = [(int(a), int(b)) for a, b in intervals if b > a]
+        total = sum(b - a for a, b in spans)
+        if total <= 0:
+            return []
         loc = self.stripe(stripe_id)
         context = plan.context
         # shared boundary map: identical floats -> identical byte cuts
+        # (offsets into the concatenated remainder space)
         boundaries: dict[float, int] = {}
         for p in plan.pipelines:
             for pos in (p.segment.start, p.segment.stop):
-                boundaries.setdefault(pos, int(round(pos * size)))
+                boundaries.setdefault(pos, int(round(pos * total)))
         tasks: list[TransferTask] = []
         for p in plan.pipelines:
-            start = boundaries[p.segment.start]
-            stop = boundaries[p.segment.stop]
-            if stop <= start:
+            lo = boundaries[p.segment.start]
+            hi = boundaries[p.segment.stop]
+            if hi <= lo:
                 continue
             participants = p.participants
             helper_chunks = tuple(
@@ -187,26 +389,58 @@ class Master:
                 u: eq.coeffs[helper_chunks.index(context.chunk_index.get(u, loc.chunk_on(u)))]
                 for u in participants
             }
-            for node in participants:
-                children = tuple(sorted(p.children_of(node)))
-                parent = p.parent_of(node)
-                rate = next(e.rate for e in p.edges if e.child == node)
-                tasks.append(
-                    TransferTask(
-                        stripe_id=stripe_id,
-                        pipeline_id=_pipeline_key(p),
-                        chunk_index=context.chunk_index.get(node, loc.chunk_on(node)),
-                        coeff=coeff_of[node],
-                        start=start,
-                        stop=stop,
-                        destination=parent,
-                        rate_mbps=rate,
-                        wait_for=children,
-                        num_slices=num_slices,
-                        repair_id=repair_id or stripe_id,
+            for piece, (start, stop) in enumerate(
+                _map_concat_range(lo, hi, spans)
+            ):
+                pipeline_id = (_pipeline_key(p) << 12) | piece
+                for node in participants:
+                    children = tuple(sorted(p.children_of(node)))
+                    parent = p.parent_of(node)
+                    rate = next(e.rate for e in p.edges if e.child == node)
+                    tasks.append(
+                        TransferTask(
+                            stripe_id=stripe_id,
+                            pipeline_id=pipeline_id,
+                            chunk_index=context.chunk_index.get(node, loc.chunk_on(node)),
+                            coeff=coeff_of[node],
+                            start=start,
+                            stop=stop,
+                            destination=parent,
+                            rate_mbps=rate,
+                            wait_for=children,
+                            num_slices=num_slices,
+                            repair_id=repair_id or stripe_id,
+                        )
                     )
-                )
         return tasks
+
+
+def _map_concat_range(
+    lo: int, hi: int, spans: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """Map ``[lo, hi)`` in concatenated-interval space to actual byte ranges.
+
+    ``spans`` are the disjoint ascending byte intervals whose
+    concatenation defines the space; the result is at most
+    ``len(spans)`` pieces, ascending and disjoint.  A repair never
+    produces more than 4096 pieces per pipeline (the pipeline-id
+    encoding's budget) — remainder intervals are bounded by the previous
+    plan's pipeline count.
+    """
+    pieces: list[tuple[int, int]] = []
+    offset = 0
+    for a, b in spans:
+        length = b - a
+        cut_lo = max(lo, offset)
+        cut_hi = min(hi, offset + length)
+        if cut_hi > cut_lo:
+            pieces.append((a + cut_lo - offset, a + cut_hi - offset))
+        offset += length
+        if offset >= hi:
+            break
+    if len(pieces) > 4096:
+        raise ValueError("remainder too fragmented for pipeline-id encoding")
+    return pieces
 
 
 def _pipeline_key(pipeline: Pipeline) -> int:

@@ -14,9 +14,17 @@ Beyond the paper's single-chunk scenario the prototype also supports:
   run (the substrate for full-node repair batches);
 * **degraded reads** — serving a chunk whose node is down by repairing
   on the read path without persisting;
-* **mid-repair failure recovery** — if a helper dies while streaming,
-  the master detects the stalled repair when the queue drains and
-  reschedules against the surviving helpers;
+* **mid-repair failure recovery** — a progress watchdog detects a
+  stalled transfer (crashed helper, dead link), aborts the attempt, and
+  re-plans only the *unfinished remainder* against the surviving
+  helpers, walking the degradation ladder (helper promotion -> full
+  re-plan -> conventional star fallback) before giving an explicit
+  ``failed`` verdict (see ``docs/FAULTS.md``);
+* **fault injection** — :class:`~repro.faults.FaultInjector` schedules
+  crashes, stragglers, stalls, and report faults onto the same event
+  queue through the cluster's fault hooks (:meth:`fail_node`,
+  :meth:`set_rate_cap`, :meth:`stall_node`, :meth:`suppress_reports`,
+  :meth:`delay_reports`);
 * **full-node repair** — rebuilding every chunk of a dead node through
   the batch planner in :mod:`repro.core.fullnode`.
 """
@@ -29,47 +37,107 @@ import numpy as np
 
 from ..core.fullnode import StripeRepairSpec, plan_full_node_repair
 from ..ec.rs import RSCode
+from ..faults import COMPLETED, DEGRADED, ESCALATED, FAILED
 from ..net import units
 from ..net.bandwidth import BandwidthSnapshot, RepairContext
 from ..repair.base import RepairAlgorithm, get_algorithm
 from ..repair.plan import RepairPlan
+from ..repair.recovery import uncovered_intervals
 from ..sim.events import EventQueue
 from .datanode import DataNode
-from .master import Master, StripeLocation
+from .master import DeadNodeError, Master, RepairImpossibleError, StripeLocation
 from .messages import BandwidthReport, SliceData, TransferTask
 
 
 @dataclass
 class RepairOutcome:
-    """Result of one end-to-end chunk repair."""
+    """Result of one end-to-end chunk repair.
 
-    plan: RepairPlan
-    rebuilt: np.ndarray
+    Attributes
+    ----------
+    status:
+        Terminal verdict (see :mod:`repro.faults`): ``completed`` (the
+        planned algorithm finished, possibly after re-plans), ``degraded``
+        (finished via a ladder rung — helper promotion or star fallback),
+        ``escalated`` (a second chunk was lost mid-repair; finished
+        through the multi-chunk path), or ``failed`` (explicit failure
+        verdict — never silent corruption).
+    retries:
+        Attempts aborted by the progress watchdog (re-dispatches).
+    replans:
+        Plans computed after the first (full re-plans and promotions).
+    bytes_retransferred:
+        Payload bytes received at the requester whose byte ranges never
+        completed in their attempt and had to be repaired again.
+    """
+
+    plan: RepairPlan | None
+    rebuilt: np.ndarray | None
     elapsed_seconds: float
     bytes_received: int
     verified: bool
     attempts: int = 1
+    status: str = COMPLETED
+    retries: int = 0
+    replans: int = 0
+    bytes_retransferred: int = 0
+    failure_reason: str | None = None
 
 
 @dataclass
 class _Assembly:
-    """Requester-side reassembly of one failed chunk."""
+    """Requester-side reassembly of one failed chunk, across attempts."""
 
     stripe_id: str
     repair_id: str
     requester: int
     chunk_bytes: int
+    failed_node: int = -1
     #: pipeline key -> sender nodes expected to deliver that range
-    expected: dict[int, set]
-    #: pipeline key -> bytes expected in total from those senders
-    expected_bytes: dict[int, int]
+    expected: dict[int, set] = field(default_factory=dict)
+    #: pipeline key -> bytes of its range not yet decode-complete
+    outstanding: dict[int, int] = field(default_factory=dict)
+    #: pipeline key -> {(lo, hi): sources arrived} per slice range
+    slice_arrivals: dict[int, dict] = field(default_factory=dict)
+    #: byte ranges with every contribution folded in (decode-correct),
+    #: accumulated across attempts — the complement is the remainder
+    completed: list = field(default_factory=list)
+    done_bytes: int = 0
     buffer: np.ndarray = field(repr=False, default=None)
     received: int = 0
     last_arrival: float = 0.0
+    # ---- recovery state (single-chunk repair path only) --------------- #
+    plan: RepairPlan | None = None
+    attempt: int = 0
+    retries: int = 0
+    replans: int = 0
+    bytes_retransferred: int = 0
+    wire_id: str = ""
+    failure_reason: str | None = None
+    escalate: bool = False
+    degraded: bool = False
+    timer: object = None
+    armed_timeout: float = 0.0
+    timer_mark: int = -1
+    timeout_s: float | None = None
+    max_attempts: int = 3
+    backoff_base_s: float = 0.02
+    watchdog: bool = False
 
     @property
     def complete(self) -> bool:
-        return self.received >= sum(self.expected_bytes.values())
+        return self.done_bytes >= self.chunk_bytes
+
+    @property
+    def failed(self) -> bool:
+        return self.failure_reason is not None
+
+    def plan_participants(self) -> tuple[int, ...]:
+        if self.plan is None:
+            return ()
+        return tuple(
+            sorted({c for p in self.plan.pipelines for c in p.participants})
+        )
 
 
 class ClusterSystem:
@@ -113,7 +181,15 @@ class ClusterSystem:
             node.deliver = self._deliver
         self._alive = [True] * num_nodes
         self._assemblies: dict[str, _Assembly] = {}
+        #: wire id (repair id or per-attempt epoch) -> live assembly
+        self._wire_assembly: dict[str, _Assembly] = {}
+        #: wire ids of aborted attempts; their in-flight slices are
+        #: silently dropped instead of corrupting the new attempt's state
+        self._retired: set[str] = set()
         self._stripe_sizes: dict[str, int] = {}
+        self._heartbeat_on = False
+        self._heartbeat_period_s = 0.05
+        self._heartbeat_pending = False
 
     # ---- cluster state ------------------------------------------------ #
 
@@ -125,17 +201,25 @@ class ClusterSystem:
         return self._alive[node]
 
     def set_bandwidth(self, snapshot: BandwidthSnapshot) -> None:
-        """Feed the master a fresh bandwidth picture (all nodes report)."""
+        """Feed the master a fresh bandwidth picture (live nodes report)."""
         if snapshot.num_nodes != self.num_nodes:
             raise ValueError("snapshot size mismatch")
         for i in range(self.num_nodes):
+            if not self._alive[i] or self.master.is_node_dead(i):
+                continue  # dead nodes do not report (master would reject)
             self.master.on_bandwidth_report(
                 BandwidthReport(
                     node=i,
                     uplink_mbps=float(snapshot.uplink[i]),
                     downlink_mbps=float(snapshot.downlink[i]),
-                )
+                ),
+                now=self.events.now,
             )
+
+    @property
+    def traffic_bytes(self) -> int:
+        """Total payload bytes every node has put on the wire so far."""
+        return sum(node.bytes_sent for node in self.nodes)
 
     def write_stripe(
         self,
@@ -163,8 +247,69 @@ class ClusterSystem:
         return loc
 
     def fail_node(self, node: int) -> None:
-        """Mark a node failed (its chunks become unreachable)."""
+        """Crash a node (its chunks become unreachable).
+
+        The master is *not* told directly: the control plane learns of
+        the death through detection — the dispatch-time liveness probe,
+        a progress-watchdog abort, or heartbeat-lease expiry.
+
+        A crash is classified against every active self-healing repair:
+        a *participant* (helper/hub of the current plan) crash is left to
+        the progress watchdog, which re-plans the remainder; a crash
+        that loses a second, *uninvolved* chunk of the stripe escalates
+        the repair to the multi-chunk path immediately.
+        """
         self._alive[node] = False
+        for asm in list(self._assemblies.values()):
+            if not asm.watchdog or asm.complete or asm.failed or asm.escalate:
+                continue
+            loc = self.master.stripe(asm.stripe_id)
+            if (
+                node in loc.placement
+                and node != asm.failed_node
+                and node not in asm.plan_participants()
+            ):
+                asm.escalate = True
+                self._finish_assembly(asm, retire=True)
+
+    # ---- fault hooks (used by repro.faults.FaultInjector) -------------- #
+
+    def set_rate_cap(self, node: int, rate_cap_mbps: float | None) -> None:
+        """Straggler: cap every rate ``node`` sends at (``None`` clears)."""
+        self.nodes[node].rate_cap_mbps = rate_cap_mbps
+
+    def stall_node(self, node: int, duration_s: float) -> None:
+        """Freeze a node's data plane: no slice starts transmitting and
+        no delivery lands at it until the stall elapses."""
+        until = self.events.now + duration_s
+        node_ = self.nodes[node]
+        node_.stalled_until = max(node_.stalled_until, until)
+
+    def suppress_reports(self, node: int, duration_s: float) -> None:
+        """Drop the node's heartbeat reports for a while (lost reports)."""
+        node_ = self.nodes[node]
+        node_.reports_suppressed_until = max(
+            node_.reports_suppressed_until, self.events.now + duration_s
+        )
+
+    def delay_reports(self, node: int, delay_s: float) -> None:
+        """Delay the node's heartbeat reports by a fixed lag (late reports)."""
+        self.nodes[node].report_delay_s = delay_s
+
+    def enable_heartbeats(
+        self, period_s: float = 0.05, *, lease_missed: int = 3
+    ) -> None:
+        """Run periodic bandwidth heartbeats while repairs are active.
+
+        Every live, unsuppressed node reports each ``period_s``; the
+        master expires the lease of any node silent for ``lease_missed``
+        periods (:meth:`~repro.cluster.master.Master.check_leases`) and
+        excludes it from subsequent plans.  A lease false positive heals
+        itself: the next report from a live node rejoins it.
+        """
+        self.master.configure_lease(period_s, missed_reports=lease_missed)
+        self._heartbeat_on = True
+        self._heartbeat_period_s = period_s
 
     def stripes_on(self, node: int) -> list[str]:
         """Stripe ids that placed a chunk on the given node."""
@@ -187,8 +332,12 @@ class ClusterSystem:
         requester: int,
         *,
         inject_failure: tuple[int, float] | None = None,
+        injector=None,
         max_attempts: int = 3,
         store: bool = True,
+        progress_timeout_s: float | None = None,
+        backoff_base_s: float = 0.02,
+        on_failure: str = "raise",
     ) -> RepairOutcome:
         """Rebuild the failed node's chunk of a stripe at ``requester``.
 
@@ -197,37 +346,80 @@ class ClusterSystem:
         after ``dispatch_latency_s``, data nodes stream and combine
         slices, the requester assembles, stores, and verifies the chunk.
 
-        ``inject_failure=(node, delay)`` kills another helper ``delay``
-        simulated seconds into the repair; the master notices the stalled
-        assembly once the queue drains and reschedules against the
-        survivors (up to ``max_attempts`` total attempts).
+        The repair is self-healing: a progress watchdog (auto-sized from
+        the plan's throughput, or ``progress_timeout_s``) aborts an
+        attempt that stops making progress, scrubs half-received slices,
+        and re-dispatches after an exponential backoff
+        (``backoff_base_s * 2**attempt``) — re-planning only the
+        unfinished remainder down the master's degradation ladder.  A
+        second chunk loss mid-repair escalates to :meth:`repair_multi`
+        (which persists the rebuilt chunks regardless of ``store``).
+
+        Faults: ``inject_failure=(node, delay)`` crashes one node
+        ``delay`` simulated seconds in; ``injector`` arms a whole
+        :class:`~repro.faults.FaultInjector` schedule.
+
+        After ``max_attempts`` attempts (or an impossible re-plan) the
+        repair ends with an explicit verdict: ``on_failure="raise"``
+        raises ``RuntimeError``; ``"outcome"`` returns a
+        :class:`RepairOutcome` with ``status="failed"`` — never a
+        silently corrupt chunk.
         """
         if self._alive[failed_node]:
             raise ValueError(f"node {failed_node} has not failed")
         if not self._alive[requester]:
             raise ValueError("requester node is down")
+        if on_failure not in ("raise", "outcome"):
+            raise ValueError('on_failure must be "raise" or "outcome"')
         start_time = self.events.now
         if inject_failure is not None:
             node, delay = inject_failure
             self.events.schedule(delay, lambda n=node: self.fail_node(n))
+        if injector is not None:
+            injector.arm(self)
 
-        attempts = 0
-        plan = None
         repair_id = f"{stripe_id}/n{failed_node}"
-        while attempts < max_attempts:
-            attempts += 1
-            plan = self._dispatch_repair(
-                stripe_id, failed_node, requester, repair_id
+        chunk_bytes = self._stripe_sizes[stripe_id]
+        asm = _Assembly(
+            stripe_id=stripe_id,
+            repair_id=repair_id,
+            requester=requester,
+            chunk_bytes=chunk_bytes,
+            failed_node=failed_node,
+            buffer=np.zeros(chunk_bytes, dtype=np.uint8),
+            timeout_s=progress_timeout_s,
+            max_attempts=max_attempts,
+            backoff_base_s=backoff_base_s,
+            watchdog=True,
+        )
+        self._assemblies[repair_id] = asm
+        self._start_attempt(asm)
+        self.events.run()
+        self._drop_assembly(asm)
+
+        if asm.escalate:
+            return self._finish_escalated(asm, start_time, on_failure=on_failure)
+        if not asm.complete:
+            reason = asm.failure_reason or "repair did not complete"
+            if on_failure == "raise":
+                raise RuntimeError(
+                    f"repair of {stripe_id} failed after {asm.attempt} "
+                    f"attempts: {reason}"
+                )
+            return RepairOutcome(
+                plan=asm.plan,
+                rebuilt=None,
+                elapsed_seconds=self.events.now - start_time,
+                bytes_received=asm.received,
+                verified=False,
+                attempts=max(asm.attempt, 1),
+                status=FAILED,
+                retries=asm.retries,
+                replans=asm.replans,
+                bytes_retransferred=asm.bytes_retransferred,
+                failure_reason=reason,
             )
-            self.events.run()
-            asm = self._assemblies[repair_id]
-            if asm.complete:
-                break
-        else:
-            raise RuntimeError(
-                f"repair of {stripe_id} failed after {max_attempts} attempts"
-            )
-        asm = self._assemblies.pop(repair_id)
+
         loc = self.master.stripe(stripe_id)
         lost_chunk = loc.chunk_on(failed_node)
         rebuilt = asm.buffer
@@ -236,12 +428,16 @@ class ClusterSystem:
             self.master.relocate_chunk(stripe_id, lost_chunk, requester)
         original = self.nodes[failed_node].store.get(stripe_id, lost_chunk)
         return RepairOutcome(
-            plan=plan,
+            plan=asm.plan,
             rebuilt=rebuilt,
             elapsed_seconds=asm.last_arrival - start_time,
             bytes_received=asm.received,
             verified=bool(np.array_equal(rebuilt, original)),
-            attempts=attempts,
+            attempts=asm.attempt,
+            status=DEGRADED if asm.degraded else COMPLETED,
+            retries=asm.retries,
+            replans=asm.replans,
+            bytes_retransferred=asm.bytes_retransferred,
         )
 
     def degraded_read(
@@ -331,7 +527,7 @@ class ClusterSystem:
         self.events.run()
         outcomes: dict[int, RepairOutcome] = {}
         for f in failed_nodes:
-            asm = self._assemblies.pop(f"{stripe_id}/n{f}")
+            asm = self._pop_assembly(f"{stripe_id}/n{f}")
             if not asm.complete:
                 raise RuntimeError(f"multi-failure repair of chunk on {f} stalled")
             lost = loc.chunk_on(f)
@@ -410,7 +606,7 @@ class ClusterSystem:
                 )
             self.events.run()
             for sid in batch:
-                asm = self._assemblies.pop(f"{sid}/n{failed_node}")
+                asm = self._pop_assembly(f"{sid}/n{failed_node}")
                 if not asm.complete:
                     raise RuntimeError(f"batched repair of {sid} incomplete")
                 loc = self.master.stripe(sid)
@@ -427,29 +623,293 @@ class ClusterSystem:
                 )
         return outcomes
 
-    # ---- internals ---------------------------------------------------- #
+    # ---- self-healing attempt state machine --------------------------- #
 
-    def _dispatch_repair(
-        self, stripe_id: str, failed_node: int, requester: int,
-        repair_id: str | None = None,
-    ) -> RepairPlan:
-        """Schedule against live helpers and dispatch the transfer tasks."""
-        loc = self.master.stripe(stripe_id)
-        helpers = tuple(
-            n for n in loc.placement if n != failed_node and self._alive[n]
+    def _start_attempt(self, asm: _Assembly) -> None:
+        """Plan and dispatch one attempt over the unfinished remainder."""
+        if asm.complete or asm.failed or asm.escalate:
+            return
+        loc = self.master.stripe(asm.stripe_id)
+        # dispatch-time liveness probe: the master checks the placement
+        # (and the requester) before planning, so crashed nodes are
+        # declared dead without waiting for a lease to expire
+        for n in (*loc.placement, asm.requester):
+            if not self._alive[n] and not self.master.is_node_dead(n):
+                self.master.mark_node_dead(n)
+        lost = [n for n in loc.placement if not self._alive[n]]
+        participants = asm.plan_participants()
+        if any(
+            n != asm.failed_node and n not in participants for n in lost
+        ):
+            # a chunk the current plan was not even using is gone too —
+            # single-chunk recovery cannot restore the stripe; escalate
+            asm.escalate = True
+            self._finish_assembly(asm, retire=True)
+            return
+        newly_dead = tuple(
+            n
+            for n in asm.plan_participants()
+            if not self._alive[n] or self.master.is_node_dead(n)
         )
-        ctx_snapshot = self.master.snapshot()
-        context = RepairContext(
-            snapshot=ctx_snapshot,
-            requester=requester,
-            helpers=helpers,
-            k=self.code.k,
-            chunk_index={n: loc.chunk_on(n) for n in helpers},
+        asm.attempt += 1
+        if asm.attempt > 1:
+            asm.replans += 1
+        try:
+            plan = self.master.schedule_repair(
+                asm.stripe_id,
+                asm.failed_node,
+                asm.requester,
+                prev_plan=asm.plan,
+                newly_dead=newly_dead,
+            )
+        except (ValueError, RuntimeError) as exc:
+            asm.failure_reason = f"planning failed: {exc}"
+            self._finish_assembly(asm, retire=True)
+            return
+        asm.plan = plan
+        if "recovery" in plan.meta:
+            asm.degraded = True  # a ladder rung (promotion / star) was used
+        remainder = uncovered_intervals(asm.chunk_bytes, asm.completed)
+        remaining = sum(b - a for a, b in remainder)
+        wire = (
+            asm.repair_id
+            if asm.attempt == 1
+            else f"{asm.repair_id}#a{asm.attempt}"
         )
-        plan = self.master.algorithm.plan(context)
-        plan.validate()
-        self._dispatch_plan(plan, stripe_id, failed_node, requester, repair_id)
-        return plan
+        asm.wire_id = wire
+        self._wire_assembly[wire] = asm
+        lost_chunk = loc.chunk_on(asm.failed_node)
+        windows = max(1, -(-remaining // self.slice_bytes))
+        tasks = self.master.compile_tasks(
+            plan,
+            asm.stripe_id,
+            lost_chunk,
+            chunk_bytes=asm.chunk_bytes,
+            num_slices=windows,
+            repair_id=wire,
+            intervals=remainder,
+        )
+        asm.expected = {}
+        asm.outstanding = {}
+        asm.slice_arrivals = {}
+        for task in tasks:
+            if task.destination == asm.requester:
+                src = loc.node_of(task.chunk_index)
+                asm.expected.setdefault(task.pipeline_id, set()).add(src)
+                asm.outstanding[task.pipeline_id] = task.stop - task.start
+        for task in tasks:
+            owner = loc.node_of(task.chunk_index)
+            self.events.schedule(
+                self.dispatch_latency_s,
+                lambda t=task, o=owner: self._assign_if_alive(o, t),
+            )
+        self._arm_timer(asm)
+        self._ensure_heartbeat()
+
+    def _arm_timer(self, asm: _Assembly) -> None:
+        """(Re)arm the progress watchdog for the current attempt."""
+        if asm.timer is not None:
+            self.events.cancel(asm.timer)
+        timeout = asm.timeout_s
+        if timeout is None:
+            # auto: 4x the expected remaining transfer time at plan rate
+            remaining = max(asm.chunk_bytes - asm.done_bytes, 1)
+            rate = asm.plan.total_rate if asm.plan is not None else 0.0
+            timeout = max(
+                0.05, 4.0 * units.transfer_seconds(remaining, max(rate, 1.0))
+            )
+        timeout *= 2**asm.retries  # back off after every aborted attempt
+        asm.armed_timeout = timeout
+        asm.timer_mark = asm.received
+        asm.timer = self.events.schedule(
+            timeout, lambda a=asm: self._on_timeout(a)
+        )
+
+    def _on_timeout(self, asm: _Assembly) -> None:
+        asm.timer = None
+        if asm.complete or asm.failed or asm.escalate:
+            return
+        if asm.received > asm.timer_mark:
+            self._arm_timer(asm)  # progress since the last check: keep watching
+            return
+        self._abort_attempt(
+            asm,
+            f"no progress within {asm.armed_timeout:.4g}s "
+            f"(attempt {asm.attempt})",
+        )
+
+    def _abort_attempt(self, asm: _Assembly, reason: str) -> None:
+        """Tear down a stalled attempt and schedule the next one."""
+        asm.retries += 1
+        self._retire_attempt(asm)
+        # scrub slices that only partially arrived — their XOR state is
+        # useless without the missing contributions, and a stale late
+        # slice must never fold into the next attempt's bytes
+        for pid, ranges in asm.slice_arrivals.items():
+            want = asm.expected.get(pid, set())
+            for (lo, hi), got in ranges.items():
+                if got and got != want:
+                    asm.bytes_retransferred += (hi - lo) * len(got)
+                    asm.buffer[lo:hi] = 0
+        asm.expected = {}
+        asm.outstanding = {}
+        asm.slice_arrivals = {}
+        if asm.attempt >= asm.max_attempts:
+            asm.failure_reason = f"{reason}; {asm.attempt} attempts exhausted"
+            self._finish_assembly(asm, retire=False)
+            return
+        delay = asm.backoff_base_s * (2 ** (asm.attempt - 1))
+        self.events.schedule(delay, lambda a=asm: self._start_attempt(a))
+
+    def _retire_attempt(self, asm: _Assembly) -> None:
+        """Retire the attempt's wire id: nodes stop sending, in-flight
+        slices of the old epoch are dropped on delivery."""
+        if not asm.wire_id:
+            return
+        self._retired.add(asm.wire_id)
+        self._wire_assembly.pop(asm.wire_id, None)
+        for node in self.nodes:
+            node.cancel_repair(asm.wire_id)
+
+    def _finish_assembly(self, asm: _Assembly, *, retire: bool) -> None:
+        """Terminal bookkeeping: stop the watchdog (and maybe the wire)."""
+        if asm.timer is not None:
+            self.events.cancel(asm.timer)
+            asm.timer = None
+        if retire:
+            self._retire_attempt(asm)
+
+    def _drop_assembly(self, asm: _Assembly) -> None:
+        """Forget a finished repair's routing state (queue is drained)."""
+        self._assemblies.pop(asm.repair_id, None)
+        self._wire_assembly.pop(asm.wire_id, None)
+        self._wire_assembly.pop(asm.repair_id, None)
+        prefix = asm.repair_id + "#"
+        self._retired = {
+            r
+            for r in self._retired
+            if r != asm.repair_id and not r.startswith(prefix)
+        }
+
+    def _finish_escalated(
+        self, asm: _Assembly, start_time: float, *, on_failure: str
+    ) -> RepairOutcome:
+        """Second chunk lost mid-repair: restart through repair_multi."""
+        loc = self.master.stripe(asm.stripe_id)
+        lost = tuple(n for n in loc.placement if not self._alive[n])
+        requester_for = {asm.failed_node: asm.requester}
+        used = {asm.requester}
+        fail_reason = None
+        for f in lost:
+            if f == asm.failed_node:
+                continue
+            cand = next(
+                (
+                    r
+                    for r in range(self.num_nodes)
+                    if self._alive[r]
+                    and r not in loc.placement
+                    and r not in used
+                    and not self.master.is_node_dead(r)
+                ),
+                None,
+            )
+            if cand is None:
+                fail_reason = f"no spare requester for chunk on node {f}"
+                break
+            requester_for[f] = cand
+            used.add(cand)
+        outcomes = None
+        if fail_reason is None:
+            try:
+                outcomes = self.repair_multi(asm.stripe_id, lost, requester_for)
+            except (ValueError, RuntimeError) as exc:
+                fail_reason = str(exc)
+        if outcomes is None:
+            reason = f"second chunk lost mid-repair; {fail_reason}"
+            if on_failure == "raise":
+                raise RuntimeError(
+                    f"repair of {asm.stripe_id} failed: {reason}"
+                )
+            return RepairOutcome(
+                plan=asm.plan,
+                rebuilt=None,
+                elapsed_seconds=self.events.now - start_time,
+                bytes_received=asm.received,
+                verified=False,
+                attempts=max(asm.attempt, 1),
+                status=FAILED,
+                retries=asm.retries,
+                replans=asm.replans,
+                bytes_retransferred=asm.bytes_retransferred,
+                failure_reason=reason,
+            )
+        ours = outcomes[asm.failed_node]
+        return RepairOutcome(
+            plan=ours.plan,
+            rebuilt=ours.rebuilt,
+            elapsed_seconds=self.events.now - start_time,
+            bytes_received=asm.received + ours.bytes_received,
+            verified=ours.verified,
+            attempts=max(asm.attempt, 1) + 1,
+            status=ESCALATED,
+            retries=asm.retries,
+            replans=asm.replans + len(lost),
+            bytes_retransferred=asm.bytes_retransferred + asm.received,
+        )
+
+    # ---- heartbeats ---------------------------------------------------- #
+
+    def _active_watchdogs(self) -> bool:
+        return any(
+            a.watchdog and not (a.complete or a.failed or a.escalate)
+            for a in self._assemblies.values()
+        )
+
+    def _ensure_heartbeat(self) -> None:
+        if not self._heartbeat_on or self._heartbeat_pending:
+            return
+        self._heartbeat_pending = True
+        self.events.schedule(self._heartbeat_period_s, self._heartbeat_tick)
+
+    def _heartbeat_tick(self) -> None:
+        self._heartbeat_pending = False
+        now = self.events.now
+        snap = self.master.snapshot()
+        for i in range(self.num_nodes):
+            if not self._alive[i]:
+                continue  # crashed nodes stop reporting; leases expire
+            node = self.nodes[i]
+            if node.reports_suppressed_until > now:
+                continue
+            up = float(snap.uplink[i])
+            if node.rate_cap_mbps is not None:
+                up = min(up, node.rate_cap_mbps)
+            report = BandwidthReport(
+                node=i, uplink_mbps=up, downlink_mbps=float(snap.downlink[i])
+            )
+            if node.report_delay_s > 0:
+                self.events.schedule(
+                    node.report_delay_s,
+                    lambda r=report: self._submit_report(r),
+                )
+            else:
+                self._submit_report(report)
+        self.master.check_leases(now)
+        if self._active_watchdogs():
+            self._ensure_heartbeat()
+
+    def _submit_report(self, report: BandwidthReport) -> None:
+        try:
+            self.master.on_bandwidth_report(report, now=self.events.now)
+        except DeadNodeError:
+            if self._alive[report.node]:
+                # lease false positive: the node is alive and reporting —
+                # rejoin it (the master's dead set is a belief, not truth)
+                self.master.mark_node_live(report.node)
+                self.master.on_bandwidth_report(report, now=self.events.now)
+
+    # ---- internals ---------------------------------------------------- #
 
     def _dispatch_plan(
         self,
@@ -489,37 +949,61 @@ class ClusterSystem:
         repair_id: str,
     ) -> None:
         expected: dict[int, set] = {}
-        expected_bytes: dict[int, int] = {}
+        outstanding: dict[int, int] = {}
         stripe_id = tasks[0].stripe_id if tasks else ""
         loc = self.master.stripe(stripe_id)
         for task in tasks:
             if task.destination == requester:
                 src = loc.node_of(task.chunk_index)
                 expected.setdefault(task.pipeline_id, set()).add(src)
-                expected_bytes[task.pipeline_id] = expected_bytes.get(
-                    task.pipeline_id, 0
-                ) + (task.stop - task.start)
-        self._assemblies[repair_id] = _Assembly(
+                outstanding[task.pipeline_id] = task.stop - task.start
+        asm = _Assembly(
             stripe_id=stripe_id,
             repair_id=repair_id,
             requester=requester,
             chunk_bytes=chunk_bytes,
             expected=expected,
-            expected_bytes=expected_bytes,
+            outstanding=outstanding,
             buffer=np.zeros(chunk_bytes, dtype=np.uint8),
+            plan=plan,
+            wire_id=repair_id,
+            attempt=1,
         )
+        self._assemblies[repair_id] = asm
+        self._wire_assembly[repair_id] = asm
+
+    def _pop_assembly(self, repair_id: str) -> _Assembly:
+        asm = self._assemblies.pop(repair_id)
+        self._wire_assembly.pop(asm.wire_id, None)
+        return asm
 
     def _deliver(self, destination: int, data: SliceData) -> None:
         """Route a slice either to a data node or into requester assembly."""
         if not self._alive[data.source] or not self._alive[destination]:
             return  # packets from/to dead nodes vanish
         node = self.nodes[destination]
-        key = (data.repair_id or data.stripe_id, data.pipeline_id)
+        now = self.events.now
+        if node.stalled_until > now:
+            # receiver frozen: the delivery lands when the stall elapses
+            self.events.schedule_at(
+                node.stalled_until,
+                lambda d=destination, m=data: self._deliver(d, m),
+            )
+            return
+        rid = data.repair_id or data.stripe_id
+        key = (rid, data.pipeline_id)
         if key in node._tasks:
             node.receive(data)
             return
-        asm = self._assemblies.get(data.repair_id or data.stripe_id)
-        if asm is None or asm.requester != destination:
+        asm = self._wire_assembly.get(rid)
+        if asm is None:
+            if rid in self._retired:
+                return  # stale slice from an aborted attempt's epoch
+            raise RuntimeError(
+                f"slice for {data.stripe_id} delivered to unexpected node "
+                f"{destination}"
+            )
+        if asm.requester != destination:
             raise RuntimeError(
                 f"slice for {data.stripe_id} delivered to unexpected node "
                 f"{destination}"
@@ -530,11 +1014,26 @@ class ClusterSystem:
                 f"unexpected slice from {data.source} for pipeline "
                 f"{data.pipeline_id}"
             )
+        arrivals = asm.slice_arrivals.setdefault(data.pipeline_id, {})
+        got = arrivals.setdefault((data.start, data.stop), set())
+        if data.source in got:
+            raise RuntimeError(
+                f"duplicate slice [{data.start}, {data.stop}) from "
+                f"{data.source} for pipeline {data.pipeline_id}"
+            )
+        got.add(data.source)
         span = asm.buffer[data.start : data.stop]
         np.bitwise_xor(span, data.payload, out=span)
         asm.received += len(data.payload)
         # the requester pays the final combine cost for this slice
         asm.last_arrival = max(
             asm.last_arrival,
-            self.events.now + self.compute_s_per_byte * len(data.payload),
+            now + self.compute_s_per_byte * len(data.payload),
         )
+        if got == sources:
+            # every contribution folded in: this byte range is decoded
+            asm.completed.append((data.start, data.stop))
+            asm.done_bytes += data.stop - data.start
+            asm.outstanding[data.pipeline_id] -= data.stop - data.start
+        if asm.complete:
+            self._finish_assembly(asm, retire=False)

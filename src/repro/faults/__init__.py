@@ -1,0 +1,52 @@
+"""Fault injection and fault-model vocabulary.
+
+The subsystem that lets the cluster prototype be tested *against* the
+failures it exists to repair: deterministic, seedable fault schedules
+(crashes, stragglers, stalls, lost/late bandwidth reports) armed into
+the simulation event queue, plus the status vocabulary for repair
+outcomes under faults.  See ``docs/FAULTS.md`` for the fault model and
+the degradation ladder.
+"""
+
+from .events import (
+    FAULT_TYPES,
+    Crash,
+    Fault,
+    LateReport,
+    ReportLoss,
+    Stall,
+    Straggler,
+)
+from .injector import FaultInjector, InjectionLog
+
+#: Repair terminated with the originally planned algorithm; chunk verified.
+COMPLETED = "completed"
+#: Repair terminated correct but on a fallback path (star repair, or with
+#: fewer/replacement helpers than first planned).
+DEGRADED = "degraded"
+#: A second chunk of the stripe was lost mid-repair; the repair finished
+#: through the multi-chunk path.
+ESCALATED = "escalated"
+#: Explicit failure verdict: the chunk could not be rebuilt (e.g. fewer
+#: than k live helpers).  Never silent corruption.
+FAILED = "failed"
+
+#: Every terminal repair status, in severity order.
+REPAIR_STATUSES = (COMPLETED, DEGRADED, ESCALATED, FAILED)
+
+__all__ = [
+    "FAULT_TYPES",
+    "Crash",
+    "Fault",
+    "LateReport",
+    "ReportLoss",
+    "Stall",
+    "Straggler",
+    "FaultInjector",
+    "InjectionLog",
+    "COMPLETED",
+    "DEGRADED",
+    "ESCALATED",
+    "FAILED",
+    "REPAIR_STATUSES",
+]

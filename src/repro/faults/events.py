@@ -1,0 +1,95 @@
+"""Fault-event vocabulary for the injection subsystem.
+
+Each fault is a frozen dataclass naming a target node and an absolute
+simulation time (seconds on the cluster's event queue).  The
+:class:`~repro.faults.injector.FaultInjector` schedules them against any
+system exposing the matching hook methods (duck-typed, so the faults
+layer never imports the cluster layer):
+
+===============  =====================================================
+fault            required system hook
+===============  =====================================================
+:class:`Crash`           ``fail_node(node)``
+:class:`Straggler`       ``set_rate_cap(node, rate_cap_mbps)``
+:class:`Stall`           ``stall_node(node, duration_s)``
+:class:`ReportLoss`      ``suppress_reports(node, duration_s)``
+:class:`LateReport`      ``delay_reports(node, delay_s)``
+===============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Node dies at ``time``: chunks unreachable, in-flight sends vanish."""
+
+    node: int
+    time: float
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Persistent rate cap (Mbps) on every transfer the node sends.
+
+    Models a node whose effective uplink collapses (disk contention, CPU
+    steal, a mis-negotiated NIC) without the node dying: transfers keep
+    trickling, so crash detection never triggers, only slowness.
+    """
+
+    node: int
+    time: float
+    rate_cap_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.rate_cap_mbps <= 0:
+            raise ValueError("straggler cap must be positive (use Crash for 0)")
+
+
+@dataclass(frozen=True)
+class Stall:
+    """All traffic from/to the node freezes for ``duration_s`` seconds.
+
+    An infinite stall is indistinguishable from a crash to the detector;
+    model that with :class:`Crash` so the event queue stays finite.
+    """
+
+    node: int
+    time: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("stall duration must be positive")
+
+
+@dataclass(frozen=True)
+class ReportLoss:
+    """The node's bandwidth reports are dropped for ``duration_s`` seconds.
+
+    Long enough a loss makes the master's lease expire and declare the
+    node dead even though its data plane still works — the classic
+    false-positive failure detection scenario.
+    """
+
+    node: int
+    time: float
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class LateReport:
+    """The node's bandwidth reports arrive ``delay_s`` seconds late."""
+
+    node: int
+    time: float
+    delay_s: float
+
+
+#: Every concrete fault type, in a stable order (used by the random
+#: schedule generator; append only).
+FAULT_TYPES = (Crash, Straggler, Stall, ReportLoss, LateReport)
+
+Fault = Crash | Straggler | Stall | ReportLoss | LateReport

@@ -1,0 +1,160 @@
+"""Deterministic, seedable fault injection for the cluster prototype.
+
+A :class:`FaultInjector` holds a schedule of fault events (see
+:mod:`repro.faults.events`) and arms them into a target system's
+deterministic event queue (:class:`repro.sim.events.EventQueue`).  Armed
+faults fire as ordinary simulation events, so a run with the same seed,
+workload and schedule is bit-for-bit reproducible — the property the
+chaos harness relies on to shrink failures to a single seed.
+
+The injector is duck-typed against its target: it needs ``events``
+(an EventQueue) plus the hook methods listed in
+:mod:`repro.faults.events`.  :class:`repro.cluster.ClusterSystem`
+provides all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .events import Crash, Fault, LateReport, ReportLoss, Stall, Straggler
+
+
+@dataclass
+class InjectionLog:
+    """What actually fired, for assertions and reports."""
+
+    armed: int = 0
+    fired: list = field(default_factory=list)
+
+
+class FaultInjector:
+    """Schedules fault events into a system's event queue.
+
+    Build one either explicitly (``add`` each fault) or via
+    :meth:`random_schedule` for chaos testing.  Call :meth:`arm` once,
+    before the workload runs; every fault becomes an event on the
+    system's queue and applies itself through the system's hooks when
+    its time comes.
+    """
+
+    def __init__(self, faults: list[Fault] | None = None) -> None:
+        self._faults: list[Fault] = list(faults or [])
+        self.log = InjectionLog()
+
+    # ---- building ----------------------------------------------------- #
+
+    def add(self, fault: Fault) -> "FaultInjector":
+        self._faults.append(fault)
+        return self
+
+    @property
+    def faults(self) -> tuple[Fault, ...]:
+        """The schedule, sorted by (time, node) for determinism."""
+        return tuple(sorted(self._faults, key=lambda f: (f.time, f.node)))
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    @classmethod
+    def random_schedule(
+        cls,
+        seed: int,
+        *,
+        nodes,
+        horizon_s: float,
+        max_faults: int = 3,
+        max_crashes: int | None = None,
+        rate_cap_range: tuple[float, float] = (5.0, 100.0),
+        stall_range_s: tuple[float, float] | None = None,
+        protected: tuple[int, ...] = (),
+    ) -> "FaultInjector":
+        """A deterministic random fault schedule.
+
+        Parameters
+        ----------
+        seed:
+            Everything about the schedule derives from this.
+        nodes:
+            Pool of target node ids (each node targeted at most once).
+        horizon_s:
+            Fault times are drawn uniformly from ``(0, horizon_s)``.
+        max_faults / max_crashes:
+            At most ``max_faults`` faults total; crash count additionally
+            capped (defaults to ``max_faults``) so schedules cannot kill
+            more nodes than the caller's code can tolerate.
+        rate_cap_range / stall_range_s:
+            Parameter ranges for stragglers and stalls; stalls default to
+            (horizon/20, horizon/4) so they are long enough to trip the
+            progress detector but always finite.
+        protected:
+            Node ids never targeted (e.g. the requester when the test
+            requires the repair destination to survive).
+        """
+        rng = np.random.default_rng(seed)
+        pool = [n for n in nodes if n not in protected]
+        rng.shuffle(pool)
+        count = int(rng.integers(1, max_faults + 1))
+        count = min(count, len(pool))
+        if max_crashes is None:
+            max_crashes = max_faults
+        if stall_range_s is None:
+            stall_range_s = (horizon_s / 20, horizon_s / 4)
+        inj = cls()
+        crashes = 0
+        for i in range(count):
+            node = int(pool[i])
+            t = float(rng.uniform(0.0, horizon_s))
+            kind = int(rng.integers(0, 5))
+            if kind == 0 and crashes >= max_crashes:
+                kind = 1 + int(rng.integers(0, 4))
+            if kind == 0:
+                crashes += 1
+                inj.add(Crash(node=node, time=t))
+            elif kind == 1:
+                cap = float(rng.uniform(*rate_cap_range))
+                inj.add(Straggler(node=node, time=t, rate_cap_mbps=cap))
+            elif kind == 2:
+                dur = float(rng.uniform(*stall_range_s))
+                inj.add(Stall(node=node, time=t, duration_s=dur))
+            elif kind == 3:
+                dur = float(rng.uniform(horizon_s / 10, horizon_s))
+                inj.add(ReportLoss(node=node, time=t, duration_s=dur))
+            else:
+                delay = float(rng.uniform(horizon_s / 50, horizon_s / 5))
+                inj.add(LateReport(node=node, time=t, delay_s=delay))
+        return inj
+
+    # ---- arming ------------------------------------------------------- #
+
+    def arm(self, system) -> None:
+        """Schedule every fault onto ``system.events``.
+
+        Fault times are absolute; times already in the past fire
+        immediately (insertion order).  Each firing is recorded in
+        :attr:`log` for post-run assertions.
+        """
+        now = system.events.now
+        for fault in self.faults:
+            delay = max(0.0, fault.time - now)
+            system.events.schedule(
+                delay, lambda f=fault, s=system: self._apply(s, f)
+            )
+            self.log.armed += 1
+
+    def _apply(self, system, fault: Fault) -> None:
+        if isinstance(fault, Crash):
+            system.fail_node(fault.node)
+        elif isinstance(fault, Straggler):
+            system.set_rate_cap(fault.node, fault.rate_cap_mbps)
+        elif isinstance(fault, Stall):
+            system.stall_node(fault.node, fault.duration_s)
+        elif isinstance(fault, ReportLoss):
+            system.suppress_reports(fault.node, fault.duration_s)
+        elif isinstance(fault, LateReport):
+            system.delay_reports(fault.node, fault.delay_s)
+        else:  # pragma: no cover - new fault types must be wired here
+            raise TypeError(f"unknown fault type {type(fault).__name__}")
+        self.log.fired.append(fault)

@@ -4,6 +4,12 @@ from .base import RepairAlgorithm, algorithm_names, compute_plan, get_algorithm
 from .conventional import ConventionalRepair
 from .plan import Edge, Pipeline, RepairPlan
 from .pivot import PivotRepair
+from .recovery import (
+    intervals_length,
+    merge_intervals,
+    substitute_nodes,
+    uncovered_intervals,
+)
 from .ppr import PartialParallelRepair
 from .ppt import ParallelPipelineTree
 from .rendering import plan_to_dot, render_plan
@@ -25,6 +31,10 @@ __all__ = [
     "RepairPipelining",
     "TreeSolution",
     "optimal_tree",
+    "substitute_nodes",
+    "merge_intervals",
+    "uncovered_intervals",
+    "intervals_length",
     "plan_to_dot",
     "render_plan",
 ]

@@ -1,0 +1,118 @@
+"""Mid-repair recovery primitives: hub promotion and remainder tracking.
+
+When a helper dies while a repair is streaming, the cheapest recovery is
+not a full re-plan but a *substitution*: keep the plan's tree shapes,
+segments and rates, and splice a surviving spare helper into the dead
+node's position (taking over its parent edge and adopting its children —
+"promoting a replacement hub" when the dead node was a pipeline's
+interior combine node).  Only when no spare fits the dead node's rates
+does the master fall back to the next rung of the degradation ladder
+(full re-plan, then conventional star repair; see ``docs/FAULTS.md``).
+
+This module also provides the byte-interval bookkeeping used to re-plan
+only the *unfinished remainder* of a chunk: re-repairing bytes that
+already decoded wastes exactly the traffic the paper is trying to
+minimise.
+"""
+
+from __future__ import annotations
+
+from ..net.bandwidth import RepairContext
+from .plan import Edge, Pipeline, RepairPlan
+
+
+def substitute_nodes(
+    plan: RepairPlan,
+    dead: tuple[int, ...],
+    context: RepairContext,
+) -> RepairPlan | None:
+    """Splice spare helpers into the positions of ``dead`` nodes.
+
+    Every pipeline keeps its segment, tree shape and edge rates; each
+    dead node is replaced (everywhere it appears) by one spare helper
+    from ``context.helpers`` that is not yet uploading in any pipeline
+    that contains the dead node.  Spares are tried richest-uplink first.
+    The rewritten plan is validated against ``context``'s snapshot —
+    including simultaneous rate feasibility — and ``None`` is returned
+    when no assignment validates, signalling the caller to re-plan from
+    scratch.
+    """
+    dead = tuple(d for d in set(dead) if any(
+        d in p.participants for p in plan.pipelines
+    ))
+    if not dead:
+        return None  # nothing to promote; caller should use the plan as-is
+    in_use = {c for p in plan.pipelines for c in p.participants}
+    spares = [
+        h for h in context.helpers if h not in in_use and h not in dead
+    ]
+    spares.sort(key=lambda h: (-context.uplink(h), h))
+    if len(spares) < len(dead):
+        return None
+    replacement: dict[int, int] = {}
+    for d, s in zip(sorted(dead), spares):
+        replacement[d] = s
+
+    def sub(node: int) -> int:
+        return replacement.get(node, node)
+
+    pipelines = []
+    for p in plan.pipelines:
+        edges = [
+            Edge(child=sub(e.child), parent=sub(e.parent), rate=e.rate)
+            for e in p.edges
+        ]
+        pipelines.append(Pipeline(task_id=p.task_id, segment=p.segment, edges=edges))
+    candidate = RepairPlan(
+        algorithm=plan.algorithm,
+        context=context,
+        pipelines=pipelines,
+        calc_seconds=0.0,
+        meta={**plan.meta, "recovery": "promoted", "promoted": replacement},
+    )
+    try:
+        candidate.validate()
+    except ValueError:
+        return None
+    return candidate
+
+
+# --------------------------------------------------------------------- #
+# remainder interval bookkeeping                                        #
+# --------------------------------------------------------------------- #
+
+
+def merge_intervals(intervals) -> list[tuple[int, int]]:
+    """Union of half-open byte intervals, sorted and coalesced."""
+    spans = sorted((int(a), int(b)) for a, b in intervals if b > a)
+    merged: list[tuple[int, int]] = []
+    for a, b in spans:
+        if merged and a <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], b))
+        else:
+            merged.append((a, b))
+    return merged
+
+
+def uncovered_intervals(
+    total: int, covered
+) -> list[tuple[int, int]]:
+    """Complement of ``covered`` within ``[0, total)`` — the remainder.
+
+    ``covered`` is any iterable of half-open byte ranges already repaired
+    and verified complete; the result is what a re-plan still owes.
+    """
+    gaps: list[tuple[int, int]] = []
+    pos = 0
+    for a, b in merge_intervals(covered):
+        a, b = max(0, a), min(total, b)
+        if a > pos:
+            gaps.append((pos, a))
+        pos = max(pos, b)
+    if pos < total:
+        gaps.append((pos, total))
+    return gaps
+
+
+def intervals_length(intervals) -> int:
+    return sum(b - a for a, b in intervals)

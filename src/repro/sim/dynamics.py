@@ -34,6 +34,21 @@ from ..repair.plan import RepairPlan
 from ..workloads.base import Trace
 
 
+@dataclass(frozen=True)
+class StallRecord:
+    """One interval during which the repair moved no bytes.
+
+    ``cause`` is ``"fault"`` when an injected fault explains the stall
+    (a participant of an unfinished pipeline is crashed at that time),
+    ``"congestion"`` when the foreground traffic alone starved the
+    repair's max-min share.
+    """
+
+    at_seconds: float
+    duration_s: float
+    cause: str
+
+
 @dataclass
 class DriftResult:
     """Outcome of a repair executed under bandwidth drift."""
@@ -45,6 +60,10 @@ class DriftResult:
     completed: bool
     #: per-interval aggregate goodput (Mbps) actually achieved
     goodput_mbps: list[float] = field(default_factory=list)
+    #: one record per stalled interval, with its diagnosed cause
+    stalls: list[StallRecord] = field(default_factory=list)
+    #: the stall deadline fired: the repair was abandoned, not drained
+    timed_out: bool = False
 
 
 def _interval_progress(
@@ -108,6 +127,9 @@ def simulate_under_drift(
     interval_s: float = 1.0,
     replan_interval_s: float | None = None,
     max_seconds: float = 3600.0,
+    node_rate_caps: dict[int, float] | None = None,
+    dead_from: dict[int, float] | None = None,
+    stall_deadline_s: float | None = None,
 ) -> DriftResult:
     """Run one repair against a moving trace.
 
@@ -115,21 +137,61 @@ def simulate_under_drift(
     ``replan_interval_s`` set, the scheduler re-runs at that period on
     the remaining bytes (its measured calculation time is added to the
     clock); otherwise the initial plan is used throughout.
+
+    Injected faults: ``node_rate_caps`` caps a straggler's uplink and
+    downlink (Mbps) for the whole run; ``dead_from`` maps a node to the
+    clock time (seconds from repair start) after which it is crashed —
+    every link touching it carries nothing.  Each zero-progress interval
+    is recorded as a :class:`StallRecord` whose cause distinguishes an
+    injected fault from plain congestion.
+
+    ``stall_deadline_s`` bounds how long the repair may make *no*
+    progress before it is abandoned (``timed_out=True``) — without it a
+    dead helper in the no-replan configuration would otherwise grind
+    through ``max_seconds`` of stalled intervals.
     """
     if not 0 <= start_instant < len(trace):
         raise ValueError("start_instant outside the trace")
+    if stall_deadline_s is not None and stall_deadline_s <= 0:
+        raise ValueError("stall_deadline_s must be positive")
+    node_rate_caps = dict(node_rate_caps or {})
+    dead_from = dict(dead_from or {})
 
     clock = 0.0
     calc_total = 0.0
     replans = 0
-    stalled = 0
     goodput: list[float] = []
+    stalls: list[StallRecord] = []
+    stalled_for = 0.0
+
+    def faulted_snapshot(instant: int, at: float) -> BandwidthSnapshot:
+        snap = trace.snapshot(instant)
+        if not node_rate_caps and not dead_from:
+            return snap
+        uplink = snap.uplink.copy()
+        downlink = snap.downlink.copy()
+        for node, cap in node_rate_caps.items():
+            uplink[node] = min(uplink[node], cap)
+            downlink[node] = min(downlink[node], cap)
+        for node, t_dead in dead_from.items():
+            if at >= t_dead:
+                uplink[node] = 0.0
+                downlink[node] = 0.0
+        return BandwidthSnapshot(uplink=uplink, downlink=downlink)
+
+    def dead_now(at: float) -> set[int]:
+        return {n for n, t_dead in dead_from.items() if at >= t_dead}
 
     def plan_at(instant: int, size: float) -> tuple[RepairPlan, dict[int, float]]:
+        snap = faulted_snapshot(instant, clock)
+        gone = dead_now(clock)
+        live_helpers = tuple(h for h in helpers if h not in gone)
+        if requester in gone or len(live_helpers) < k:
+            raise ValueError("not enough live nodes to re-plan")
         ctx = RepairContext(
-            snapshot=trace.snapshot(instant),
+            snapshot=snap,
             requester=requester,
-            helpers=helpers,
+            helpers=live_helpers,
             k=k,
         )
         plan = algorithm.plan(ctx)
@@ -149,9 +211,10 @@ def simulate_under_drift(
                 seconds=clock,
                 replans=replans,
                 calc_seconds_total=calc_total,
-                stalled_intervals=stalled,
+                stalled_intervals=len(stalls),
                 completed=True,
                 goodput_mbps=goodput,
+                stalls=stalls,
             )
         instant = min(start_instant + int(clock / interval_s), len(trace) - 1)
         if (
@@ -167,12 +230,40 @@ def simulate_under_drift(
                 last_replan = clock
             except (ValueError, RuntimeError):
                 pass  # unschedulable right now; keep draining the old plan
-        snapshot = trace.snapshot(instant)
+        snapshot = faulted_snapshot(instant, clock)
         step, moved = _interval_progress(plan, snapshot, remaining, interval_s)
         if step <= 0:
             step = interval_s  # nothing movable this interval
         if moved <= 1e-9:
-            stalled += 1
+            gone = dead_now(clock)
+            unfinished = {
+                c
+                for i, p in enumerate(plan.pipelines)
+                if remaining.get(i, 0.0) > 1e-9
+                for e in p.edges
+                for c in (e.child, e.parent)
+            }
+            cause = "fault" if unfinished & gone else "congestion"
+            stalls.append(
+                StallRecord(at_seconds=clock, duration_s=step, cause=cause)
+            )
+            stalled_for += step
+            if (
+                stall_deadline_s is not None
+                and stalled_for >= stall_deadline_s
+            ):
+                return DriftResult(
+                    seconds=clock + step,
+                    replans=replans,
+                    calc_seconds_total=calc_total,
+                    stalled_intervals=len(stalls),
+                    completed=False,
+                    goodput_mbps=goodput,
+                    stalls=stalls,
+                    timed_out=True,
+                )
+        else:
+            stalled_for = 0.0
         goodput.append(units.bytes_per_s_to_mbps(moved / step))
         clock += step
 
@@ -180,7 +271,8 @@ def simulate_under_drift(
         seconds=clock,
         replans=replans,
         calc_seconds_total=calc_total,
-        stalled_intervals=stalled,
+        stalled_intervals=len(stalls),
         completed=False,
         goodput_mbps=goodput,
+        stalls=stalls,
     )

@@ -21,6 +21,11 @@ class _Entry:
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
 
+    @property
+    def event_id(self) -> int:
+        """Stable integer identifier accepted by :meth:`EventQueue.cancel`."""
+        return self.seq
+
 
 class EventQueue:
     """A deterministic event queue with cancellation support."""
@@ -29,6 +34,7 @@ class EventQueue:
         self._heap: list[_Entry] = []
         self._seq = itertools.count()
         self._now = 0.0
+        self._pending: dict[int, _Entry] = {}
 
     @property
     def now(self) -> float:
@@ -38,12 +44,15 @@ class EventQueue:
     def schedule(self, delay: float, action: Callable[[], None]) -> _Entry:
         """Schedule ``action`` to run ``delay`` seconds from now.
 
-        Returns a handle accepted by :meth:`cancel`.
+        Returns a handle accepted by :meth:`cancel`; its ``event_id``
+        attribute is an integer alternative for callers that cannot hold
+        the handle itself (e.g. ids threaded through messages).
         """
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         entry = _Entry(self._now + delay, next(self._seq), action)
         heapq.heappush(self._heap, entry)
+        self._pending[entry.seq] = entry
         return entry
 
     def schedule_at(self, time: float, action: Callable[[], None]) -> _Entry:
@@ -61,9 +70,26 @@ class EventQueue:
             delay = 0.0
         return self.schedule(delay, action)
 
-    def cancel(self, entry: _Entry) -> None:
-        """Cancel a scheduled event (lazy removal)."""
-        entry.cancelled = True
+    def cancel(self, entry: "_Entry | int") -> bool:
+        """Cancel a scheduled event (lazy removal).
+
+        Accepts either the handle returned by :meth:`schedule` or its
+        integer ``event_id``.  Returns True if the event was still
+        pending; cancelling an event that already fired (or was already
+        cancelled) is a harmless no-op returning False — timeout timers
+        disarmed on progress race their own firing by design.
+        """
+        event_id = entry if isinstance(entry, int) else entry.seq
+        pending = self._pending.pop(event_id, None)
+        if pending is None:
+            return False
+        pending.cancelled = True
+        return True
+
+    def is_pending(self, entry: "_Entry | int") -> bool:
+        """True while the event is scheduled and not yet fired/cancelled."""
+        event_id = entry if isinstance(entry, int) else entry.seq
+        return event_id in self._pending
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False when the queue is empty."""
@@ -71,6 +97,7 @@ class EventQueue:
             entry = heapq.heappop(self._heap)
             if entry.cancelled:
                 continue
+            self._pending.pop(entry.seq, None)
             self._now = entry.time
             entry.action()
             return True

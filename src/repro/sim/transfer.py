@@ -53,12 +53,23 @@ class TransferParams:
     compute_s_per_byte:
         GF-combination cost charged at every non-leaf node per byte
         forwarded.
+    node_rate_caps:
+        Optional straggler model: node id -> Mbps cap applied to every
+        edge the node uploads on (its planned rate is clamped, the rest
+        of the schedule is unchanged — the analytic twin of
+        ``DataNode.rate_cap_mbps``).
+    deadline_s:
+        Optional failure-detection deadline: a transfer whose makespan
+        exceeds it is flagged ``timed_out`` in the result (the analytic
+        twin of the cluster's progress watchdog).
     """
 
     chunk_bytes: int
     slice_bytes: int | None = 64 * units.KIB
     slice_overhead_s: float = 200e-6
     compute_s_per_byte: float = DEFAULT_COMPUTE_SECONDS_PER_BYTE
+    node_rate_caps: tuple[tuple[int, float], ...] | None = None
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.chunk_bytes < 0:
@@ -67,6 +78,27 @@ class TransferParams:
             raise ValueError("slice_bytes must be positive or None")
         if self.slice_overhead_s < 0 or self.compute_s_per_byte < 0:
             raise ValueError("overheads must be non-negative")
+        if self.node_rate_caps is not None:
+            # accept any mapping/iterable, store hashably (frozen dataclass)
+            items = (
+                self.node_rate_caps.items()
+                if hasattr(self.node_rate_caps, "items")
+                else self.node_rate_caps
+            )
+            caps = tuple(sorted((int(n), float(c)) for n, c in items))
+            if any(c <= 0 for _, c in caps):
+                raise ValueError("rate caps must be positive")
+            object.__setattr__(self, "node_rate_caps", caps)
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+
+    def cap_of(self, node: int) -> float | None:
+        if self.node_rate_caps is None:
+            return None
+        for n, cap in self.node_rate_caps:
+            if n == node:
+                return cap
+        return None
 
 
 @dataclass(frozen=True)
@@ -81,11 +113,15 @@ class TransferResult:
         Per-pipeline completion times, aligned with ``plan.pipelines``.
     bytes_moved:
         Total bytes crossing all links (repair-traffic volume).
+    timed_out:
+        The makespan exceeded ``params.deadline_s`` — the watchdog would
+        have declared this transfer failed and re-planned.
     """
 
     transfer_seconds: float
     pipeline_seconds: tuple[float, ...]
     bytes_moved: float
+    timed_out: bool = False
 
 
 def effective_slice_bytes(
@@ -135,7 +171,8 @@ def _pipeline_makespan(
     edge_rate: dict[int, float] = {}
     for e in pipeline.edges:
         children.setdefault(e.parent, []).append(e.child)
-        edge_rate[e.child] = e.rate
+        cap = params.cap_of(e.child)
+        edge_rate[e.child] = e.rate if cap is None else min(e.rate, cap)
 
     combine = params.compute_s_per_byte * sizes
 
@@ -196,10 +233,13 @@ def execute(plan: RepairPlan, params: TransferParams) -> TransferResult:
         t, b = _pipeline_makespan(p, plan.context.requester, params, total_rate)
         times.append(t)
         total_bytes += b
+    makespan = float(max(times)) if times else 0.0
     return TransferResult(
-        transfer_seconds=float(max(times)) if times else 0.0,
+        transfer_seconds=makespan,
         pipeline_seconds=tuple(times),
         bytes_moved=total_bytes,
+        timed_out=params.deadline_s is not None
+        and makespan > params.deadline_s,
     )
 
 

@@ -132,3 +132,153 @@ class TestRelocation:
         sys_.repair("x", failed_node=1, requester=6)
         assert sys_.master.stripe("x").node_of(1) == 6
         assert np.array_equal(sys_.read_chunk("x", 1), data[1])
+
+
+class TestLiveness:
+    def test_report_from_unregistered_node_rejected(self, master):
+        from repro.cluster.master import UnknownNodeError
+
+        with pytest.raises(UnknownNodeError, match="not registered"):
+            master.on_bandwidth_report(
+                BandwidthReport(node=42, uplink_mbps=10.0, downlink_mbps=10.0)
+            )
+
+    def test_report_from_dead_node_rejected(self, master):
+        from repro.cluster.master import DeadNodeError
+
+        master.mark_node_dead(3)
+        with pytest.raises(DeadNodeError, match="dead node 3"):
+            master.on_bandwidth_report(
+                BandwidthReport(node=3, uplink_mbps=10.0, downlink_mbps=10.0)
+            )
+
+    def test_mark_node_live_rejoins(self, master):
+        master.mark_node_dead(3)
+        assert master.is_node_dead(3)
+        assert master.dead_nodes() == (3,)
+        master.mark_node_live(3)
+        assert not master.is_node_dead(3)
+        master.on_bandwidth_report(
+            BandwidthReport(node=3, uplink_mbps=55.0, downlink_mbps=66.0)
+        )
+        assert master.snapshot().uplink[3] == 55.0
+
+    def test_build_context_excludes_dead_helpers(self, master):
+        master.mark_node_dead(1)
+        ctx = master.build_context("s1", failed_node=0, requester=6)
+        assert 1 not in ctx.helpers
+        assert set(ctx.helpers) == {2, 3, 4}
+
+    def test_build_context_dead_requester_rejected(self, master):
+        from repro.cluster.master import DeadNodeError
+
+        master.mark_node_dead(6)
+        with pytest.raises(DeadNodeError, match="requester 6 is dead"):
+            master.build_context("s1", failed_node=0, requester=6)
+
+    def test_too_few_live_helpers_is_repair_impossible(self, master):
+        from repro.cluster.master import RepairImpossibleError
+
+        master.mark_node_dead(1)
+        master.mark_node_dead(2)
+        with pytest.raises(RepairImpossibleError, match="need k=3"):
+            master.build_context("s1", failed_node=0, requester=6)
+
+
+class TestLeases:
+    def test_lease_config_validation(self, master):
+        with pytest.raises(ValueError):
+            master.configure_lease(0.0)
+        with pytest.raises(ValueError):
+            master.configure_lease(0.1, missed_reports=0)
+
+    def test_leases_disabled_by_default(self, master):
+        assert master.check_leases(now=1e9) == []
+
+    def test_lease_expiry_declares_node_dead(self):
+        m = Master(RSCode(5, 3), FullRepair(), num_nodes=8)
+        m.configure_lease(0.1, missed_reports=3)
+        for i in range(4):
+            m.on_bandwidth_report(
+                BandwidthReport(node=i, uplink_mbps=100.0, downlink_mbps=100.0),
+                now=0.0,
+            )
+        m.on_bandwidth_report(
+            BandwidthReport(node=0, uplink_mbps=100.0, downlink_mbps=100.0),
+            now=0.5,
+        )
+        expired = m.check_leases(now=0.55)
+        assert expired == [1, 2, 3]
+        assert m.dead_nodes() == (1, 2, 3)
+        assert not m.is_node_dead(0)
+
+    def test_never_reported_nodes_are_not_leased(self):
+        m = Master(RSCode(5, 3), FullRepair(), num_nodes=8)
+        m.configure_lease(0.1, missed_reports=3)
+        m.on_bandwidth_report(
+            BandwidthReport(node=0, uplink_mbps=100.0, downlink_mbps=100.0),
+            now=0.0,
+        )
+        assert m.check_leases(now=10.0) == [0]
+        # nodes 1..7 never reported: not declared dead
+        assert m.dead_nodes() == (0,)
+
+    def test_lease_false_positive_heals_on_rejoin(self):
+        m = Master(RSCode(5, 3), FullRepair(), num_nodes=8)
+        m.configure_lease(0.1, missed_reports=3)
+        m.on_bandwidth_report(
+            BandwidthReport(node=2, uplink_mbps=100.0, downlink_mbps=100.0),
+            now=0.0,
+        )
+        assert m.check_leases(now=1.0) == [2]
+        m.mark_node_live(2)
+        m.on_bandwidth_report(
+            BandwidthReport(node=2, uplink_mbps=80.0, downlink_mbps=90.0),
+            now=1.0,
+        )
+        assert not m.is_node_dead(2)
+        assert m.check_leases(now=1.05) == []
+
+
+class TestFallbackLadder:
+    def test_promotion_reuses_previous_plan_shape(self):
+        from repro.repair import get_algorithm
+
+        m = Master(RSCode(5, 3), get_algorithm("rp"), num_nodes=8)
+        m.register_stripe(StripeLocation("s1", (0, 1, 2, 3, 4)))
+        for i in range(8):
+            m.on_bandwidth_report(
+                BandwidthReport(node=i, uplink_mbps=100.0, downlink_mbps=100.0)
+            )
+        prev = m.schedule_repair("s1", failed_node=0, requester=6)
+        victim = prev.pipelines[0].participants[0]
+        m.mark_node_dead(victim)
+        dead = m.dead_nodes()
+        promoted = m.schedule_repair(
+            "s1", failed_node=0, requester=6, prev_plan=prev, newly_dead=dead
+        )
+        promoted.validate()
+        assert promoted.meta.get("recovery") == "promoted"
+        assert victim in promoted.meta["promoted"]
+        for pipeline in promoted.pipelines:
+            assert not set(pipeline.participants) & set(dead)
+        # tree shape preserved: same number of pipelines and edges
+        assert len(promoted.pipelines) == len(prev.pipelines)
+        assert [len(p.edges) for p in promoted.pipelines] == [
+            len(p.edges) for p in prev.pipelines
+        ]
+
+    def test_replan_without_prev_plan(self, master):
+        master.mark_node_dead(1)
+        plan = master.schedule_repair("s1", failed_node=0, requester=6)
+        plan.validate()
+        for pipeline in plan.pipelines:
+            assert 1 not in pipeline.participants
+
+    def test_every_rung_fails_raises_repair_impossible(self, master):
+        from repro.cluster.master import RepairImpossibleError
+
+        master.mark_node_dead(1)
+        master.mark_node_dead(2)
+        with pytest.raises(RepairImpossibleError):
+            master.schedule_repair("s1", failed_node=0, requester=6)

@@ -1,0 +1,165 @@
+"""Unit tests for the fault-injection subsystem (`repro.faults`)."""
+
+import pytest
+
+from repro.faults import (
+    COMPLETED,
+    DEGRADED,
+    ESCALATED,
+    FAILED,
+    FAULT_TYPES,
+    REPAIR_STATUSES,
+    Crash,
+    FaultInjector,
+    LateReport,
+    ReportLoss,
+    Stall,
+    Straggler,
+)
+from repro.sim.events import EventQueue
+
+
+class FakeSystem:
+    """Duck-typed target recording every hook call."""
+
+    def __init__(self):
+        self.events = EventQueue()
+        self.calls = []
+
+    def fail_node(self, node):
+        self.calls.append(("crash", node))
+
+    def set_rate_cap(self, node, cap):
+        self.calls.append(("cap", node, cap))
+
+    def stall_node(self, node, duration_s):
+        self.calls.append(("stall", node, duration_s))
+
+    def suppress_reports(self, node, duration_s):
+        self.calls.append(("loss", node, duration_s))
+
+    def delay_reports(self, node, delay_s):
+        self.calls.append(("late", node, delay_s))
+
+
+class TestFaultEvents:
+    def test_straggler_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            Straggler(node=1, time=0.1, rate_cap_mbps=0.0)
+        with pytest.raises(ValueError):
+            Straggler(node=1, time=0.1, rate_cap_mbps=-5.0)
+
+    def test_stall_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            Stall(node=1, time=0.1, duration_s=0.0)
+
+    def test_faults_are_frozen(self):
+        c = Crash(node=2, time=0.5)
+        with pytest.raises(AttributeError):
+            c.node = 3
+
+    def test_fault_types_registry_covers_all(self):
+        assert set(FAULT_TYPES) == {Crash, Straggler, Stall, ReportLoss, LateReport}
+
+    def test_status_constants(self):
+        assert REPAIR_STATUSES == (COMPLETED, DEGRADED, ESCALATED, FAILED)
+        assert COMPLETED == "completed" and FAILED == "failed"
+
+
+class TestSchedule:
+    def test_add_chains_and_counts(self):
+        inj = FaultInjector().add(Crash(node=1, time=0.2)).add(
+            Stall(node=2, time=0.1, duration_s=0.05)
+        )
+        assert len(inj) == 2
+
+    def test_faults_sorted_by_time_then_node(self):
+        inj = FaultInjector(
+            [
+                Crash(node=5, time=0.3),
+                Crash(node=1, time=0.1),
+                Crash(node=0, time=0.3),
+            ]
+        )
+        assert [(f.time, f.node) for f in inj.faults] == [
+            (0.1, 1),
+            (0.3, 0),
+            (0.3, 5),
+        ]
+
+    def test_random_schedule_is_deterministic(self):
+        kw = dict(nodes=range(12), horizon_s=2.0, max_faults=4)
+        a = FaultInjector.random_schedule(1234, **kw)
+        b = FaultInjector.random_schedule(1234, **kw)
+        assert a.faults == b.faults
+        assert 1 <= len(a) <= 4
+
+    def test_different_seeds_differ(self):
+        kw = dict(nodes=range(12), horizon_s=2.0, max_faults=4)
+        schedules = {
+            FaultInjector.random_schedule(s, **kw).faults for s in range(20)
+        }
+        assert len(schedules) > 1
+
+    def test_protected_nodes_never_targeted(self):
+        for seed in range(50):
+            inj = FaultInjector.random_schedule(
+                seed, nodes=range(8), horizon_s=1.0, max_faults=5,
+                protected=(0, 7),
+            )
+            assert all(f.node not in (0, 7) for f in inj.faults)
+
+    def test_each_node_targeted_at_most_once(self):
+        for seed in range(30):
+            inj = FaultInjector.random_schedule(
+                seed, nodes=range(6), horizon_s=1.0, max_faults=6
+            )
+            nodes = [f.node for f in inj.faults]
+            assert len(nodes) == len(set(nodes))
+
+    def test_max_crashes_cap_respected(self):
+        for seed in range(80):
+            inj = FaultInjector.random_schedule(
+                seed, nodes=range(10), horizon_s=1.0, max_faults=6,
+                max_crashes=1,
+            )
+            crashes = [f for f in inj.faults if isinstance(f, Crash)]
+            assert len(crashes) <= 1
+
+    def test_times_within_horizon(self):
+        for seed in range(30):
+            inj = FaultInjector.random_schedule(
+                seed, nodes=range(10), horizon_s=0.5, max_faults=4
+            )
+            assert all(0.0 <= f.time <= 0.5 for f in inj.faults)
+
+
+class TestArming:
+    def test_arm_fires_every_fault_in_time_order(self):
+        sys = FakeSystem()
+        inj = FaultInjector(
+            [
+                Straggler(node=3, time=0.2, rate_cap_mbps=40.0),
+                Crash(node=1, time=0.1),
+                ReportLoss(node=2, time=0.3, duration_s=0.5),
+                LateReport(node=4, time=0.4, delay_s=0.05),
+                Stall(node=5, time=0.5, duration_s=0.1),
+            ]
+        )
+        inj.arm(sys)
+        assert inj.log.armed == 5
+        sys.events.run()
+        assert [c[0] for c in sys.calls] == ["crash", "cap", "loss", "late", "stall"]
+        assert sys.calls[0] == ("crash", 1)
+        assert sys.calls[1] == ("cap", 3, 40.0)
+        assert len(inj.log.fired) == 5
+
+    def test_past_fault_times_fire_immediately(self):
+        sys = FakeSystem()
+        sys.events.schedule(1.0, lambda: None)
+        sys.events.run()  # clock now at 1.0
+        inj = FaultInjector([Crash(node=2, time=0.25)])
+        inj.arm(sys)
+        sys.events.run()
+        assert sys.calls == [("crash", 2)]
+        assert sys.events.now == 1.0

@@ -153,3 +153,83 @@ class TestIntervalProgress:
         )
         step, moved = _interval_progress(plan, snap, {0: 0.0}, 1.0)
         assert step == 0.0 and moved == 0.0
+
+
+class TestInjectedFaults:
+    def test_dead_helper_stalls_with_fault_cause(self):
+        """A crashed helper with no re-planning pins its pipeline at zero
+        progress; the stall records name the fault, not congestion."""
+        trace = flat_trace()
+        res = simulate_under_drift(
+            get_algorithm("rp"), trace, start_instant=0, requester=7,
+            helpers=(1, 2, 3, 4), k=4, chunk_bytes=units.mib(64),
+            dead_from={1: 0.5}, stall_deadline_s=5.0,
+        )
+        assert not res.completed
+        assert res.timed_out
+        assert res.stalled_intervals > 0
+        assert res.stalled_intervals == len(res.stalls)
+        assert all(s.cause == "fault" for s in res.stalls)
+
+    def test_congestion_stall_keeps_congestion_cause(self):
+        """Zero bandwidth everywhere (no injected fault) stalls with the
+        congestion cause."""
+        trace = flat_trace()
+        trace.uplink[5:] = 0.0
+        trace.downlink[5:] = 0.0
+        res = simulate_under_drift(
+            get_algorithm("rp"), trace, start_instant=0, requester=7,
+            helpers=tuple(range(1, 7)), k=4, chunk_bytes=units.mib(4096),
+            stall_deadline_s=3.0,
+        )
+        assert res.timed_out and not res.completed
+        assert res.stalls and all(s.cause == "congestion" for s in res.stalls)
+
+    def test_stall_deadline_bounds_runtime(self):
+        """Without the deadline a dead helper grinds to max_seconds; with
+        it the sim gives up as soon as the stall budget is spent."""
+        trace = flat_trace(length=10)
+        kw = dict(
+            start_instant=0, requester=7, helpers=(1, 2, 3, 4), k=4,
+            chunk_bytes=units.mib(64), dead_from={1: 0.5},
+        )
+        bounded = simulate_under_drift(
+            get_algorithm("rp"), trace, stall_deadline_s=4.0, **kw
+        )
+        unbounded = simulate_under_drift(
+            get_algorithm("rp"), trace, max_seconds=60.0, **kw
+        )
+        assert bounded.timed_out
+        assert bounded.seconds < unbounded.seconds
+        assert not unbounded.timed_out  # hit max_seconds, not the deadline
+
+    def test_replanning_routes_around_the_crash(self):
+        """With re-planning enabled the scheduler drops the dead helper
+        at the next period and the repair completes."""
+        trace = flat_trace(length=200)
+        res = simulate_under_drift(
+            get_algorithm("fullrepair"), trace, start_instant=0, requester=7,
+            helpers=tuple(range(1, 7)), k=4, chunk_bytes=units.mib(64),
+            dead_from={1: 0.5}, replan_interval_s=1.0, stall_deadline_s=30.0,
+        )
+        assert res.completed
+        assert res.replans >= 1
+
+    def test_straggler_cap_slows_completion(self):
+        trace = flat_trace()
+        clean = run("rp", trace)
+        capped = simulate_under_drift(
+            get_algorithm("rp"), trace, start_instant=0, requester=7,
+            helpers=(1, 2, 3, 4), k=4, chunk_bytes=units.mib(64),
+            node_rate_caps={1: 50.0, 2: 50.0},
+        )
+        assert capped.completed
+        assert capped.seconds > clean.seconds
+
+    def test_invalid_stall_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_under_drift(
+                get_algorithm("rp"), flat_trace(), start_instant=0,
+                requester=7, helpers=tuple(range(1, 7)), k=4,
+                chunk_bytes=units.mib(1), stall_deadline_s=0.0,
+            )

@@ -123,3 +123,54 @@ class TestScheduleAtClamp:
         q.schedule_at(2.0, lambda: order.append("second"))
         q.run()
         assert order == ["first", "second"]
+
+
+class TestCancel:
+    def test_cancel_before_fire(self):
+        q = EventQueue()
+        fired = []
+        entry = q.schedule(1.0, lambda: fired.append("x"))
+        assert q.is_pending(entry)
+        assert q.cancel(entry) is True
+        assert not q.is_pending(entry)
+        q.schedule(2.0, lambda: fired.append("y"))
+        q.run()
+        assert fired == ["y"]
+        assert q.now == 2.0  # cancelled events still advance past their slot
+
+    def test_cancel_by_event_id(self):
+        q = EventQueue()
+        fired = []
+        entry = q.schedule(1.0, lambda: fired.append("x"))
+        assert q.cancel(entry.event_id) is True
+        q.run()
+        assert fired == []
+
+    def test_cancel_after_fire_is_noop(self):
+        q = EventQueue()
+        fired = []
+        entry = q.schedule(1.0, lambda: fired.append("x"))
+        q.run()
+        assert fired == ["x"]
+        assert q.cancel(entry) is False  # already fired: nothing to cancel
+        assert not q.is_pending(entry)
+
+    def test_double_cancel_returns_false(self):
+        q = EventQueue()
+        entry = q.schedule(1.0, lambda: None)
+        assert q.cancel(entry) is True
+        assert q.cancel(entry) is False
+
+    def test_cancel_unknown_id_returns_false(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        assert q.cancel(999999) is False
+
+    def test_cancelled_event_does_not_block_reschedule(self):
+        q = EventQueue()
+        order = []
+        victim = q.schedule(1.0, lambda: order.append("victim"))
+        q.schedule(1.0, lambda: order.append("kept"))
+        q.cancel(victim)
+        q.run()
+        assert order == ["kept"]
