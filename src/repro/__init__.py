@@ -24,7 +24,7 @@ Quickstart::
     print(plan.total_rate)   # 900.0 Mbps — the paper's Fig. 2 example
 """
 
-from . import analysis, cluster, core, ec, net, repair, sim, workloads
+from . import analysis, cluster, core, ec, net, obs, repair, sim, workloads
 from .cluster import ClusterSystem
 from .core import FullRepair, max_pipelined_throughput
 from .ec import RSCode
@@ -51,6 +51,7 @@ __all__ = [
     "core",
     "ec",
     "net",
+    "obs",
     "repair",
     "sim",
     "workloads",

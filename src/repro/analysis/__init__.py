@@ -37,6 +37,7 @@ from .reporting import (
     render_comparison,
     render_fault_report,
     render_reductions,
+    render_repair_timeline,
     render_sweep,
     render_utilization_table,
     summarize_outcomes,
@@ -71,6 +72,7 @@ __all__ = [
     "sensitivity_sweep",
     "render_comparison",
     "render_reductions",
+    "render_repair_timeline",
     "render_sweep",
     "render_utilization_table",
     "render_fault_report",

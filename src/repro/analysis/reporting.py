@@ -165,6 +165,74 @@ def render_fault_report(outcomes, title: str = "repair under faults") -> str:
     return "\n".join(lines)
 
 
+def render_repair_timeline(
+    tracer, *, width: int = 56, max_pipelines: int = 6
+) -> str:
+    """ASCII timeline of a traced repair (``repro trace repair``).
+
+    One bar per repair/attempt/pipeline span (transfers are summarised,
+    not drawn — a single chunk can produce thousands), positioned on a
+    shared simulated-time axis, followed by the structured events
+    (watchdog fires, replans, faults) in time order.  Pass a live
+    :class:`repro.obs.Tracer` that recorded at least one repair.
+    """
+    spans = [s for s in tracer.spans() if s.kind != "transfer"]
+    if not spans:
+        return "no spans recorded (was tracing enabled?)"
+    transfers = sum(1 for s in tracer.spans() if s.kind == "transfer")
+    t0 = min(s.start for s in spans)
+    t1 = max((s.end if s.end is not None else s.start) for s in spans)
+    extent = max(t1 - t0, 1e-12)
+
+    def bar(s) -> str:
+        end = s.end if s.end is not None else t1
+        a = int((s.start - t0) / extent * width)
+        b = max(a + 1, min(width, int(round((end - t0) / extent * width))))
+        a = min(a, b - 1)
+        return " " * a + "#" * (b - a) + " " * (width - b)
+
+    lines = [
+        f"repair timeline ({_fmt_seconds(extent).strip()} total, "
+        f"{transfers} slice transfers not drawn)",
+    ]
+
+    def emit(s, depth: int) -> None:
+        end = s.end if s.end is not None else t1
+        label = f"{'  ' * depth}{s.name}"
+        lines.append(
+            f"{label[:26]:<26} |{bar(s)}| {_fmt_seconds(end - s.start).strip()}"
+        )
+
+    def walk(s, depth: int) -> None:
+        emit(s, depth)
+        pipes = [c for c in s.children if c.kind == "pipeline"]
+        for c in s.children:
+            if c.kind not in ("pipeline", "transfer"):
+                walk(c, depth + 1)
+        for c in pipes[:max_pipelines]:
+            emit(c, depth + 1)
+        if len(pipes) > max_pipelines:
+            lines.append(
+                f"{'  ' * (depth + 1)}(+{len(pipes) - max_pipelines} "
+                f"more pipelines)"
+            )
+
+    for root in spans:
+        if root.parent_id is None:
+            walk(root, 0)
+    events = tracer.all_events()
+    if events:
+        lines.append("")
+        lines.append("events:")
+        for ev in events:
+            attrs = " ".join(f"{k}={v}" for k, v in sorted(ev.attrs.items()))
+            lines.append(
+                f"  {_fmt_seconds(ev.time).strip():>10}  {ev.name}"
+                + (f"  ({attrs})" if attrs else "")
+            )
+    return "\n".join(lines)
+
+
 def render_sweep(series: dict[str, dict[int, float]], xlabel: str) -> str:
     """Render Fig. 7/8 data: per-algorithm repair time over a size sweep."""
     algorithms = list(series)

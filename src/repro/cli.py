@@ -7,20 +7,32 @@ Subcommands
                 and print the pipelines
 ``compare``     run a mini Experiment 1-3 sweep and print Fig. 4/5/6 tables
 ``table1``      reproduce the Table-I utilisation decomposition
-``trace``       generate a workload bandwidth trace (optionally save .npz)
+``trace``       generate a workload bandwidth trace (optionally save .npz),
+                or — ``repro trace repair`` — run a canned traced repair
+                with an injected hub crash and print its timeline
+``metrics``     run the traced demo repair and print the Prometheus
+                text snapshot of its metrics registry
 ``sweep``       Experiment 4/5 sweeps (slice or chunk size)
 ``hetero``      controlled-C_v throughput sweep (extension)
 ``fullnode``    full-node repair makespan, sequential vs batched (extension)
 
 Every command is deterministic under ``--seed``.
+
+Command *output* (tables, plans, snapshots) is printed to stdout so it
+stays pipeable; status and diagnostics go through :mod:`logging` on the
+``repro.*`` logger hierarchy (stderr), controlled by ``-v/--verbose``
+and ``-q/--quiet``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 import numpy as np
+
+log = logging.getLogger("repro.cli")
 
 from .analysis import (
     PAPER_CODES,
@@ -121,6 +133,8 @@ def cmd_table1(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
+    if args.workload == "repair":
+        return _cmd_trace_repair(args)
     trace = make_trace(
         args.workload,
         num_nodes=args.nodes,
@@ -136,7 +150,55 @@ def cmd_trace(args: argparse.Namespace) -> int:
     )
     if args.out:
         save_trace(trace, args.out)
-        print(f"saved to {args.out}")
+        log.info("saved to %s", args.out)
+    return 0
+
+
+def _cmd_trace_repair(args: argparse.Namespace) -> int:
+    """``repro trace repair``: the traced hub-crash demo repair."""
+    from .analysis import render_repair_timeline
+    from .obs import chrome_trace_json, spans_to_jsonl
+    from .obs.demo import traced_hub_crash_repair
+
+    log.info("running traced (14,10) repair with injected hub crash ...")
+    demo = traced_hub_crash_repair(seed=args.seed)
+    out = demo.outcome
+    print(render_repair_timeline(demo.tracer))
+    print()
+    print(
+        f"hub {demo.hub} crashed at {demo.crash_at_s * 1e3:.2f} ms; "
+        f"repair {out.status} after {out.attempts} attempts "
+        f"({out.retries} retries, {out.replans} replans), "
+        f"verified={out.verified}"
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(chrome_trace_json(demo.tracer))
+        log.info(
+            "Chrome trace written to %s "
+            "(load in Perfetto or chrome://tracing)",
+            args.out,
+        )
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            fh.write(spans_to_jsonl(demo.tracer))
+        log.info("span JSONL written to %s", args.jsonl)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs import prometheus_text
+    from .obs.demo import traced_hub_crash_repair
+
+    log.info("running traced demo repair to populate the registry ...")
+    demo = traced_hub_crash_repair(seed=args.seed)
+    text = prometheus_text(demo.metrics)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        log.info("Prometheus snapshot written to %s", args.out)
+    else:
+        print(text, end="")
     return 0
 
 
@@ -192,6 +254,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="FullRepair reproduction toolkit"
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="status messages on stderr (-vv for debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress warnings (errors only)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("plan", help="schedule one repair and print the pipelines")
@@ -217,13 +287,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_table1)
 
-    p = sub.add_parser("trace", help="generate a workload bandwidth trace")
-    p.add_argument("workload", choices=["tpcds", "tpch", "swim"])
+    p = sub.add_parser(
+        "trace",
+        help="generate a workload bandwidth trace, or ('repair') run a "
+        "traced demo repair with an injected hub crash",
+    )
+    p.add_argument("workload", choices=["tpcds", "tpch", "swim", "repair"])
     p.add_argument("--nodes", type=int, default=16)
     p.add_argument("--snapshots", type=int, default=6000)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--out", help="save as .npz")
+    p.add_argument(
+        "--out",
+        help="save as .npz (workload traces) or Chrome trace JSON ('repair')",
+    )
+    p.add_argument(
+        "--jsonl", help="'repair' only: also dump the span tree as JSONL"
+    )
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run the traced demo repair and print its Prometheus snapshot",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", help="write the snapshot to a file")
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("sweep", help="Experiment 4/5 size sweeps")
     p.add_argument("dimension", choices=["slice", "chunk"])
@@ -245,8 +333,38 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def configure_logging(verbosity: int = 0) -> None:
+    """Set up the ``repro`` logger hierarchy for CLI use.
+
+    ``verbosity``: -1 = errors only (``-q``), 0 = warnings (default),
+    1 = info (``-v``), 2+ = debug (``-vv``).  Handlers attach to the
+    ``repro`` root logger only and write to stderr; repeated calls
+    (tests invoke :func:`main` many times) reuse the installed handler
+    and just adjust the level.
+    """
+    level = (
+        logging.ERROR
+        if verbosity < 0
+        else logging.WARNING
+        if verbosity == 0
+        else logging.INFO
+        if verbosity == 1
+        else logging.DEBUG
+    )
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    if not any(getattr(h, "_repro_cli", False) for h in root.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        handler._repro_cli = True
+        root.addHandler(handler)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(-1 if args.quiet else args.verbose)
     return args.func(args)
 
 

@@ -71,6 +71,16 @@ class DataNode:
         self.deliver = None
         #: total payload bytes this node has put on the wire
         self.bytes_sent = 0
+        #: observability hook installed by the cluster; called once per
+        #: slice put on the wire: (src, dest, lo, hi, start_s, end_s,
+        #: wire_id, pipeline_id).  The cluster uses it to feed the
+        #: metrics registry (per-node byte counters, busy fractions) and
+        #: per-transfer tracer spans.
+        self.on_transfer = None
+        #: cumulative seconds this node's uplink was occupied by sends
+        self.uplink_busy_s = 0.0
+        #: cumulative seconds of inbound edge occupancy (set by the cluster)
+        self.downlink_busy_s = 0.0
         # ---- fault state (set by the cluster's fault hooks) ----------- #
         #: straggler: persistent cap (Mbps) on every rate this node sends at
         self.rate_cap_mbps: float | None = None
@@ -235,6 +245,12 @@ class DataNode:
         state.next_send += 1
         state.sent += 1
         self.bytes_sent += hi - lo
+        self.uplink_busy_s += occupancy
+        if self.on_transfer is not None:
+            self.on_transfer(
+                self.node_id, dest, lo, hi, start_tx, arrival,
+                t.repair_id or t.stripe_id, t.pipeline_id,
+            )
 
         def _complete(m=msg, d=dest, s=state) -> None:
             s.in_flight = False

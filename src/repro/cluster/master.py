@@ -11,17 +11,21 @@ repair coefficients for each pipeline's helper set), and dispatches them.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..ec.rs import RSCode
 from ..net.bandwidth import BandwidthSnapshot, RepairContext
+from ..obs import NULL_METRICS, NULL_TRACER
 from ..repair.base import RepairAlgorithm
 from ..repair.plan import Pipeline, RepairPlan
 from ..repair.recovery import substitute_nodes
 from .messages import BandwidthReport, TransferTask
 from ..core.plancache import PlanCache
+
+log = logging.getLogger("repro.cluster.master")
 
 
 class UnknownNodeError(ValueError):
@@ -55,6 +59,11 @@ class StripeLocation:
 
 class Master:
     """Cluster metadata + repair scheduling brain."""
+
+    #: observability sinks; the owning system swaps in live ones
+    #: (class-level no-op defaults keep standalone masters zero-cost)
+    tracer = NULL_TRACER
+    metrics = NULL_METRICS
 
     def __init__(
         self,
@@ -253,7 +262,18 @@ class Master:
     def plan_for_context(self, context: RepairContext) -> RepairPlan:
         """One validated plan via the configured algorithm (cache-aware)."""
         if self.plan_cache is not None:
-            return self.plan_cache.get_or_compute(self.algorithm, context)
+            plan = self.plan_cache.get_or_compute(self.algorithm, context)
+            result = plan.meta.get("plan_cache", "miss")
+            self.metrics.counter(
+                "repro_plan_cache_lookups_total",
+                "Plan-cache lookups by result.", result=result,
+            ).inc()
+            if self.tracer.enabled:
+                self.tracer.event(
+                    None, f"plan_cache.{result}",
+                    algorithm=self.algorithm.name, requester=context.requester,
+                )
+            return plan
         plan = self.algorithm.plan(context)
         plan.validate()
         return plan
@@ -284,6 +304,7 @@ class Master:
         if prev_plan is not None and newly_dead:
             promoted = substitute_nodes(prev_plan, newly_dead, context)
             if promoted is not None:
+                self._note_ladder("promotion", context)
                 return promoted
         try:
             return self.plan_for_context(context)
@@ -296,6 +317,7 @@ class Master:
                 star = ConventionalRepair().plan(context)
                 star.validate()
                 star.meta["recovery"] = "star-fallback"
+                self._note_ladder("star-fallback", context)
                 return star
             except (ValueError, RuntimeError):
                 pass
@@ -303,6 +325,18 @@ class Master:
             f"no feasible plan for requester {context.requester} with "
             f"helpers {context.helpers}"
         )
+
+    def _note_ladder(self, rung: str, context: RepairContext) -> None:
+        """Record a degradation-ladder rung being taken."""
+        log.debug("degradation ladder: %s (requester %d)", rung, context.requester)
+        self.metrics.counter(
+            "repro_ladder_total", "Degradation-ladder rungs taken.", rung=rung
+        ).inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                None, f"ladder.{rung}",
+                requester=context.requester, helpers=len(context.helpers),
+            )
 
     def schedule_repair(
         self,
@@ -412,6 +446,12 @@ class Master:
                             repair_id=repair_id or stripe_id,
                         )
                     )
+        if self.tracer.enabled:
+            self.tracer.event(
+                None, "tasks.compiled",
+                stripe=stripe_id, repair_id=repair_id or stripe_id,
+                tasks=len(tasks), bytes=total,
+            )
         return tasks
 
 

@@ -31,6 +31,7 @@ Beyond the paper's single-chunk scenario the prototype also supports:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -40,6 +41,7 @@ from ..ec.rs import RSCode
 from ..faults import COMPLETED, DEGRADED, ESCALATED, FAILED
 from ..net import units
 from ..net.bandwidth import BandwidthSnapshot, RepairContext
+from ..obs import NULL_METRICS, NULL_TRACER
 from ..repair.base import RepairAlgorithm, get_algorithm
 from ..repair.plan import RepairPlan
 from ..repair.recovery import uncovered_intervals
@@ -47,6 +49,8 @@ from ..sim.events import EventQueue
 from .datanode import DataNode
 from .master import DeadNodeError, Master, RepairImpossibleError, StripeLocation
 from .messages import BandwidthReport, SliceData, TransferTask
+
+log = logging.getLogger("repro.cluster.system")
 
 
 @dataclass
@@ -123,6 +127,9 @@ class _Assembly:
     max_attempts: int = 3
     backoff_base_s: float = 0.02
     watchdog: bool = False
+    # ---- observability (None / NULL_SPAN when tracing is off) --------- #
+    span: object = None
+    attempt_span: object = None
 
     @property
     def complete(self) -> bool:
@@ -153,6 +160,8 @@ class ClusterSystem:
         slice_overhead_s: float = 200e-6,
         compute_s_per_byte: float = 1.25e-10,
         dispatch_latency_s: float = 200e-6,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if num_nodes < code.n + 1:
             raise ValueError(
@@ -161,9 +170,16 @@ class ClusterSystem:
             )
         self.code = code
         self.events = EventQueue()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        if self.tracer.enabled and self.tracer.clock is None:
+            # spans are keyed to *simulated* time, not wall-clock
+            self.tracer.clock = lambda: self.events.now
         if isinstance(algorithm, str):
             algorithm = get_algorithm(algorithm)
         self.master = Master(code, algorithm, num_nodes)
+        self.master.tracer = self.tracer
+        self.master.metrics = self.metrics
         self.dispatch_latency_s = dispatch_latency_s
         self.compute_s_per_byte = compute_s_per_byte
         self.slice_bytes = slice_bytes
@@ -179,6 +195,10 @@ class ClusterSystem:
         ]
         for node in self.nodes:
             node.deliver = self._deliver
+            if self.tracer.enabled or self.metrics.enabled:
+                node.on_transfer = self._note_transfer
+        #: (wire id, pipeline id) -> open pipeline span (tracer enabled only)
+        self._pipeline_spans: dict[tuple[str, int], object] = {}
         self._alive = [True] * num_nodes
         self._assemblies: dict[str, _Assembly] = {}
         #: wire id (repair id or per-attempt epoch) -> live assembly
@@ -260,6 +280,12 @@ class ClusterSystem:
         the repair to the multi-chunk path immediately.
         """
         self._alive[node] = False
+        log.debug("node %d crashed at t=%.6f", node, self.events.now)
+        if self.tracer.enabled:
+            live_span = next(
+                (a.span for a in self._assemblies.values() if a.span), None
+            )
+            self.tracer.event(live_span, "node.crash", node=node)
         for asm in list(self._assemblies.values()):
             if not asm.watchdog or asm.complete or asm.failed or asm.escalate:
                 continue
@@ -270,6 +296,13 @@ class ClusterSystem:
                 and node not in asm.plan_participants()
             ):
                 asm.escalate = True
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        asm.span,
+                        "repair.escalate",
+                        node=node,
+                        reason="second chunk lost mid-repair",
+                    )
                 self._finish_assembly(asm, retire=True)
 
     # ---- fault hooks (used by repro.faults.FaultInjector) -------------- #
@@ -372,6 +405,11 @@ class ClusterSystem:
         if on_failure not in ("raise", "outcome"):
             raise ValueError('on_failure must be "raise" or "outcome"')
         start_time = self.events.now
+        busy_before = (
+            [(n.uplink_busy_s, n.downlink_busy_s) for n in self.nodes]
+            if self.metrics.enabled
+            else None
+        )
         if inject_failure is not None:
             node, delay = inject_failure
             self.events.schedule(delay, lambda n=node: self.fail_node(n))
@@ -392,21 +430,28 @@ class ClusterSystem:
             backoff_base_s=backoff_base_s,
             watchdog=True,
         )
+        if self.tracer.enabled:
+            asm.span = self.tracer.start_span(
+                f"repair {repair_id}",
+                kind="repair",
+                stripe=stripe_id,
+                failed_node=failed_node,
+                requester=requester,
+                chunk_bytes=chunk_bytes,
+                algorithm=self.master.algorithm.name,
+            )
         self._assemblies[repair_id] = asm
         self._start_attempt(asm)
         self.events.run()
         self._drop_assembly(asm)
 
         if asm.escalate:
-            return self._finish_escalated(asm, start_time, on_failure=on_failure)
-        if not asm.complete:
+            outcome = self._finish_escalated(
+                asm, start_time, on_failure="outcome"
+            )
+        elif not asm.complete:
             reason = asm.failure_reason or "repair did not complete"
-            if on_failure == "raise":
-                raise RuntimeError(
-                    f"repair of {stripe_id} failed after {asm.attempt} "
-                    f"attempts: {reason}"
-                )
-            return RepairOutcome(
+            outcome = RepairOutcome(
                 plan=asm.plan,
                 rebuilt=None,
                 elapsed_seconds=self.events.now - start_time,
@@ -419,26 +464,37 @@ class ClusterSystem:
                 bytes_retransferred=asm.bytes_retransferred,
                 failure_reason=reason,
             )
-
-        loc = self.master.stripe(stripe_id)
-        lost_chunk = loc.chunk_on(failed_node)
-        rebuilt = asm.buffer
-        if store:
-            self.nodes[requester].store.put(stripe_id, lost_chunk, rebuilt)
-            self.master.relocate_chunk(stripe_id, lost_chunk, requester)
-        original = self.nodes[failed_node].store.get(stripe_id, lost_chunk)
-        return RepairOutcome(
-            plan=asm.plan,
-            rebuilt=rebuilt,
-            elapsed_seconds=asm.last_arrival - start_time,
-            bytes_received=asm.received,
-            verified=bool(np.array_equal(rebuilt, original)),
-            attempts=asm.attempt,
-            status=DEGRADED if asm.degraded else COMPLETED,
-            retries=asm.retries,
-            replans=asm.replans,
-            bytes_retransferred=asm.bytes_retransferred,
-        )
+        else:
+            loc = self.master.stripe(stripe_id)
+            lost_chunk = loc.chunk_on(failed_node)
+            rebuilt = asm.buffer
+            if store:
+                self.nodes[requester].store.put(stripe_id, lost_chunk, rebuilt)
+                self.master.relocate_chunk(stripe_id, lost_chunk, requester)
+            original = self.nodes[failed_node].store.get(stripe_id, lost_chunk)
+            outcome = RepairOutcome(
+                plan=asm.plan,
+                rebuilt=rebuilt,
+                elapsed_seconds=asm.last_arrival - start_time,
+                bytes_received=asm.received,
+                verified=bool(np.array_equal(rebuilt, original)),
+                attempts=asm.attempt,
+                status=DEGRADED if asm.degraded else COMPLETED,
+                retries=asm.retries,
+                replans=asm.replans,
+                bytes_retransferred=asm.bytes_retransferred,
+            )
+        self._finalize_repair_obs(asm, outcome, start_time, busy_before)
+        if outcome.status == FAILED and on_failure == "raise":
+            if asm.escalate:
+                raise RuntimeError(
+                    f"repair of {stripe_id} failed: {outcome.failure_reason}"
+                )
+            raise RuntimeError(
+                f"repair of {stripe_id} failed after {asm.attempt} "
+                f"attempts: {outcome.failure_reason}"
+            )
+        return outcome
 
     def degraded_read(
         self, stripe_id: str, chunk_index: int, reader: int
@@ -644,6 +700,12 @@ class ClusterSystem:
             # a chunk the current plan was not even using is gone too —
             # single-chunk recovery cannot restore the stripe; escalate
             asm.escalate = True
+            if self.tracer.enabled:
+                self.tracer.event(
+                    asm.span,
+                    "repair.escalate",
+                    reason="uninvolved chunk lost before attempt",
+                )
             self._finish_assembly(asm, retire=True)
             return
         newly_dead = tuple(
@@ -654,6 +716,26 @@ class ClusterSystem:
         asm.attempt += 1
         if asm.attempt > 1:
             asm.replans += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            asm.attempt_span = tracer.start_span(
+                f"attempt {asm.attempt}",
+                kind="attempt",
+                parent=asm.span,
+                n=asm.attempt,
+                repair_id=asm.repair_id,
+            )
+            if asm.attempt > 1:
+                tracer.event(
+                    asm.attempt_span,
+                    "replan",
+                    attempt=asm.attempt,
+                    newly_dead=list(newly_dead),
+                )
+        log.debug(
+            "%s: attempt %d (newly dead: %s)",
+            asm.repair_id, asm.attempt, list(newly_dead),
+        )
         try:
             plan = self.master.schedule_repair(
                 asm.stripe_id,
@@ -664,6 +746,9 @@ class ClusterSystem:
             )
         except (ValueError, RuntimeError) as exc:
             asm.failure_reason = f"planning failed: {exc}"
+            log.debug("%s: planning failed: %s", asm.repair_id, exc)
+            if tracer.enabled:
+                tracer.event(asm.attempt_span, "planning.failed", error=str(exc))
             self._finish_assembly(asm, retire=True)
             return
         asm.plan = plan
@@ -697,6 +782,23 @@ class ClusterSystem:
                 src = loc.node_of(task.chunk_index)
                 asm.expected.setdefault(task.pipeline_id, set()).add(src)
                 asm.outstanding[task.pipeline_id] = task.stop - task.start
+        if tracer.enabled:
+            tracer.set_attrs(
+                asm.attempt_span,
+                wire=wire,
+                remaining_bytes=remaining,
+                pipelines=len(asm.outstanding),
+                rung=plan.meta.get("recovery", "none"),
+            )
+            for pid, nbytes in asm.outstanding.items():
+                self._pipeline_spans[(wire, pid)] = tracer.start_span(
+                    f"pipeline {pid}",
+                    kind="pipeline",
+                    parent=asm.attempt_span,
+                    pipeline=pid,
+                    bytes=nbytes,
+                    wire=wire,
+                )
         for task in tasks:
             owner = loc.node_of(task.chunk_index)
             self.events.schedule(
@@ -732,6 +834,23 @@ class ClusterSystem:
         if asm.received > asm.timer_mark:
             self._arm_timer(asm)  # progress since the last check: keep watching
             return
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "repro_watchdog_fires_total",
+                "Stalled attempts aborted by the progress watchdog.",
+            ).inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                asm.attempt_span or asm.span,
+                "watchdog.fire",
+                attempt=asm.attempt,
+                timeout_s=asm.armed_timeout,
+                received=asm.received,
+            )
+        log.debug(
+            "%s: watchdog fired on attempt %d (timeout %.4gs)",
+            asm.repair_id, asm.attempt, asm.armed_timeout,
+        )
         self._abort_attempt(
             asm,
             f"no progress within {asm.armed_timeout:.4g}s "
@@ -742,6 +861,10 @@ class ClusterSystem:
         """Tear down a stalled attempt and schedule the next one."""
         asm.retries += 1
         self._retire_attempt(asm)
+        if self.tracer.enabled and asm.attempt_span:
+            self.tracer.event(asm.attempt_span, "attempt.abort", reason=reason)
+        self._end_attempt_span(asm, aborted=True)
+        log.debug("%s: attempt %d aborted: %s", asm.repair_id, asm.attempt, reason)
         # scrub slices that only partially arrived — their XOR state is
         # useless without the missing contributions, and a stale late
         # slice must never fold into the next attempt's bytes
@@ -770,6 +893,19 @@ class ClusterSystem:
         self._wire_assembly.pop(asm.wire_id, None)
         for node in self.nodes:
             node.cancel_repair(asm.wire_id)
+        self._close_pipeline_spans(asm.wire_id, aborted=True)
+
+    def _end_attempt_span(self, asm: _Assembly, **attrs) -> None:
+        if asm.attempt_span:
+            self.tracer.end_span(asm.attempt_span, **attrs)
+        asm.attempt_span = None
+
+    def _close_pipeline_spans(self, wire_id: str, **attrs) -> None:
+        """End any still-open pipeline spans belonging to a wire epoch."""
+        if not self._pipeline_spans:
+            return
+        for key in [k for k in self._pipeline_spans if k[0] == wire_id]:
+            self.tracer.end_span(self._pipeline_spans.pop(key), **attrs)
 
     def _finish_assembly(self, asm: _Assembly, *, retire: bool) -> None:
         """Terminal bookkeeping: stop the watchdog (and maybe the wire)."""
@@ -778,6 +914,7 @@ class ClusterSystem:
             asm.timer = None
         if retire:
             self._retire_attempt(asm)
+        self._end_attempt_span(asm)
 
     def _drop_assembly(self, asm: _Assembly) -> None:
         """Forget a finished repair's routing state (queue is drained)."""
@@ -790,6 +927,13 @@ class ClusterSystem:
             for r in self._retired
             if r != asm.repair_id and not r.startswith(prefix)
         }
+        if self._pipeline_spans:
+            for key in [
+                k
+                for k in self._pipeline_spans
+                if k[0] == asm.repair_id or k[0].startswith(prefix)
+            ]:
+                self.tracer.end_span(self._pipeline_spans.pop(key))
 
     def _finish_escalated(
         self, asm: _Assembly, start_time: float, *, on_failure: str
@@ -909,6 +1053,164 @@ class ClusterSystem:
                 self.master.mark_node_live(report.node)
                 self.master.on_bandwidth_report(report, now=self.events.now)
 
+    # ---- observability -------------------------------------------------- #
+
+    def _note_transfer(
+        self,
+        src: int,
+        dest: int,
+        lo: int,
+        hi: int,
+        start_s: float,
+        end_s: float,
+        wire_id: str,
+        pipeline_id: int,
+    ) -> None:
+        """DataNode send hook (installed only when obs is live).
+
+        Credits the sender's byte counter, charges the receiver's
+        downlink occupancy, and records one uplink + one downlink
+        ``transfer`` span per slice (the Chrome exporter lays them out
+        on per-node lanes).
+        """
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "repro_node_bytes_sent_total",
+                "Payload bytes each node has put on the wire.",
+                node=str(src),
+            ).inc(hi - lo)
+        if 0 <= dest < len(self.nodes):
+            self.nodes[dest].downlink_busy_s += end_s - start_s
+        if self.tracer.enabled:
+            parent = self._pipeline_spans.get((wire_id, pipeline_id))
+            common = dict(
+                src=src, dst=dest, lo=lo, hi=hi,
+                wire=wire_id, pipeline=pipeline_id,
+            )
+            self.tracer.record_span(
+                f"{src}→{dest}", start_s, end_s, kind="transfer",
+                parent=parent, node=src, direction="uplink", **common,
+            )
+            self.tracer.record_span(
+                f"{src}→{dest}", start_s, end_s, kind="transfer",
+                parent=parent, node=dest, direction="downlink", **common,
+            )
+
+    def trace_fault(self, fault) -> None:
+        """Observability hook called by :class:`~repro.faults.FaultInjector`
+        as each fault is applied."""
+        kind = type(fault).__name__
+        log.debug("fault injected: %r", fault)
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "repro_faults_injected_total",
+                "Faults applied by the injector, by kind.",
+                kind=kind,
+            ).inc()
+        if self.tracer.enabled:
+            live_span = next(
+                (a.span for a in self._assemblies.values() if a.span), None
+            )
+            attrs = {"kind": kind}
+            node = getattr(fault, "node", None)
+            if node is not None:
+                attrs["node"] = node
+            self.tracer.event(live_span, "fault.injected", **attrs)
+
+    def _finalize_repair_obs(
+        self,
+        asm: _Assembly,
+        outcome: RepairOutcome,
+        start_time: float,
+        busy_before: list | None,
+    ) -> None:
+        """Close the repair span and publish end-of-repair metrics."""
+        elapsed = max(outcome.elapsed_seconds, 0.0)
+        if self.tracer.enabled and asm.span:
+            self.tracer.set_attrs(
+                asm.span,
+                status=outcome.status,
+                attempts=outcome.attempts,
+                retries=outcome.retries,
+                replans=outcome.replans,
+                bytes_received=outcome.bytes_received,
+                bytes_retransferred=outcome.bytes_retransferred,
+                verified=outcome.verified,
+            )
+            if outcome.failure_reason:
+                self.tracer.set_attrs(
+                    asm.span, failure_reason=outcome.failure_reason
+                )
+            self.tracer.end_span(asm.span, t=start_time + elapsed)
+        m = self.metrics
+        if not m.enabled:
+            return
+        m.counter(
+            "repro_repairs_total", "Repairs by terminal status.",
+            status=outcome.status,
+        ).inc()
+        m.histogram(
+            "repro_repair_seconds",
+            "End-to-end repair time (simulated seconds).",
+        ).observe(elapsed)
+        m.counter(
+            "repro_retries_total",
+            "Attempts aborted by the progress watchdog.",
+        ).inc(outcome.retries)
+        m.counter(
+            "repro_replans_total", "Plans computed after the first.",
+        ).inc(outcome.replans)
+        m.counter(
+            "repro_bytes_retransferred_total",
+            "Requester bytes scrubbed and repaired again after aborts.",
+        ).inc(outcome.bytes_retransferred)
+        m.counter(
+            "repro_bytes_received_total",
+            "Payload bytes folded into requester assembly buffers.",
+        ).inc(outcome.bytes_received)
+        if outcome.plan is not None:
+            t_max = float(outcome.plan.total_rate)
+            m.gauge(
+                "repro_t_max_mbps",
+                "Planned repair throughput t_max of the last plan (Mbps).",
+            ).set(t_max)
+            if elapsed > 0:
+                achieved = (
+                    asm.done_bytes / units.mbps_to_bytes_per_s(1.0) / elapsed
+                )
+                m.gauge(
+                    "repro_achieved_mbps",
+                    "Decoded-chunk throughput actually achieved (Mbps).",
+                ).set(achieved)
+                if t_max > 0:
+                    m.gauge(
+                        "repro_throughput_ratio",
+                        "Achieved throughput over the planner's t_max "
+                        "(1.0 = optimal, lower = overheads/faults).",
+                    ).set(achieved / t_max)
+        m.gauge(
+            "repro_event_queue_executed",
+            "Simulation events executed so far.",
+        ).set(self.events.executed)
+        m.gauge(
+            "repro_event_queue_peak_depth",
+            "High-water mark of the pending-event queue.",
+        ).set(self.events.peak_pending)
+        window = self.events.now - start_time
+        if busy_before is not None and window > 0:
+            for i, node in enumerate(self.nodes):
+                up0, down0 = busy_before[i]
+                m.gauge(
+                    "repro_node_uplink_busy_fraction",
+                    "Fraction of the repair window each uplink was busy.",
+                    node=str(i),
+                ).set(min(1.0, (node.uplink_busy_s - up0) / window))
+                m.gauge(
+                    "repro_node_downlink_busy_fraction",
+                    "Fraction of the repair window each downlink was busy.",
+                    node=str(i),
+                ).set(min(1.0, (node.downlink_busy_s - down0) / window))
+
     # ---- internals ---------------------------------------------------- #
 
     def _dispatch_plan(
@@ -969,12 +1271,38 @@ class ClusterSystem:
             wire_id=repair_id,
             attempt=1,
         )
+        if self.tracer.enabled:
+            asm.span = self.tracer.start_span(
+                f"repair {repair_id}",
+                kind="repair",
+                stripe=stripe_id,
+                requester=requester,
+                chunk_bytes=chunk_bytes,
+                algorithm=self.master.algorithm.name,
+            )
+            for pid, nbytes in outstanding.items():
+                self._pipeline_spans[(repair_id, pid)] = self.tracer.start_span(
+                    f"pipeline {pid}",
+                    kind="pipeline",
+                    parent=asm.span,
+                    pipeline=pid,
+                    bytes=nbytes,
+                    wire=repair_id,
+                )
         self._assemblies[repair_id] = asm
         self._wire_assembly[repair_id] = asm
 
     def _pop_assembly(self, repair_id: str) -> _Assembly:
         asm = self._assemblies.pop(repair_id)
         self._wire_assembly.pop(asm.wire_id, None)
+        self._close_pipeline_spans(asm.wire_id)
+        if asm.span:
+            self.tracer.end_span(
+                asm.span,
+                status=COMPLETED if asm.complete else FAILED,
+                bytes_received=asm.received,
+            )
+            asm.span = None
         return asm
 
     def _deliver(self, destination: int, data: SliceData) -> None:
@@ -1035,5 +1363,12 @@ class ClusterSystem:
             asm.completed.append((data.start, data.stop))
             asm.done_bytes += data.stop - data.start
             asm.outstanding[data.pipeline_id] -= data.stop - data.start
+            if (
+                self.tracer.enabled
+                and asm.outstanding[data.pipeline_id] <= 0
+            ):
+                span = self._pipeline_spans.pop((rid, data.pipeline_id), None)
+                if span:
+                    self.tracer.end_span(span)
         if asm.complete:
             self._finish_assembly(asm, retire=False)

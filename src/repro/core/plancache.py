@@ -71,6 +71,17 @@ class PlanCacheStats:
         total = self.lookups
         return self.hits / total if total else 0.0
 
+    def as_dict(self) -> dict:
+        """Flat snapshot for metrics export and structured logs."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class _Entry:
     __slots__ = ("algorithm", "pipelines", "meta", "calc_seconds", "observed")

@@ -145,6 +145,9 @@ class FaultInjector:
             self.log.armed += 1
 
     def _apply(self, system, fault: Fault) -> None:
+        trace_fault = getattr(system, "trace_fault", None)
+        if trace_fault is not None:
+            trace_fault(fault)
         if isinstance(fault, Crash):
             system.fail_node(fault.node)
         elif isinstance(fault, Straggler):

@@ -1,0 +1,65 @@
+"""Observability: structured tracing, metrics, and exporters.
+
+The measurement substrate for the whole repair path (see
+``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.trace` — hierarchical spans keyed to simulated time
+  (``repair -> attempt -> pipeline -> transfer``) with structured events
+  for faults, watchdog fires, replans, ladder rungs and cache hits;
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms behind a Prometheus-style registry;
+* :mod:`repro.obs.export` — JSONL span dumps, Chrome ``trace_event``
+  JSON (Perfetto-loadable) and Prometheus text snapshots;
+* :mod:`repro.obs.demo` — a canned traced repair with an injected hub
+  crash (import it directly; it pulls in the cluster prototype).
+
+Everything here is stdlib-only.  Instrumented code paths default to the
+:data:`NULL_TRACER` / :data:`NULL_METRICS` no-op singletons, whose
+overhead is bounded by ``benchmarks/bench_obs.py`` (the
+``BENCH_obs.json`` gate), so instrumentation stays on everywhere.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_METRICS,
+    NullMetricsRegistry,
+)
+from .trace import NULL_SPAN, NULL_TRACER, NullTracer, Span, SpanEvent, Tracer
+from .export import (
+    chrome_trace,
+    chrome_trace_json,
+    prometheus_text,
+    span_to_dict,
+    spans_to_jsonl,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_METRICS",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_json",
+    "prometheus_text",
+    "span_to_dict",
+    "spans_to_jsonl",
+]

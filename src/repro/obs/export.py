@@ -1,0 +1,274 @@
+"""Exporters: JSONL span dumps, Chrome ``trace_event`` JSON, Prometheus text.
+
+Three read-only views over one :class:`~repro.obs.trace.Tracer` /
+:class:`~repro.obs.metrics.MetricsRegistry` pair:
+
+* :func:`spans_to_jsonl` — one JSON object per span, depth-first, for
+  ad-hoc ``jq`` analysis;
+* :func:`chrome_trace` — a ``{"traceEvents": [...]}`` document loadable
+  in Perfetto / ``chrome://tracing``.  Control spans (repair, attempts,
+  events) get their own rows; every data node gets one uplink and one
+  downlink row (with overflow sub-rows only when concurrent transfers
+  genuinely overlap on a lane, so ``B``/``E`` pairs always nest);
+* :func:`prometheus_text` — the text exposition format, parseable
+  line-by-line (``# HELP`` / ``# TYPE`` / samples, histograms with
+  cumulative ``_bucket`` series plus ``_sum`` / ``_count``).
+
+Timestamps are *simulated* seconds scaled to integer-friendly
+microseconds (the ``ts`` unit Chrome expects).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from .metrics import MetricsRegistry
+from .trace import Span, Tracer
+
+#: simulated seconds -> chrome-trace microseconds
+_TS_SCALE = 1e6
+
+
+# --------------------------------------------------------------------- #
+# JSONL                                                                 #
+# --------------------------------------------------------------------- #
+
+def span_to_dict(span: Span) -> dict:
+    return {
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "kind": span.kind,
+        "start": span.start,
+        "end": span.end,
+        "attrs": dict(span.attrs),
+        "events": [
+            {"name": e.name, "time": e.time, "attrs": dict(e.attrs)}
+            for e in span.events
+        ],
+    }
+
+
+def spans_to_jsonl(tracer: Tracer) -> str:
+    """One JSON object per span (depth-first) + root-level events."""
+    lines = [json.dumps(span_to_dict(s), sort_keys=True) for s in tracer.spans()]
+    for e in tracer.events:
+        lines.append(
+            json.dumps(
+                {"event": e.name, "time": e.time, "attrs": dict(e.attrs)},
+                sort_keys=True,
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# --------------------------------------------------------------------- #
+# Chrome trace_event                                                    #
+# --------------------------------------------------------------------- #
+
+def _pack_lanes(spans: list[Span]) -> list[list[Span]]:
+    """Greedy interval partitioning: disjoint spans share a lane.
+
+    Returns lanes (lists of spans, time-ordered); within a lane no two
+    spans overlap, so emitting ``B``/``E`` per span keeps the chrome
+    nesting stack trivially balanced.
+    """
+    lanes: list[list[Span]] = []
+    ends: list[float] = []
+    for span in sorted(spans, key=lambda s: (s.start, s.end or s.start)):
+        end = span.end if span.end is not None else span.start
+        for i, lane_end in enumerate(ends):
+            if span.start >= lane_end - 1e-15:
+                lanes[i].append(span)
+                ends[i] = max(lane_end, end)
+                break
+        else:
+            lanes.append([span])
+            ends.append(end)
+    return lanes
+
+
+def _lane_events(spans: list[Span], pid: int, tid: int) -> list[dict]:
+    """B/E pairs (plus instant events) for one non-overlapping lane."""
+    out = []
+    for span in spans:
+        end = span.end if span.end is not None else span.start
+        args = {k: _jsonable(v) for k, v in span.attrs.items()}
+        out.append(
+            {
+                "name": span.name,
+                "ph": "B",
+                "ts": span.start * _TS_SCALE,
+                "pid": pid,
+                "tid": tid,
+                "cat": span.kind,
+                "args": args,
+            }
+        )
+        for e in span.events:
+            out.append(
+                {
+                    "name": e.name,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": min(max(e.time, span.start), end) * _TS_SCALE,
+                    "pid": pid,
+                    "tid": tid,
+                    "cat": "event",
+                    "args": {k: _jsonable(v) for k, v in e.attrs.items()},
+                }
+            )
+        out.append(
+            {
+                "name": span.name,
+                "ph": "E",
+                "ts": end * _TS_SCALE,
+                "pid": pid,
+                "tid": tid,
+                "cat": span.kind,
+            }
+        )
+    return out
+
+
+def _jsonable(v):
+    if isinstance(v, (str, int, bool)) or v is None:
+        return v
+    if isinstance(v, float):
+        return v if math.isfinite(v) else repr(v)
+    return repr(v)
+
+
+def _meta(name: str, pid: int, tid: int | None, label: str) -> dict:
+    ev = {"name": name, "ph": "M", "pid": pid, "ts": 0.0,
+          "args": {"name": label}}
+    if tid is not None:
+        ev["tid"] = tid
+    return ev
+
+
+#: pid assignments: control plane vs data-node lanes.
+_PID_CONTROL = 1
+_PID_NODES = 2
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The whole trace as a Chrome/Perfetto ``trace_event`` document."""
+    control: list[Span] = []      # repair spans (+ anything un-grouped)
+    attempts: list[Span] = []
+    pipelines: list[Span] = []
+    transfers: dict[tuple[int, str], list[Span]] = {}
+    for span in tracer.spans():
+        if span.kind == "transfer":
+            node = int(span.attrs.get("node", -1))
+            direction = str(span.attrs.get("direction", "uplink"))
+            transfers.setdefault((node, direction), []).append(span)
+        elif span.kind == "attempt":
+            attempts.append(span)
+        elif span.kind == "pipeline":
+            pipelines.append(span)
+        else:
+            control.append(span)
+
+    events: list[dict] = []
+    meta: list[dict] = [
+        _meta("process_name", _PID_CONTROL, None, "repair control"),
+        _meta("process_name", _PID_NODES, None, "data nodes"),
+    ]
+    tid = 0
+
+    def add_group(spans: list[Span], label: str) -> None:
+        nonlocal tid
+        for i, lane in enumerate(_pack_lanes(spans)):
+            tid += 1
+            suffix = "" if i == 0 else f" #{i + 1}"
+            meta.append(_meta("thread_name", _PID_CONTROL, tid, label + suffix))
+            events.extend(_lane_events(lane, _PID_CONTROL, tid))
+
+    add_group(control, "repairs")
+    add_group(attempts, "attempts")
+    add_group(pipelines, "pipelines")
+
+    # root-level events (faults that fired outside any span) get a lane
+    if tracer.events:
+        tid += 1
+        meta.append(_meta("thread_name", _PID_CONTROL, tid, "events"))
+        for e in tracer.events:
+            events.append(
+                {
+                    "name": e.name,
+                    "ph": "i",
+                    "s": "g",
+                    "ts": e.time * _TS_SCALE,
+                    "pid": _PID_CONTROL,
+                    "tid": tid,
+                    "cat": "event",
+                    "args": {k: _jsonable(v) for k, v in e.attrs.items()},
+                }
+            )
+
+    node_tid = 0
+    for (node, direction) in sorted(transfers):
+        for i, lane in enumerate(_pack_lanes(transfers[(node, direction)])):
+            node_tid += 1
+            suffix = "" if i == 0 else f" #{i + 1}"
+            meta.append(
+                _meta(
+                    "thread_name", _PID_NODES, node_tid,
+                    f"n{node} {direction}{suffix}",
+                )
+            )
+            events.extend(_lane_events(lane, _PID_NODES, node_tid))
+
+    events.sort(key=lambda e: e["ts"])  # stable: per-lane order preserved
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(tracer: Tracer) -> str:
+    return json.dumps(chrome_trace(tracer), indent=1, sort_keys=True)
+
+
+# --------------------------------------------------------------------- #
+# Prometheus text format                                                #
+# --------------------------------------------------------------------- #
+
+def _fmt_value(v: float) -> str:
+    if v == math.inf:
+        return "+Inf"
+    if v == -math.inf:
+        return "-Inf"
+    f = float(v)
+    return repr(int(f)) if f.is_integer() and abs(f) < 1e15 else repr(f)
+
+
+def _fmt_labels(items: tuple, extra: tuple = ()) -> str:
+    pairs = [*items, *extra]
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{k}="{str(v).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for k, v in pairs
+    )
+    return "{" + body + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    lines: list[str] = []
+    for name, fam in registry.families():
+        if fam.help:
+            lines.append(f"# HELP {name} {fam.help}")
+        lines.append(f"# TYPE {name} {fam.kind}")
+        for key, metric in sorted(fam.children.items()):
+            if fam.kind == "histogram":
+                for le, cum in metric.cumulative():
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_fmt_labels(key, (('le', _fmt_value(le)),))} {cum}"
+                    )
+                lines.append(f"{name}_sum{_fmt_labels(key)} {_fmt_value(metric.sum)}")
+                lines.append(f"{name}_count{_fmt_labels(key)} {metric.count}")
+            else:
+                lines.append(f"{name}{_fmt_labels(key)} {_fmt_value(metric.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -35,11 +35,28 @@ class EventQueue:
         self._seq = itertools.count()
         self._now = 0.0
         self._pending: dict[int, _Entry] = {}
+        self._executed = 0
+        self._peak_pending = 0
 
     @property
     def now(self) -> float:
         """Current simulation time (seconds)."""
         return self._now
+
+    @property
+    def executed(self) -> int:
+        """Events run so far (observability counter)."""
+        return self._executed
+
+    @property
+    def pending_count(self) -> int:
+        """Events currently scheduled and not yet fired/cancelled."""
+        return len(self._pending)
+
+    @property
+    def peak_pending(self) -> int:
+        """High-water mark of the pending-event count (queue depth)."""
+        return self._peak_pending
 
     def schedule(self, delay: float, action: Callable[[], None]) -> _Entry:
         """Schedule ``action`` to run ``delay`` seconds from now.
@@ -53,6 +70,8 @@ class EventQueue:
         entry = _Entry(self._now + delay, next(self._seq), action)
         heapq.heappush(self._heap, entry)
         self._pending[entry.seq] = entry
+        if len(self._pending) > self._peak_pending:
+            self._peak_pending = len(self._pending)
         return entry
 
     def schedule_at(self, time: float, action: Callable[[], None]) -> _Entry:
@@ -99,6 +118,7 @@ class EventQueue:
                 continue
             self._pending.pop(entry.seq, None)
             self._now = entry.time
+            self._executed += 1
             entry.action()
             return True
         return False

@@ -218,12 +218,18 @@ def _fifo_arrivals(ready: np.ndarray, occupancy: np.ndarray, latency: float) -> 
     return start + occupancy + latency
 
 
-def execute(plan: RepairPlan, params: TransferParams) -> TransferResult:
+def execute(
+    plan: RepairPlan, params: TransferParams, *, tracer=None
+) -> TransferResult:
     """Execute a plan's data phase; returns the exact transfer makespan.
 
     The plan is validated (structure + simultaneous rate feasibility)
     before execution, so an infeasible schedule fails loudly rather than
     producing fictitious times.
+
+    When a live :class:`repro.obs.Tracer` is passed, the analytic run is
+    recorded as one ``transfer`` span containing a ``pipeline`` span per
+    pipeline (start 0, end at that pipeline's completion time).
     """
     plan.validate()
     times = []
@@ -234,12 +240,33 @@ def execute(plan: RepairPlan, params: TransferParams) -> TransferResult:
         times.append(t)
         total_bytes += b
     makespan = float(max(times)) if times else 0.0
+    timed_out = params.deadline_s is not None and makespan > params.deadline_s
+    if tracer is not None and tracer.enabled:
+        root = tracer.record_span(
+            "analytic transfer",
+            0.0,
+            makespan,
+            kind="transfer",
+            pipelines=len(plan.pipelines),
+            bytes_moved=total_bytes,
+            timed_out=timed_out,
+        )
+        for i, (p, t) in enumerate(zip(plan.pipelines, times)):
+            tracer.record_span(
+                f"pipeline {i}",
+                0.0,
+                t,
+                kind="pipeline",
+                parent=root,
+                pipeline=i,
+                rate_mbps=p.rate,
+                edges=len(p.edges),
+            )
     return TransferResult(
         transfer_seconds=makespan,
         pipeline_seconds=tuple(times),
         bytes_moved=total_bytes,
-        timed_out=params.deadline_s is not None
-        and makespan > params.deadline_s,
+        timed_out=timed_out,
     )
 
 

@@ -17,7 +17,8 @@ import pytest
 
 from repro.cluster import ClusterSystem
 from repro.ec import RSCode
-from repro.faults import FAILED, REPAIR_STATUSES, FaultInjector
+from repro.faults import DEGRADED, FAILED, REPAIR_STATUSES, FaultInjector
+from repro.obs import MetricsRegistry, Tracer
 
 pytestmark = pytest.mark.chaos
 
@@ -28,9 +29,9 @@ CHUNK = 16 * 1024
 ITERATIONS = int(os.environ.get("CHAOS_ITERATIONS", "200"))
 
 
-def make_system(seed):
+def make_system(seed, tracer=None, metrics=None):
     sys_ = ClusterSystem(NUM_NODES, RSCode(14, 10), algorithm="fullrepair",
-                         slice_bytes=4096)
+                         slice_bytes=4096, tracer=tracer, metrics=metrics)
     rng = np.random.default_rng(seed)
     data = rng.integers(0, 256, (10, CHUNK), dtype=np.uint8)
     sys_.write_stripe("s1", data, placement=tuple(range(14)))
@@ -42,8 +43,8 @@ def make_system(seed):
     return sys_, data
 
 
-def run_one(seed):
-    sys_, data = make_system(seed)
+def run_one(seed, tracer=None, metrics=None):
+    sys_, data = make_system(seed, tracer=tracer, metrics=metrics)
     sys_.fail_node(FAILED_NODE)
     injector = FaultInjector.random_schedule(
         seed,
@@ -87,6 +88,57 @@ def test_same_seed_reproduces_identical_outcome():
     )
     assert out_a.elapsed_seconds == out_b.elapsed_seconds
     assert out_a.bytes_received == out_b.bytes_received
+
+
+@pytest.mark.parametrize("seed", range(ITERATIONS))
+def test_traced_schedule_explains_every_outcome(seed):
+    """Satellite of the observability PR: replay the schedule with a live
+    tracer/registry and demand a per-seed metrics snapshot plus — for any
+    failed or degraded outcome — a non-empty trace that explains it."""
+    tracer, metrics = Tracer(), MetricsRegistry()
+    _, _, injector, out = run_one(seed, tracer=tracer, metrics=metrics)
+
+    # per-seed metrics snapshot: outcome, timing, and fault activity
+    snap = metrics.snapshot()
+    assert metrics.total("repro_repairs_total") == 1
+    assert metrics.get("repro_repairs_total", status=out.status).value == 1
+    assert snap["repro_repair_seconds"][()]["count"] == 1
+    assert metrics.total("repro_faults_injected_total") == len(injector.log.fired)
+    assert metrics.total("repro_replans_total") == out.replans
+    assert metrics.total("repro_retries_total") == out.retries
+
+    # the trace must carry the same story
+    repairs = tracer.find(kind="repair")
+    assert len(repairs) == 1
+    root = repairs[0]
+    assert root.attrs["status"] == out.status
+    assert root.attrs["attempts"] == out.attempts
+    if out.status in (FAILED, DEGRADED):
+        assert out.failure_reason
+        assert root.attrs["failure_reason"] == out.failure_reason
+        # a non-empty event stream explains *why*: something observable
+        # went wrong before the verdict
+        names = set(tracer.event_names())
+        assert names & {
+            "fault.injected", "node.crash", "watchdog.fire",
+            "attempt.abort", "planning.failed", "repair.escalate",
+            "ladder.promotion", "ladder.star-fallback",
+        }, f"no explanatory events for {out.status}: {out.failure_reason}"
+
+
+def test_tracing_does_not_perturb_outcomes():
+    """Spans and metrics are recorded off the simulated clock; enabling
+    them must leave every scheduling decision byte-identical."""
+    for seed in (0, 11, 23):
+        _, _, _, plain = run_one(seed)
+        _, _, _, traced = run_one(seed, tracer=Tracer(), metrics=MetricsRegistry())
+        assert (
+            plain.status, plain.attempts, plain.retries, plain.replans,
+            plain.elapsed_seconds, plain.bytes_received,
+        ) == (
+            traced.status, traced.attempts, traced.retries, traced.replans,
+            traced.elapsed_seconds, traced.bytes_received,
+        )
 
 
 def test_chaos_outcomes_are_mostly_recoverable():

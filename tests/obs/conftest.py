@@ -1,0 +1,15 @@
+"""Shared fixtures: the traced hub-crash demo repair, run once per session."""
+
+import pytest
+
+from repro.obs.demo import traced_hub_crash_repair
+
+
+@pytest.fixture(scope="session")
+def hub_crash_demo():
+    """The canned (14,10) traced repair with an injected hub crash.
+
+    Expensive (a clean run plus a traced run on the event queue), so it
+    is shared by every exporter/accounting test in this package.
+    """
+    return traced_hub_crash_repair()

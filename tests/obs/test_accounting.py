@@ -1,0 +1,181 @@
+"""Traffic accounting through the metrics registry.
+
+The regression of interest: after a watchdog abort, slices still in
+flight under the *retired* wire epoch keep arriving.  They must be
+booked as retransferred bytes — never credited to the live attempt's
+received count and never double-counted against the per-node wire
+counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSystem
+from repro.ec import RSCode
+from repro.faults import COMPLETED, FaultInjector, Stall
+from repro.obs import MetricsRegistry, Tracer
+from repro.workloads import make_trace
+
+CHUNK = 64 * 1024
+
+
+def _uplink_bytes(tracer):
+    return sum(
+        s.attrs["hi"] - s.attrs["lo"]
+        for s in tracer.find(kind="transfer")
+        if s.attrs.get("direction") == "uplink"
+    )
+
+
+class TestCleanRepair:
+    """Baseline: no faults, one attempt, nothing retransferred."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        tracer, metrics = Tracer(), MetricsRegistry()
+        system = ClusterSystem(
+            12, RSCode(9, 6), slice_bytes=4096, tracer=tracer, metrics=metrics
+        )
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 256, (6, CHUNK), dtype=np.uint8)
+        system.write_stripe("s0", data, placement=tuple(range(9)))
+        system.set_bandwidth(
+            make_trace("tpch", num_nodes=12, num_snapshots=40, seed=3).snapshot(20)
+        )
+        system.fail_node(2)
+        outcome = system.repair("s0", 2, requester=11, store=False)
+        return system, tracer, metrics, outcome
+
+    def test_received_is_exactly_one_chunk(self, run):
+        _, _, metrics, outcome = run
+        assert outcome.status == COMPLETED
+        assert outcome.replans == 0
+        assert outcome.bytes_received == CHUNK
+        assert outcome.bytes_retransferred == 0
+        assert metrics.total("repro_bytes_received_total") == CHUNK
+        assert metrics.total("repro_bytes_retransferred_total") == 0
+
+    def test_wire_bytes_agree_everywhere(self, run):
+        system, tracer, metrics, _ = run
+        wire = system.traffic_bytes
+        assert wire >= CHUNK  # aggregation hops relay payload
+        assert metrics.total("repro_node_bytes_sent_total") == wire
+        assert _uplink_bytes(tracer) == wire
+        assert sum(n.bytes_sent for n in system.nodes) == wire
+
+
+class TestReplannedRepair:
+    """The hub-crash demo: a replan must not double-count anything."""
+
+    def test_retired_epoch_bytes_not_credited_twice(self, hub_crash_demo):
+        out = hub_crash_demo.outcome
+        assert out.replans >= 1
+        # the requester was credited exactly one chunk of payload — the
+        # remainder replan keeps completed intervals and late slices
+        # from the retired wire epoch are dropped, never folded in
+        assert out.bytes_received == CHUNK
+
+    def test_metrics_mirror_the_outcome(self, hub_crash_demo):
+        metrics = hub_crash_demo.metrics
+        out = hub_crash_demo.outcome
+        assert metrics.total("repro_bytes_received_total") == out.bytes_received
+        assert (
+            metrics.total("repro_bytes_retransferred_total")
+            == out.bytes_retransferred
+        )
+        assert metrics.total("repro_replans_total") == out.replans
+        assert metrics.total("repro_retries_total") == out.retries
+
+    def test_wire_bytes_agree_everywhere(self, hub_crash_demo):
+        system = hub_crash_demo.system
+        wire = system.traffic_bytes
+        # both attempts' transfers are on the wire: more than a chunk
+        assert wire > CHUNK
+        assert hub_crash_demo.metrics.total("repro_node_bytes_sent_total") == wire
+        assert _uplink_bytes(hub_crash_demo.tracer) == wire
+
+    def test_per_node_counters_match_node_state(self, hub_crash_demo):
+        system = hub_crash_demo.system
+        metrics = hub_crash_demo.metrics
+        for node in system.nodes:
+            counter = metrics.get(
+                "repro_node_bytes_sent_total", node=str(node.node_id)
+            )
+            sent = 0 if counter is None else counter.value
+            assert sent == node.bytes_sent
+
+
+class TestScrubbedEpochAccounting:
+    """A star plan feeds the requester k contributions per byte range, so
+    stalling one helper past the watchdog leaves *partial* XOR state that
+    the abort must scrub into ``bytes_retransferred``.  If stale slices
+    from the retired wire epoch were ever folded again, the payload
+    ledger below would not balance."""
+
+    K = 6
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        snapshot = make_trace(
+            "tpcds", num_nodes=14, num_snapshots=60, seed=4
+        ).snapshot(30)
+
+        def build(tracer=None, metrics=None):
+            system = ClusterSystem(
+                14, RSCode(9, self.K), algorithm="conventional",
+                slice_bytes=4096, tracer=tracer, metrics=metrics,
+            )
+            rng = np.random.default_rng(2)
+            data = rng.integers(0, 256, (self.K, CHUNK), dtype=np.uint8)
+            system.write_stripe("s1", data, placement=tuple(range(9)))
+            system.set_bandwidth(snapshot)
+            system.fail_node(3)
+            return system, data
+
+        clean_sys, _ = build()
+        clean = clean_sys.repair("s1", 3, requester=12, store=False)
+        victim = min(
+            e.child for p in clean.plan.pipelines for e in p.edges
+        )
+        tracer, metrics = Tracer(), MetricsRegistry()
+        system, data = build(tracer=tracer, metrics=metrics)
+        system.enable_heartbeats(period_s=0.01)
+        injector = FaultInjector([
+            Stall(
+                node=victim,
+                time=0.5 * clean.elapsed_seconds,
+                duration_s=0.2,
+            )
+        ])
+        outcome = system.repair(
+            "s1", 3, requester=12, injector=injector,
+            store=False, on_failure="outcome",
+        )
+        return data, tracer, metrics, outcome
+
+    def test_scrub_books_partial_slices_as_retransferred(self, run):
+        data, _, _, out = run
+        assert out.status == COMPLETED and out.verified
+        assert np.array_equal(out.rebuilt, data[3])
+        assert out.retries >= 1 and out.replans >= 1
+        assert out.bytes_retransferred > 0
+
+    def test_payload_ledger_balances(self, run):
+        _, _, metrics, out = run
+        # every folded payload byte is either part of a range that
+        # completed (k contributions per byte of chunk) or was scrubbed
+        # at abort; a re-folded retired-epoch slice would break this
+        assert out.bytes_received == self.K * CHUNK + out.bytes_retransferred
+        assert metrics.total("repro_bytes_received_total") == out.bytes_received
+        assert (
+            metrics.total("repro_bytes_retransferred_total")
+            == out.bytes_retransferred
+        )
+
+    def test_watchdog_story_in_trace(self, run):
+        _, tracer, _, _ = run
+        names = tracer.event_names()
+        assert "fault.injected" in names
+        assert "watchdog.fire" in names
+        assert "attempt.abort" in names
+        assert "replan" in names

@@ -1,0 +1,201 @@
+"""Exporter round-trips over the traced hub-crash demo repair.
+
+The session-scoped ``hub_crash_demo`` fixture runs the canned (14,10)
+repair with its plan's hub crashed mid-flight, so every exporter here is
+validated against a trace that exercises the whole self-healing arc:
+crash -> watchdog fire -> attempt abort -> replan -> completion.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.faults import COMPLETED, DEGRADED
+from repro.obs import (
+    Tracer,
+    chrome_trace,
+    chrome_trace_json,
+    prometheus_text,
+    spans_to_jsonl,
+)
+from repro.obs.export import _pack_lanes
+from repro.analysis import render_repair_timeline
+
+
+class TestDemoTrace:
+    """The acceptance criteria: the span tree tells the whole story."""
+
+    def test_self_healing_arc_completes(self, hub_crash_demo):
+        out = hub_crash_demo.outcome
+        assert out.status in (COMPLETED, DEGRADED)
+        assert out.verified
+        assert out.attempts >= 2 and out.replans >= 1
+
+    def test_span_tree_levels(self, hub_crash_demo):
+        tr = hub_crash_demo.tracer
+        repairs = tr.find(kind="repair")
+        attempts = tr.find(kind="attempt")
+        pipelines = tr.find(kind="pipeline")
+        transfers = tr.find(kind="transfer")
+        assert len(repairs) == 1
+        assert len(attempts) == hub_crash_demo.outcome.attempts
+        assert pipelines and transfers
+        # attempts hang off the repair, pipelines off attempts
+        root = repairs[0]
+        assert all(a.parent_id == root.span_id for a in attempts)
+        attempt_ids = {a.span_id for a in attempts}
+        assert all(p.parent_id in attempt_ids for p in pipelines)
+        # every span closed, end >= start, inside the repair window
+        for span in tr.spans():
+            assert span.end is not None
+            assert span.end >= span.start >= 0.0
+
+    def test_repair_span_attrs(self, hub_crash_demo):
+        root = hub_crash_demo.tracer.find(kind="repair")[0]
+        out = hub_crash_demo.outcome
+        assert root.attrs["stripe"] == "s1"
+        assert root.attrs["status"] == out.status
+        assert root.attrs["attempts"] == out.attempts
+        assert root.attrs["bytes_received"] == out.bytes_received
+
+    def test_failure_events_visible(self, hub_crash_demo):
+        names = hub_crash_demo.tracer.event_names()
+        assert "node.crash" in names
+        assert "watchdog.fire" in names
+        assert "attempt.abort" in names
+        assert "replan" in names
+
+    def test_ascii_timeline(self, hub_crash_demo):
+        text = render_repair_timeline(hub_crash_demo.tracer)
+        assert "repair s1" in text
+        assert "attempt" in text
+        assert "events:" in text
+        assert "watchdog.fire" in text
+        assert render_repair_timeline(Tracer()).startswith("no spans")
+
+
+class TestChromeTrace:
+    def test_json_parses(self, hub_crash_demo):
+        doc = json.loads(chrome_trace_json(hub_crash_demo.tracer))
+        assert doc["traceEvents"]
+
+    def test_timestamps_sorted_and_begin_end_balanced(self, hub_crash_demo):
+        doc = chrome_trace(hub_crash_demo.tracer)
+        events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert events, "trace must contain non-metadata events"
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+        # per-lane duration stacks must balance with matching names
+        stacks = {}
+        for e in events:
+            lane = (e["pid"], e["tid"])
+            if e["ph"] == "B":
+                stacks.setdefault(lane, []).append((e["name"], e["ts"]))
+            elif e["ph"] == "E":
+                assert stacks.get(lane), f"E without B on lane {lane}"
+                name, begin_ts = stacks[lane].pop()
+                assert name == e["name"]
+                assert e["ts"] >= begin_ts
+            else:
+                assert e["ph"] == "i"  # instant events are free-floating
+        assert all(not stack for stack in stacks.values())
+
+    def test_lane_metadata(self, hub_crash_demo):
+        doc = chrome_trace(hub_crash_demo.tracer)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        process_names = {
+            e["args"]["name"] for e in meta if e["name"] == "process_name"
+        }
+        thread_names = {
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        }
+        assert process_names == {"repair control", "data nodes"}
+        assert {"repairs", "attempts", "pipelines"} <= thread_names
+        assert any(re.fullmatch(r"n\d+ uplink( #\d+)?", n) for n in thread_names)
+        assert any(re.fullmatch(r"n\d+ downlink( #\d+)?", n) for n in thread_names)
+
+    def test_pack_lanes_separates_overlaps(self):
+        tr = Tracer()
+        a = tr.record_span("a", 0.0, 2.0)
+        b = tr.record_span("b", 1.0, 3.0)  # overlaps a
+        c = tr.record_span("c", 2.5, 4.0)  # fits after a
+        lanes = _pack_lanes([a, b, c])
+        assert len(lanes) == 2
+        assert [s.name for s in lanes[0]] == ["a", "c"]
+        assert [s.name for s in lanes[1]] == ["b"]
+
+
+class TestSpanJsonl:
+    def test_one_valid_object_per_span(self, hub_crash_demo):
+        tr = hub_crash_demo.tracer
+        lines = spans_to_jsonl(tr).splitlines()
+        span_lines = [json.loads(line) for line in lines]
+        spans = [d for d in span_lines if "span_id" in d]
+        assert len(spans) == len(list(tr.spans()))
+        ids = [d["span_id"] for d in spans]
+        assert len(set(ids)) == len(ids)
+        # depth-first: a parent is always emitted before its children
+        seen = set()
+        for d in spans:
+            if d["parent_id"] is not None:
+                assert d["parent_id"] in seen
+            seen.add(d["span_id"])
+
+    def test_empty_tracer_yields_empty_string(self):
+        assert spans_to_jsonl(Tracer()) == ""
+
+
+#: Prometheus text exposition format, one line at a time.
+_PROM_LINE = re.compile(
+    r"^(?:"
+    r"# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+"
+    r"|# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (?:counter|gauge|histogram)"
+    r'|[a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r" [-+]?(?:[0-9.e+-]+|Inf|NaN)"
+    r")$"
+)
+
+
+class TestPrometheus:
+    def test_every_line_parses(self, hub_crash_demo):
+        text = prometheus_text(hub_crash_demo.metrics)
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            assert _PROM_LINE.match(line), f"unparseable line: {line!r}"
+
+    def test_required_families_present(self, hub_crash_demo):
+        text = prometheus_text(hub_crash_demo.metrics)
+        assert "# TYPE repro_repair_seconds histogram" in text
+        assert 'repro_repair_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_repair_seconds_count 1" in text
+        assert "# TYPE repro_throughput_ratio gauge" in text
+        for family in (
+            "repro_repairs_total",
+            "repro_replans_total",
+            "repro_retries_total",
+            "repro_watchdog_fires_total",
+            "repro_node_bytes_sent_total",
+            "repro_node_uplink_busy_fraction",
+            "repro_plan_cache_lookups_total",
+        ):
+            assert family in text
+
+    def test_histogram_buckets_cumulative(self, hub_crash_demo):
+        text = prometheus_text(hub_crash_demo.metrics)
+        counts = [
+            int(m.group(1))
+            for m in re.finditer(
+                r'^repro_repair_seconds_bucket\{le="[^"]+"\} (\d+)$',
+                text,
+                re.M,
+            )
+        ]
+        assert counts == sorted(counts) and counts[-1] == 1
+
+    def test_throughput_ratio_sane(self, hub_crash_demo):
+        ratio = hub_crash_demo.metrics.get("repro_throughput_ratio").value
+        # a crashed hub costs time, so the achieved rate sits below the
+        # planner's t_max; it must still be a positive fraction
+        assert 0.0 < ratio <= 1.0

@@ -1,0 +1,147 @@
+"""MetricsRegistry / null-registry unit behaviour."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestPrimitives:
+    def test_counter_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        g = Gauge()
+        g.set(4.0)
+        g.inc(-1.5)
+        assert g.value == 2.5
+
+    def test_histogram_counts_and_mean(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 105.0
+        assert h.value == 105.0 / 4
+        assert h.counts == [1, 1, 1, 1]  # one in +Inf
+
+    def test_histogram_cumulative_prometheus_shape(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        assert h.cumulative() == [(1.0, 1), (2.0, 1), (math.inf, 2)]
+
+    def test_histogram_quantile_interpolates(self):
+        h = Histogram(bounds=(10.0, 20.0))
+        for _ in range(10):
+            h.observe(5.0)  # all land in the first bucket
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(0.0) == 0.0
+        assert Histogram().quantile(0.5) == 0.0  # empty
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+
+class TestRegistry:
+    def test_children_memoised(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total", "help", node="1")
+        b = reg.counter("repro_x_total", node="1")
+        other = reg.counter("repro_x_total", node="2")
+        assert a is b
+        assert a is not other
+
+    def test_label_order_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total", a="1", b="2")
+        b = reg.counter("repro_x_total", b="2", a="1")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("repro_x_total")
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        for bad in ("", "9lives", "has space", "emoji✨"):
+            with pytest.raises(ValueError):
+                reg.counter(bad)
+
+    def test_get_and_total(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_bytes_total", node="1").inc(10)
+        reg.counter("repro_bytes_total", node="2").inc(5)
+        assert reg.get("repro_bytes_total", node="1").value == 10
+        assert reg.get("repro_bytes_total", node="3") is None
+        assert reg.get("repro_missing") is None
+        assert reg.total("repro_bytes_total") == 15
+        assert reg.total("repro_missing") == 0.0
+
+    def test_families_sorted_and_snapshot(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_b").set(1.0)
+        reg.counter("repro_a_total").inc()
+        reg.histogram("repro_h_seconds").observe(0.2)
+        assert [name for name, _ in reg.families()] == [
+            "repro_a_total", "repro_b", "repro_h_seconds",
+        ]
+        snap = reg.snapshot()
+        assert snap["repro_a_total"][()] == 1.0
+        hist = snap["repro_h_seconds"][()]
+        assert hist["count"] == 1 and hist["sum"] == 0.2
+        assert set(hist) == {"count", "sum", "mean", "p50", "p99"}
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total").inc()
+        reg.clear()
+        assert reg.families() == []
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NULL_METRICS.enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_factories_return_shared_inert_children(self):
+        reg = NullMetricsRegistry()
+        assert reg.counter("repro_x_total", node="1") is NULL_COUNTER
+        assert reg.gauge("repro_g") is NULL_GAUGE
+        assert reg.histogram("repro_h") is NULL_HISTOGRAM
+        NULL_COUNTER.inc(100)
+        NULL_GAUGE.set(1.0)
+        NULL_GAUGE.inc()
+        NULL_HISTOGRAM.observe(5.0)
+        assert NULL_COUNTER.value == 0.0
+        assert NULL_GAUGE.value == 0.0
+        assert NULL_HISTOGRAM.count == 0
+
+    def test_registers_nothing(self):
+        reg = NullMetricsRegistry()
+        reg.counter("repro_x_total").inc()
+        assert reg.families() == []
+        assert reg.total("repro_x_total") == 0.0

@@ -1,0 +1,145 @@
+"""Tracer/Span/NullTracer unit behaviour."""
+
+import pytest
+
+from repro.obs import NULL_SPAN, NULL_TRACER, NullTracer, Tracer
+
+
+class TestSpanTree:
+    def test_start_end_roundtrip(self):
+        tr = Tracer()
+        span = tr.start_span("repair s1", kind="repair", t=1.0, stripe="s1")
+        assert span.start == 1.0 and span.end is None
+        assert span.duration is None
+        tr.end_span(span, t=3.5, status="completed")
+        assert span.end == 3.5
+        assert span.duration == 2.5
+        assert span.attrs == {"stripe": "s1", "status": "completed"}
+
+    def test_parenting(self):
+        tr = Tracer()
+        root = tr.start_span("repair", kind="repair", t=0.0)
+        child = tr.start_span("attempt 1", kind="attempt", parent=root, t=0.0)
+        grand = tr.start_span("pipeline 0", kind="pipeline", parent=child, t=0.0)
+        assert tr.roots == [root]
+        assert root.children == [child]
+        assert child.children == [grand]
+        assert grand.parent_id == child.span_id
+        assert child.parent_id == root.span_id
+        assert root.parent_id is None
+
+    def test_span_ids_unique(self):
+        tr = Tracer()
+        ids = {tr.start_span(f"s{i}", t=0.0).span_id for i in range(50)}
+        assert len(ids) == 50
+
+    def test_end_clamps_to_start(self):
+        tr = Tracer()
+        span = tr.start_span("x", t=5.0)
+        tr.end_span(span, t=1.0)
+        assert span.end == 5.0  # never negative durations
+
+    def test_record_span_is_one_shot(self):
+        tr = Tracer()
+        span = tr.record_span("tx", 2.0, 4.0, kind="transfer", src=1)
+        assert (span.start, span.end) == (2.0, 4.0)
+        assert span.kind == "transfer"
+        assert span.attrs == {"src": 1}
+        assert tr.roots == [span]
+
+    def test_set_attrs_merges(self):
+        tr = Tracer()
+        span = tr.start_span("x", t=0.0, a=1)
+        tr.set_attrs(span, b=2)
+        assert span.attrs == {"a": 1, "b": 2}
+
+    def test_depth_first_iteration(self):
+        tr = Tracer()
+        a = tr.start_span("a", t=0.0)
+        a1 = tr.start_span("a1", parent=a, t=0.0)
+        tr.start_span("a1x", parent=a1, t=0.0)
+        tr.start_span("a2", parent=a, t=0.0)
+        tr.start_span("b", t=0.0)
+        assert [s.name for s in tr.spans()] == ["a", "a1", "a1x", "a2", "b"]
+
+    def test_find_by_kind_and_name(self):
+        tr = Tracer()
+        tr.start_span("repair s1", kind="repair", t=0.0)
+        tr.start_span("attempt 1", kind="attempt", t=0.0)
+        tr.start_span("attempt 2", kind="attempt", t=0.0)
+        assert len(tr.find(kind="attempt")) == 2
+        assert [s.name for s in tr.find(name="attempt 1")] == ["attempt 1"]
+        assert tr.find(kind="pipeline") == []
+
+    def test_clear(self):
+        tr = Tracer()
+        tr.start_span("x", t=0.0)
+        tr.event(None, "e", t=0.0)
+        tr.clear()
+        assert tr.roots == [] and tr.events == []
+
+
+class TestEvents:
+    def test_event_on_span_vs_root(self):
+        tr = Tracer()
+        span = tr.start_span("x", t=0.0)
+        on_span = tr.event(span, "watchdog.fire", t=1.0, attempt=1)
+        on_root = tr.event(None, "node.crash", t=0.5, node=3)
+        assert span.events == [on_span]
+        assert tr.events == [on_root]
+        assert on_span.attrs == {"attempt": 1}
+
+    def test_all_events_time_sorted(self):
+        tr = Tracer()
+        span = tr.start_span("x", t=0.0)
+        tr.event(span, "late", t=2.0)
+        tr.event(None, "early", t=0.5)
+        tr.event(span, "mid", t=1.0)
+        assert tr.event_names() == ["early", "mid", "late"]
+
+    def test_clock_supplies_default_timestamps(self):
+        times = iter([1.25, 2.5])
+        tr = Tracer(clock=lambda: next(times))
+        span = tr.start_span("x")
+        ev = tr.event(span, "e")
+        assert span.start == 1.25
+        assert ev.time == 2.5
+
+    def test_no_clock_defaults_to_zero(self):
+        tr = Tracer()
+        assert tr.start_span("x").start == 0.0
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True
+
+    def test_null_span_is_falsy_and_shared(self):
+        nt = NullTracer()
+        span = nt.start_span("x", kind="repair", t=1.0, a=1)
+        assert span is NULL_SPAN
+        assert not span
+        assert nt.record_span("y", 0.0, 1.0) is NULL_SPAN
+        assert nt.end_span(span, t=5.0) is NULL_SPAN
+
+    def test_swallows_everything(self):
+        nt = NullTracer()
+        s = nt.start_span("x")
+        nt.event(s, "e", t=1.0)
+        nt.event(None, "e2", t=1.0)
+        nt.set_attrs(s, a=1)
+        assert nt.roots == [] and nt.events == []
+        assert list(nt.spans()) == []
+        assert nt.all_events() == []
+        assert NULL_SPAN.attrs == {}
+
+    def test_real_tracer_tolerates_null_span(self):
+        # instrumented code ends/annotates whatever it kept a handle on,
+        # which may be NULL_SPAN from an earlier no-op phase
+        tr = Tracer()
+        assert tr.end_span(NULL_SPAN, t=1.0) is NULL_SPAN
+        tr.set_attrs(NULL_SPAN, a=1)
+        tr.event(NULL_SPAN, "e", t=0.0)  # falsy span -> root event
+        assert NULL_SPAN.attrs == {} and NULL_SPAN.end == 0.0
+        assert [e.name for e in tr.events] == ["e"]

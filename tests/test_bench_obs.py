@@ -1,0 +1,79 @@
+"""The observability overhead harness: smoke run + BENCH_obs.json gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.bench_obs import MAX_OVERHEAD_PERCENT, SCHEMA_VERSION, run
+from benchmarks.common import REPO_ROOT
+
+pytestmark = pytest.mark.obs_overhead
+
+
+@pytest.fixture(scope="module")
+def smoke_report(tmp_path_factory):
+    """One smoke pass per test module (writes outside the repo tree)."""
+    out = tmp_path_factory.mktemp("bench") / "BENCH_obs.json"
+    report = run(smoke=True, out_path=out)
+    return report, out
+
+
+class TestSchema:
+    def test_file_round_trips(self, smoke_report):
+        report, path = smoke_report
+        assert path.exists()
+        assert json.loads(path.read_text()) == json.loads(json.dumps(report))
+
+    def test_top_level_keys(self, smoke_report):
+        report, _ = smoke_report
+        assert report["benchmark"] == "obs"
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["config"]["smoke"] is True
+        for key in ("null_primitives", "instrumentation_counts", "gate",
+                    "traced_e2e"):
+            assert key in report
+
+    def test_null_primitives_measured(self, smoke_report):
+        report, _ = smoke_report
+        prim = report["null_primitives"]
+        for key in ("event_ns", "span_pair_ns", "counter_inc_ns",
+                    "counter_factory_inc_ns", "enabled_check_ns"):
+            assert prim[key] > 0
+        # a no-op primitive must stay in the nanoseconds regime
+        assert max(prim.values()) < 100_000
+
+    def test_planning_path_is_lightly_instrumented(self, smoke_report):
+        report, _ = smoke_report
+        counts = report["instrumentation_counts"]
+        assert counts["total"] == counts["tracer_calls"] + counts["metrics_calls"]
+        # a planning request makes a handful of obs calls, not thousands
+        assert 0 < counts["total"] < 200
+
+    def test_traced_e2e_informational(self, smoke_report):
+        report, _ = smoke_report
+        e2e = report["traced_e2e"]
+        assert e2e["null_wall_s"] > 0
+        assert e2e["traced_wall_s"] > 0
+
+
+class TestGate:
+    def test_smoke_run_passes_gate(self, smoke_report):
+        report, _ = smoke_report
+        gate = report["gate"]
+        assert gate["max_overhead_percent"] == MAX_OVERHEAD_PERCENT
+        assert gate["overhead_percent"] <= MAX_OVERHEAD_PERCENT
+        assert gate["pass"] is True
+
+    def test_committed_artifact_passes_gate(self):
+        """The repo-root artefact (full run) must stay schema-valid and
+        inside the 3% budget — the CI tripwire for creeping no-op cost."""
+        path = REPO_ROOT / "BENCH_obs.json"
+        assert path.exists(), "run `python -m benchmarks.bench_obs`"
+        report = json.loads(path.read_text())
+        assert report["benchmark"] == "obs"
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["config"]["smoke"] is False
+        assert report["gate"]["overhead_percent"] <= MAX_OVERHEAD_PERCENT
+        assert report["gate"]["pass"] is True

@@ -1,5 +1,8 @@
 """Command-line interface."""
 
+import json
+import logging
+
 import numpy as np
 import pytest
 
@@ -66,6 +69,73 @@ class TestTraceCommand:
         trace = load_trace(str(out_path) + ".npz")
         assert len(trace) == 50
         assert trace.workload == "tpcds"
+
+
+class TestTraceRepairCommand:
+    def test_timeline_and_exports(self, tmp_path, capsys):
+        chrome = tmp_path / "repair.chrome.json"
+        jsonl = tmp_path / "repair.spans.jsonl"
+        assert main([
+            "trace", "repair", "--out", str(chrome), "--jsonl", str(jsonl),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "repair s1" in out
+        assert "events:" in out
+        assert "watchdog.fire" in out
+        assert "replans" in out  # the summary line
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+        lines = jsonl.read_text().splitlines()
+        assert lines
+        for line in lines:
+            json.loads(line)
+
+
+class TestMetricsCommand:
+    def test_prometheus_snapshot_stdout(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_repair_seconds histogram" in out
+        assert "repro_throughput_ratio" in out
+
+    def test_prometheus_snapshot_file(self, tmp_path, capsys):
+        path = tmp_path / "m.prom"
+        assert main(["metrics", "--out", str(path)]) == 0
+        assert capsys.readouterr().out == ""  # file mode keeps stdout clean
+        assert "repro_repairs_total" in path.read_text()
+
+
+class TestLogging:
+    def test_status_is_logged_not_printed(self, tmp_path, capsys, caplog):
+        out_path = tmp_path / "t"
+        assert main([
+            "trace", "swim", "--snapshots", "20", "--out", str(out_path),
+        ]) == 0
+        assert "saved to" not in capsys.readouterr().out
+        # default level is WARNING: the info-level status never fires
+        assert not any("saved to" in r.getMessage() for r in caplog.records)
+
+        assert main([
+            "-v", "trace", "swim", "--snapshots", "20", "--out", str(out_path),
+        ]) == 0
+        assert "saved to" not in capsys.readouterr().out  # never on stdout
+        assert any(
+            "saved to" in r.getMessage() and r.name == "repro.cli"
+            for r in caplog.records
+        )
+
+    def test_quiet_drops_to_errors(self):
+        assert main(["-q", "sweep", "chunk"]) == 0
+        assert logging.getLogger("repro").level == logging.ERROR
+
+    def test_repeated_main_calls_install_one_handler(self):
+        main(["-v", "sweep", "chunk"])
+        main(["-v", "sweep", "chunk"])
+        handlers = [
+            h for h in logging.getLogger("repro").handlers
+            if getattr(h, "_repro_cli", False)
+        ]
+        assert len(handlers) == 1
 
 
 class TestCompareCommand:
