@@ -8,7 +8,8 @@ singletons.  This harness bounds what that costs when observability is
 
 1. ``null_primitives`` — per-call wall cost of each no-op primitive
    (``NULL_TRACER.event``, a start/end span pair, a
-   ``NULL_METRICS.counter(...).inc()`` factory+inc round trip);
+   ``NULL_METRICS.counter(...).inc()`` factory+inc round trip, a
+   ``NULL_FLEET.observe`` fleet-aggregation point);
 2. ``instrumentation_counts`` — how many such calls the *planning hot
    path* (``Master.plan_for_context`` + ``Master.compile_tasks``, the
    path ``bench_planning`` gates) actually makes, measured with
@@ -42,6 +43,7 @@ from repro.ec import RSCode
 from repro.obs import (
     MetricsRegistry,
     NULL_COUNTER,
+    NULL_FLEET,
     NULL_METRICS,
     NULL_SPAN,
     NULL_TRACER,
@@ -150,6 +152,9 @@ def _bench_null_primitives(calls: int) -> dict:
             lambda: NULL_METRICS.counter("repro_x_total", "h", l="v").inc(),
             calls,
         ),
+        "fleet_observe_ns": _per_call_ns(
+            lambda: NULL_FLEET.observe("repro_x", 1.0, algorithm="a"), calls
+        ),
         "enabled_check_ns": _per_call_ns(lambda: NULL_TRACER.enabled, calls),
     }
 
@@ -239,6 +244,7 @@ def run(smoke: bool = False, out_path=None) -> dict:
         primitives["event_ns"],
         primitives["span_pair_ns"],
         primitives["counter_factory_inc_ns"],
+        primitives["fleet_observe_ns"],
     )
     overhead_us = counts["total"] * worst_ns / 1e3
     overhead_percent = 100.0 * overhead_us / median_us if median_us else 0.0
@@ -268,13 +274,17 @@ def run(smoke: bool = False, out_path=None) -> dict:
 
 
 def main(argv=None) -> int:
+    from benchmarks.common import REPO_ROOT
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke", action="store_true",
-        help="fast low-resolution pass (schema validation)",
+        help="fast low-resolution pass (schema validation); writes "
+             "BENCH_obs.smoke.json so the full-run artefact survives",
     )
     args = parser.parse_args(argv)
-    report = run(smoke=args.smoke)
+    out_path = REPO_ROOT / "BENCH_obs.smoke.json" if args.smoke else None
+    report = run(smoke=args.smoke, out_path=out_path)
     gate = report["gate"]
     print(
         f"no-op overhead: {gate['overhead_percent']:.4f}% of the planning "

@@ -233,6 +233,214 @@ def render_repair_timeline(
     return "\n".join(lines)
 
 
+def render_attribution(attr, *, max_rows: int = 8) -> str:
+    """Render a :class:`~repro.obs.attr.RepairAttribution` (``repro attr``).
+
+    Headline gap decomposition first (the four buckets, in seconds and
+    Mbps — both columns sum to the measured gap by construction), then
+    the per-node/per-constraint rows, measured busy/idle table and the
+    worst pipeline diagnoses.
+    """
+    lines = [
+        f"bottleneck attribution: {attr.repair} "
+        f"({attr.algorithm}, {attr.status}, {attr.attempts} attempt(s))",
+        f"  t_ref {attr.t_ref_mbps:8.1f} Mbps   achieved {attr.achieved_mbps:8.1f} Mbps"
+        f"   gap {attr.gap_mbps:8.1f} Mbps",
+        f"  ideal {_fmt_seconds(attr.ideal_s).strip():>10}   "
+        f"elapsed {_fmt_seconds(attr.elapsed_s).strip():>10}   "
+        f"gap {_fmt_seconds(attr.gap_s).strip():>10}",
+        "",
+        f"{'bucket':>20} | {'seconds':>11} | {'Mbps':>8} | {'share':>6}",
+        "-" * 56,
+    ]
+    shares = attr.bucket_shares_mbps()
+    gap_s = attr.gap_s
+    for name, secs in attr.buckets.as_dict().items():
+        pct = 100.0 * secs / gap_s if gap_s > 0 else 0.0
+        lines.append(
+            f"{name:>20} | {_fmt_seconds(secs):>11} | "
+            f"{shares[name]:8.2f} | {pct:5.1f}%"
+        )
+    lines.append("-" * 56)
+    lines.append(
+        f"{'total':>20} | {_fmt_seconds(gap_s):>11} | "
+        f"{sum(shares.values()):8.2f} | 100.0%"
+    )
+    rows = attr.node_shares_s()
+    if rows:
+        lines += [
+            "",
+            f"{'bucket':>20} | {'blamed':>10} | {'constraint':>10} | {'seconds':>11}",
+            "-" * 62,
+        ]
+        for bucket, who, constraint, secs in rows:
+            lines.append(
+                f"{bucket:>20} | {who:>10} | {constraint:>10} | "
+                f"{_fmt_seconds(secs):>11}"
+            )
+    idle = sorted(attr.node_idle, key=lambda n: -n.idle_s)[:max_rows]
+    if idle:
+        lines += [
+            "",
+            f"measured busy/idle over the final attempt "
+            f"({_fmt_seconds(idle[0].window_s).strip()} window):",
+            f"{'node':>6} {'constraint':>10} {'role':>9} | {'busy':>11} | "
+            f"{'idle':>11} | busy%",
+            "-" * 64,
+        ]
+        for ni in idle:
+            lines.append(
+                f"{ni.node:>6} {ni.constraint:>10} {ni.role:>9} | "
+                f"{_fmt_seconds(ni.busy_s):>11} | {_fmt_seconds(ni.idle_s):>11} | "
+                f"{ni.busy_fraction * 100:5.1f}%"
+            )
+    late = sorted(attr.pipelines, key=lambda p: -p.lateness_s)[:3]
+    late = [p for p in late if p.lateness_s > 0]
+    if late:
+        lines += ["", "late pipelines (worst first):"]
+        for p in late:
+            lines.append(
+                f"  pipeline {p.pipeline}: {p.bytes} B at {p.rate_mbps:.1f} Mbps, "
+                f"expected {_fmt_seconds(p.expected_s).strip()}, "
+                f"took {_fmt_seconds(p.actual_s).strip()} "
+                f"(+{_fmt_seconds(p.lateness_s).strip()})"
+            )
+            for hop in p.critical_path:
+                if hop.wait_s > 0 or hop.excess_s > 0:
+                    lines.append(
+                        f"    {hop.src}->{hop.dst} [{hop.lo}:{hop.hi}] "
+                        f"wait {_fmt_seconds(hop.wait_s).strip()}, "
+                        f"excess {_fmt_seconds(hop.excess_s).strip()}"
+                    )
+    return "\n".join(lines)
+
+
+def render_fleet(fleet, now: float | None = None) -> str:
+    """Render a fleet aggregator snapshot (``repro fleet``)."""
+    snap = fleet.snapshot(now)
+    if not snap:
+        return "no fleet observations recorded"
+    header = (
+        f"{'metric':>26} | {'series':>6} {'count':>7} | "
+        f"{'mean':>10} {'p50':>10} {'p99':>10} | {'win n':>6} {'win p99':>10}"
+    )
+    lines = [
+        f"fleet aggregation ({fleet.window_s:g}s window, "
+        f"{fleet.buckets} buckets, delta={fleet.delta}, "
+        f"cap {fleet.max_series} series/metric)",
+        header,
+        "-" * len(header),
+    ]
+    for metric, row in snap.items():
+        lines.append(
+            f"{metric:>26} | {row['series']:>6} {row['count']:>7.0f} | "
+            f"{row['mean']:>10.4g} {row['p50']:>10.4g} {row['p99']:>10.4g} | "
+            f"{row['window_count']:>6.0f} {row['window_p99']:>10.4g}"
+        )
+    if fleet.overflowed:
+        lines.append(
+            f"({fleet.overflowed} observations collapsed into overflow series)"
+        )
+    return "\n".join(lines)
+
+
+def render_slo(engine, statuses=None, tracer=None) -> str:
+    """Render SLO rule verdicts plus the breach/recover log (``repro slo``)."""
+    lines = ["SLO rules:"]
+    header = f"{'state':>8} | {'rule':>44} | {'value':>10}"
+    lines += [header, "-" * len(header)]
+    state = engine.status()
+    values = {s.rule.name: s.value for s in statuses} if statuses else {}
+    for rule in engine.rules:
+        ok = state.get(rule.name)
+        word = "ok" if ok else ("BREACH" if ok is not None else "no data")
+        value = values.get(rule.name)
+        shown = f"{value:.4g}" if value is not None else "-"
+        lines.append(f"{word:>8} | {rule.text:>44} | {shown:>10}")
+    lines.append(
+        f"{engine.breaches} breach(es), {engine.recoveries} recover(ies)"
+    )
+    if tracer is not None:
+        events = [
+            e for e in tracer.all_events() if e.name.startswith("slo.")
+        ]
+        if events:
+            lines += ["", "transitions:"]
+            for e in events:
+                lines.append(
+                    f"  {_fmt_seconds(e.time).strip():>10}  {e.name}  "
+                    f"{e.attrs.get('expr')}  (value {e.attrs.get('value'):.4g})"
+                )
+    return "\n".join(lines)
+
+
+def _flatten_numeric(obj, prefix: str = "", depth: int = 4) -> dict[str, float]:
+    """Dotted-path view of every numeric leaf in a nested report dict."""
+    out: dict[str, float] = {}
+    if depth < 0:
+        return out
+    if isinstance(obj, bool):
+        out[prefix] = float(obj)
+    elif isinstance(obj, (int, float)):
+        out[prefix] = float(obj)
+    elif isinstance(obj, dict):
+        for key, value in obj.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(_flatten_numeric(value, path, depth - 1))
+    return out
+
+
+def merge_bench_reports(reports: dict[str, dict]) -> dict:
+    """Merge ``{filename: parsed BENCH json}`` into one trajectory record.
+
+    Each report contributes its benchmark name, schema version, config
+    and the dotted-path numeric metrics (``config`` subtrees excluded
+    from the metric list — they are inputs, not results).
+    """
+    merged = {"reports": []}
+    for filename in sorted(reports):
+        data = reports[filename]
+        metrics = {
+            path: value
+            for path, value in _flatten_numeric(data).items()
+            if not path.startswith(("config.", "schema_version"))
+            and path != "benchmark"
+        }
+        merged["reports"].append(
+            {
+                "file": filename,
+                "benchmark": data.get("benchmark", filename),
+                "schema_version": data.get("schema_version"),
+                "config": data.get("config", {}),
+                "metrics": metrics,
+            }
+        )
+    return merged
+
+
+def render_bench_trajectory(merged: dict) -> str:
+    """Markdown trajectory table for ``repro bench report``."""
+    lines = [
+        "# Benchmark trajectory",
+        "",
+        "| benchmark | metric | value |",
+        "| --- | --- | ---: |",
+    ]
+    for report in merged["reports"]:
+        name = report["benchmark"]
+        for path, value in sorted(report["metrics"].items()):
+            if value == int(value) and abs(value) < 1e15:
+                shown = str(int(value))
+            else:
+                shown = f"{value:.6g}"
+            lines.append(f"| {name} | {path} | {shown} |")
+    counts = ", ".join(
+        f"{r['benchmark']} ({r['file']})" for r in merged["reports"]
+    )
+    lines += ["", f"Sources: {counts or 'none'}"]
+    return "\n".join(lines)
+
+
 def render_sweep(series: dict[str, dict[int, float]], xlabel: str) -> str:
     """Render Fig. 7/8 data: per-algorithm repair time over a size sweep."""
     algorithms = list(series)

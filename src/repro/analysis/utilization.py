@@ -48,15 +48,21 @@ class UtilizationBreakdown:
 
 
 def plan_utilization(plan: RepairPlan) -> UtilizationBreakdown:
-    """Decompose a plan's helper-uplink usage into Table I's three ratios."""
+    """Decompose a plan's helper-uplink usage into Table I's three ratios.
+
+    Per-node consumption comes from the shared per-constraint helper
+    :meth:`~repro.repair.plan.RepairPlan.node_rates` — the same numbers
+    the bottleneck-attribution replay (:mod:`repro.obs.attr`) compares
+    executed transfers against.
+    """
     context: RepairContext = plan.context
     total = sum(context.uplink(h) for h in context.helpers)
     if total <= 0:
         raise ValueError("no available repair bandwidth in the snapshot")
-    used: dict[int, float] = {}
-    for p in plan.pipelines:
-        for e in p.edges:
-            used[e.child] = used.get(e.child, 0.0) + e.rate
+    rates = plan.node_rates()
+    used = {
+        node: nr.uplink_mbps for node, nr in rates.items() if nr.uplink_mbps > 0
+    }
     selected = set(used)
     # sum in context.helpers order, matching `total`: per-term the used
     # bandwidth is <= the uplink, and same-order float summation is

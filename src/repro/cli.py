@@ -15,6 +15,13 @@ Subcommands
 ``sweep``       Experiment 4/5 sweeps (slice or chunk size)
 ``hetero``      controlled-C_v throughput sweep (extension)
 ``fullnode``    full-node repair makespan, sequential vs batched (extension)
+``attr``        replay the traced hub-crash demo and print the bottleneck
+                attribution (the achieved/t_max gap split into buckets)
+``fleet``       run the fleet sweep demo and print the aggregated sketches
+``slo``         run the fleet sweep demo against SLO rules and print the
+                verdicts plus the breach/recover transition log
+``bench``       ``bench report``: merge the repo's BENCH_*.json artifacts
+                into one trajectory table (markdown, or ``--json``)
 
 Every command is deterministic under ``--seed``.
 
@@ -202,6 +209,76 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_attr(args: argparse.Namespace) -> int:
+    from .analysis import render_attribution
+    from .obs.attr import ExecModel, attribute_repair
+    from .obs.demo import traced_hub_crash_repair
+
+    log.info("running traced hub-crash repair to build the span record ...")
+    demo = traced_hub_crash_repair(seed=args.seed)
+    attr = attribute_repair(
+        demo.tracer, exec_model=ExecModel.from_system(demo.system)
+    )
+    print(render_attribution(attr))
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from .analysis import render_fleet
+    from .obs.demo import fleet_sweep
+
+    log.info("running %d-repair fleet sweep ...", args.repairs)
+    demo = fleet_sweep(repairs=args.repairs, seed=args.seed)
+    print(render_fleet(demo.fleet, demo.system.events.now))
+    return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    from .analysis import render_slo
+    from .obs.demo import fleet_sweep
+    from .obs.slo import parse_rules
+
+    kwargs = {}
+    if args.rules:
+        try:
+            parse_rules(args.rules)  # fail fast on typos before the sweep
+        except ValueError as exc:
+            raise SystemExit(f"repro slo: {exc}") from exc
+        kwargs["rules"] = tuple(args.rules)
+    log.info("running %d-repair fleet sweep under SLO rules ...", args.repairs)
+    demo = fleet_sweep(repairs=args.repairs, seed=args.seed, **kwargs)
+    statuses = demo.slo.evaluate(demo.system.events.now)
+    print(render_slo(demo.slo, statuses, demo.tracer))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import glob
+    import json
+    import os
+
+    from .analysis import merge_bench_reports, render_bench_trajectory
+
+    paths = sorted(
+        p for p in glob.glob(os.path.join(args.dir, "BENCH_*.json"))
+        # smoke artefacts are transient schema-validation output, not
+        # part of the committed trajectory
+        if not p.endswith(".smoke.json")
+    )
+    reports = {}
+    for path in paths:
+        with open(path) as fh:
+            reports[os.path.basename(path)] = json.load(fh)
+    merged = merge_bench_reports(reports)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(merged, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        log.info("merged JSON written to %s", args.json)
+    print(render_bench_trajectory(merged))
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     if args.dimension == "slice":
         series = slice_size_sweep(seed=args.seed)
@@ -329,6 +406,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithm", default="fullrepair", choices=algorithm_names())
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_fullnode)
+
+    p = sub.add_parser(
+        "attr",
+        help="bottleneck attribution of the traced hub-crash demo repair",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_attr)
+
+    p = sub.add_parser(
+        "fleet", help="fleet sweep demo: aggregated quantile sketches"
+    )
+    p.add_argument("--repairs", type=int, default=50)
+    p.add_argument("--seed", type=int, default=5)
+    p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser(
+        "slo", help="fleet sweep demo evaluated against SLO rules"
+    )
+    p.add_argument("--repairs", type=int, default=50)
+    p.add_argument("--seed", type=int, default=5)
+    p.add_argument(
+        "--rules", nargs="+",
+        help="override rules, e.g. 'p99 repro_repair_seconds < 0.01'",
+    )
+    p.set_defaults(func=cmd_slo)
+
+    p = sub.add_parser("bench", help="benchmark artifact tools")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    b = bench_sub.add_parser(
+        "report", help="merge BENCH_*.json into one trajectory table"
+    )
+    b.add_argument("--dir", default=".", help="directory holding BENCH_*.json")
+    b.add_argument("--json", help="also write the merged record as JSON")
+    b.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -18,7 +18,7 @@ import numpy as np
 
 from ..ec.rs import RSCode
 from ..net.bandwidth import BandwidthSnapshot, RepairContext
-from ..obs import NULL_METRICS, NULL_TRACER
+from ..obs import NULL_FLEET, NULL_METRICS, NULL_TRACER
 from ..repair.base import RepairAlgorithm
 from ..repair.plan import Pipeline, RepairPlan
 from ..repair.recovery import substitute_nodes
@@ -64,6 +64,7 @@ class Master:
     #: (class-level no-op defaults keep standalone masters zero-cost)
     tracer = NULL_TRACER
     metrics = NULL_METRICS
+    fleet = NULL_FLEET
 
     def __init__(
         self,
@@ -361,9 +362,16 @@ class Master:
         context = self.build_context(
             stripe_id, failed_node, requester, exclude=exclude
         )
-        return self.plan_with_fallback(
+        plan = self.plan_with_fallback(
             context, prev_plan=prev_plan, newly_dead=newly_dead
         )
+        if self.fleet.enabled:
+            self.fleet.observe(
+                "repro_plan_t_max_mbps",
+                float(plan.total_rate),
+                algorithm=self.algorithm.name,
+            )
+        return plan
 
     def compile_tasks(
         self,

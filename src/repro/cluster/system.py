@@ -41,7 +41,7 @@ from ..ec.rs import RSCode
 from ..faults import COMPLETED, DEGRADED, ESCALATED, FAILED
 from ..net import units
 from ..net.bandwidth import BandwidthSnapshot, RepairContext
-from ..obs import NULL_METRICS, NULL_TRACER
+from ..obs import NULL_FLEET, NULL_METRICS, NULL_TRACER
 from ..repair.base import RepairAlgorithm, get_algorithm
 from ..repair.plan import RepairPlan
 from ..repair.recovery import uncovered_intervals
@@ -147,6 +147,21 @@ class _Assembly:
         )
 
 
+def _pipeline_rates(tasks: list[TransferTask]) -> dict[int, float]:
+    """Each pipeline's end-to-end rate: the min task rate on its chain.
+
+    Recorded on pipeline spans so the bottleneck-attribution replay
+    (:mod:`repro.obs.attr`) can compare measured durations against the
+    plan without access to the plan object itself.
+    """
+    rates: dict[int, float] = {}
+    for t in tasks:
+        cur = rates.get(t.pipeline_id)
+        if cur is None or t.rate_mbps < cur:
+            rates[t.pipeline_id] = t.rate_mbps
+    return rates
+
+
 class ClusterSystem:
     """An erasure-coded storage cluster with pluggable repair scheduling."""
 
@@ -162,6 +177,8 @@ class ClusterSystem:
         dispatch_latency_s: float = 200e-6,
         tracer=None,
         metrics=None,
+        fleet=None,
+        slo=None,
     ) -> None:
         if num_nodes < code.n + 1:
             raise ValueError(
@@ -172,17 +189,23 @@ class ClusterSystem:
         self.events = EventQueue()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.fleet = fleet if fleet is not None else NULL_FLEET
+        self.slo = slo
         if self.tracer.enabled and self.tracer.clock is None:
             # spans are keyed to *simulated* time, not wall-clock
             self.tracer.clock = lambda: self.events.now
+        if self.fleet.enabled and self.fleet.clock is None:
+            self.fleet.clock = lambda: self.events.now
         if isinstance(algorithm, str):
             algorithm = get_algorithm(algorithm)
         self.master = Master(code, algorithm, num_nodes)
         self.master.tracer = self.tracer
         self.master.metrics = self.metrics
+        self.master.fleet = self.fleet
         self.dispatch_latency_s = dispatch_latency_s
         self.compute_s_per_byte = compute_s_per_byte
         self.slice_bytes = slice_bytes
+        self.slice_overhead_s = slice_overhead_s
         self.nodes = [
             DataNode(
                 i,
@@ -789,7 +812,9 @@ class ClusterSystem:
                 remaining_bytes=remaining,
                 pipelines=len(asm.outstanding),
                 rung=plan.meta.get("recovery", "none"),
+                t_max_mbps=float(plan.total_rate),
             )
+            rate_by_pid = _pipeline_rates(tasks)
             for pid, nbytes in asm.outstanding.items():
                 self._pipeline_spans[(wire, pid)] = tracer.start_span(
                     f"pipeline {pid}",
@@ -798,6 +823,7 @@ class ClusterSystem:
                     pipeline=pid,
                     bytes=nbytes,
                     wire=wire,
+                    rate_mbps=rate_by_pid.get(pid, 0.0),
                 )
         for task in tasks:
             owner = loc.node_of(task.chunk_index)
@@ -1142,6 +1168,32 @@ class ClusterSystem:
                     asm.span, failure_reason=outcome.failure_reason
                 )
             self.tracer.end_span(asm.span, t=start_time + elapsed)
+        if self.fleet.enabled:
+            now = self.events.now
+            algo = self.master.algorithm.name
+            f = self.fleet
+            f.observe("repro_repair_seconds", elapsed, t=now, algorithm=algo)
+            f.observe(
+                "repro_repair_failed",
+                1.0 if outcome.status == FAILED else 0.0,
+                t=now,
+                algorithm=algo,
+            )
+            if outcome.plan is not None and elapsed > 0:
+                t_max = float(outcome.plan.total_rate)
+                achieved = (
+                    asm.done_bytes / units.mbps_to_bytes_per_s(1.0) / elapsed
+                )
+                f.observe("repro_achieved_mbps", achieved, t=now, algorithm=algo)
+                if t_max > 0:
+                    f.observe(
+                        "repro_throughput_ratio",
+                        achieved / t_max,
+                        t=now,
+                        algorithm=algo,
+                    )
+        if self.slo is not None:
+            self.slo.evaluate(self.events.now)
         m = self.metrics
         if not m.enabled:
             return
@@ -1279,7 +1331,9 @@ class ClusterSystem:
                 requester=requester,
                 chunk_bytes=chunk_bytes,
                 algorithm=self.master.algorithm.name,
+                t_max_mbps=float(plan.total_rate),
             )
+            rate_by_pid = _pipeline_rates(tasks)
             for pid, nbytes in outstanding.items():
                 self._pipeline_spans[(repair_id, pid)] = self.tracer.start_span(
                     f"pipeline {pid}",
@@ -1288,6 +1342,7 @@ class ClusterSystem:
                     pipeline=pid,
                     bytes=nbytes,
                     wire=repair_id,
+                    rate_mbps=rate_by_pid.get(pid, 0.0),
                 )
         self._assemblies[repair_id] = asm
         self._wire_assembly[repair_id] = asm

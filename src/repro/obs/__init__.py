@@ -10,6 +10,15 @@ The measurement substrate for the whole repair path (see
   histograms behind a Prometheus-style registry;
 * :mod:`repro.obs.export` — JSONL span dumps, Chrome ``trace_event``
   JSON (Perfetto-loadable) and Prometheus text snapshots;
+* :mod:`repro.obs.attr` — per-repair bottleneck attribution: replays a
+  trace against the planner's model and decomposes the
+  ``achieved/t_max`` gap into fault-recovery / plan-suboptimality /
+  straggler / queueing buckets that sum to the gap exactly;
+* :mod:`repro.obs.fleet` — fleet-scale aggregation: mergeable t-digest
+  sketches, fixed-memory rolling windows, per-metric cardinality caps;
+* :mod:`repro.obs.slo` — declarative SLO rules (``p99
+  repro_repair_seconds < 0.5``) evaluated over the rolling windows,
+  emitting ``slo.breach`` / ``slo.recover`` transitions;
 * :mod:`repro.obs.demo` — a canned traced repair with an injected hub
   crash (import it directly; it pulls in the cluster prototype).
 
@@ -19,6 +28,24 @@ overhead is bounded by ``benchmarks/bench_obs.py`` (the
 ``BENCH_obs.json`` gate), so instrumentation stays on everywhere.
 """
 
+from .attr import (
+    BUCKETS,
+    CONSTRAINTS,
+    ExecModel,
+    GapBuckets,
+    NodeIdle,
+    PipelineDiagnosis,
+    RepairAttribution,
+    attribute_repair,
+    attribute_repairs,
+)
+from .fleet import (
+    NULL_FLEET,
+    FleetAggregator,
+    NullFleetAggregator,
+    RollingWindow,
+    TDigest,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -31,6 +58,7 @@ from .metrics import (
     NULL_METRICS,
     NullMetricsRegistry,
 )
+from .slo import SLOEngine, SLORule, SLOStatus, parse_rule, parse_rules
 from .trace import NULL_SPAN, NULL_TRACER, NullTracer, Span, SpanEvent, Tracer
 from .export import (
     chrome_trace,
@@ -41,22 +69,41 @@ from .export import (
 )
 
 __all__ = [
+    "BUCKETS",
+    "CONSTRAINTS",
     "DEFAULT_BUCKETS",
     "Counter",
+    "ExecModel",
+    "FleetAggregator",
     "Gauge",
+    "GapBuckets",
     "Histogram",
     "MetricsRegistry",
+    "NodeIdle",
+    "NullFleetAggregator",
     "NullMetricsRegistry",
     "NULL_COUNTER",
+    "NULL_FLEET",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
     "NULL_METRICS",
     "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
+    "PipelineDiagnosis",
+    "RepairAttribution",
+    "RollingWindow",
+    "SLOEngine",
+    "SLORule",
+    "SLOStatus",
     "Span",
     "SpanEvent",
+    "TDigest",
     "Tracer",
+    "attribute_repair",
+    "attribute_repairs",
+    "parse_rule",
+    "parse_rules",
     "chrome_trace",
     "chrome_trace_json",
     "prometheus_text",

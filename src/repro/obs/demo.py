@@ -8,6 +8,11 @@ shows the whole self-healing arc — watchdog fire, attempt abort, replan
 down the degradation ladder — as spans and events keyed to simulated
 time.
 
+:func:`fleet_sweep` is the fleet-scale companion: many consecutive
+small repairs under shifting bandwidth with periodic stragglers, fed
+into a :class:`~repro.obs.fleet.FleetAggregator` and evaluated against
+SLO rules — the worked example behind ``repro fleet`` / ``repro slo``.
+
 Unlike the rest of :mod:`repro.obs` this module imports the cluster
 prototype, so it is *not* re-exported from ``repro.obs`` — import it
 directly::
@@ -17,7 +22,7 @@ directly::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -25,7 +30,9 @@ from ..cluster import ClusterSystem
 from ..core.plancache import PlanCache
 from ..ec import RSCode
 from ..workloads import make_trace
+from .fleet import FleetAggregator
 from .metrics import MetricsRegistry
+from .slo import SLOEngine, parse_rules
 from .trace import Tracer
 
 
@@ -139,3 +146,92 @@ def traced_hub_crash_repair(
         crash_at_s=crash_at,
         clean_elapsed_s=clean.elapsed_seconds,
     )
+
+
+#: Default SLO rules for the fleet sweep: latency, optimality, failures.
+#: Thresholds are sized to the sweep's tiny chunks (overheads dominate,
+#: so clean throughput_ratio sits near 0.13): clean windows hold, the
+#: throttled repairs breach, and the rules recover as windows roll.
+DEFAULT_SLO_RULES = (
+    "p99 repro_repair_seconds < 0.01",
+    "min repro_throughput_ratio >= 0.05",
+    "burn_rate(0.2) repro_repair_failed <= 1.0",
+)
+
+
+@dataclass
+class FleetSweepDemo:
+    """Everything the sweep produced, ready for the fleet/SLO renderers."""
+
+    fleet: FleetAggregator
+    slo: SLOEngine
+    tracer: Tracer
+    metrics: MetricsRegistry
+    system: ClusterSystem
+    outcomes: list = field(default_factory=list)
+    straggled: list[int] = field(default_factory=list)  # straggled repair idx
+
+
+def fleet_sweep(
+    *,
+    repairs: int = 50,
+    n: int = 9,
+    k: int = 6,
+    num_nodes: int = 12,
+    chunk_bytes: int = 16 * 1024,
+    seed: int = 5,
+    straggle_every: int = 10,
+    straggle_cap_mbps: float = 2.0,
+    window_s: float = 0.01,
+    rules=DEFAULT_SLO_RULES,
+) -> FleetSweepDemo:
+    """Run many small repairs through the fleet/SLO tier.
+
+    One (n, k) stripe loses a chunk; the requester re-repairs it
+    ``repairs`` times under a drifting bandwidth trace, with every
+    ``straggle_every``-th repair throttled by a rate-capped helper so
+    the latency tail actually moves.  Each repair feeds the rolling
+    windows; the SLO engine evaluates at end-of-repair, so breaches
+    appear while the straggled repairs dominate a window and recoveries
+    once they age out.  Deterministic — simulated time only.
+    """
+    requester = num_nodes - 1
+    failed_node = 2
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    fleet = FleetAggregator(window_s=window_s, buckets=10)
+    engine = SLOEngine(fleet, parse_rules(rules), tracer=tracer, metrics=metrics)
+    system = ClusterSystem(
+        num_nodes,
+        RSCode(n, k),
+        slice_bytes=4096,
+        tracer=tracer,
+        metrics=metrics,
+        fleet=fleet,
+        slo=engine,
+    )
+    system.master.plan_cache = PlanCache(max_entries=64)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, (k, chunk_bytes), dtype=np.uint8)
+    system.write_stripe("s1", data, placement=tuple(range(n)))
+    trace = make_trace("tpcds", num_nodes=num_nodes, num_snapshots=60, seed=4)
+    system.fail_node(failed_node)
+    straggler = 4  # a helper on every plan (holds a chunk, never fails)
+
+    demo = FleetSweepDemo(
+        fleet=fleet, slo=engine, tracer=tracer, metrics=metrics, system=system
+    )
+    for i in range(repairs):
+        system.set_bandwidth(trace.snapshot(i % 60))
+        throttled = straggle_every > 0 and i % straggle_every == straggle_every - 1
+        if throttled:
+            system.set_rate_cap(straggler, straggle_cap_mbps)
+            demo.straggled.append(i)
+        outcome = system.repair(
+            "s1", failed_node, requester=requester, store=False,
+            on_failure="outcome",
+        )
+        if throttled:
+            system.set_rate_cap(straggler, None)
+        demo.outcomes.append(outcome)
+    return demo

@@ -14,6 +14,7 @@ no-op calls and allocates nothing.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 
 #: Default histogram upper bounds (seconds): micro-benchmarks to minutes.
@@ -90,11 +91,29 @@ class Histogram:
         for bound, c in zip(self.bounds, self.counts):
             running += c
             out.append((bound, running))
-        out.append((float("inf"), running + self.counts[-1]))
+        if math.isinf(self.bounds[-1]):
+            # an explicit +Inf bound already absorbs everything; do not
+            # emit a second, duplicate +Inf bucket
+            out[-1] = (float("inf"), running + self.counts[-1])
+        else:
+            out.append((float("inf"), running + self.counts[-1]))
         return out
 
+    def _max_finite_bound(self) -> float:
+        for bound in reversed(self.bounds):
+            if math.isfinite(bound):
+                return bound
+        return 0.0
+
     def quantile(self, q: float) -> float:
-        """Interpolated quantile estimate from the bucket counts."""
+        """Interpolated quantile estimate from the bucket counts.
+
+        Estimates falling into the ``+Inf`` bucket (implicit, or an
+        explicit non-finite last bound) are clamped to the highest
+        *finite* bucket boundary — a percentile of ``inf`` is useless to
+        every downstream consumer, while the clamp reads as "at least
+        the last boundary", matching Prometheus' ``histogram_quantile``.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
         if self.count == 0:
@@ -104,11 +123,13 @@ class Histogram:
         lo = 0.0
         for bound, c in zip(self.bounds, self.counts):
             if running + c >= target and c > 0:
+                if math.isinf(bound):
+                    break  # +Inf bucket edge: clamp, never interpolate to inf
                 frac = (target - running) / c
                 return lo + frac * (bound - lo)
             running += c
             lo = bound
-        return self.bounds[-1]
+        return self._max_finite_bound()
 
 
 class _Family:

@@ -173,6 +173,14 @@ class Pipeline:
             )
 
 
+@dataclass(frozen=True)
+class NodeRates:
+    """One node's planned transfer rates under a plan (Mbps)."""
+
+    uplink_mbps: float
+    downlink_mbps: float
+
+
 @dataclass
 class RepairPlan:
     """A complete schedule for one single-chunk repair.
@@ -230,6 +238,28 @@ class RepairPlan:
 
     def num_pipelines(self) -> int:
         return sum(1 for p in self.pipelines if p.segment.length > 0)
+
+    def node_rates(self) -> dict[int, "NodeRates"]:
+        """Planned per-node, per-constraint rates (Mbps), summed over pipelines.
+
+        The single source of truth for "how much of each node's uplink and
+        downlink does this plan consume" — shared by the Table-I
+        utilisation decomposition (:mod:`repro.analysis.utilization`) and
+        the bottleneck-attribution replay (:mod:`repro.obs.attr`), which
+        previously each re-derived it from the edge list.
+        """
+        up: dict[int, float] = {}
+        down: dict[int, float] = {}
+        for p in self.pipelines:
+            for e in p.edges:
+                up[e.child] = up.get(e.child, 0.0) + e.rate
+                down[e.parent] = down.get(e.parent, 0.0) + e.rate
+        return {
+            node: NodeRates(
+                uplink_mbps=up.get(node, 0.0), downlink_mbps=down.get(node, 0.0)
+            )
+            for node in sorted(up.keys() | down.keys())
+        }
 
     # -------------------------------------------------------------- #
     # validation                                                     #

@@ -1,0 +1,165 @@
+"""Bottleneck attribution: the exact-sum invariant across fault scenarios.
+
+The load-bearing property of :mod:`repro.obs.attr` is that the four
+buckets always partition the measured throughput gap — whatever the
+fault matrix did to the repair.  Each scenario below runs one traced
+repair (clean, helper straggler, requester stall, hub crash) and checks
+the invariant plus the scenario-specific blame.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSystem
+from repro.ec import RSCode
+from repro.obs import (
+    BUCKETS,
+    CONSTRAINTS,
+    ExecModel,
+    MetricsRegistry,
+    Tracer,
+    attribute_repair,
+    attribute_repairs,
+)
+from repro.workloads import make_trace
+
+
+def _traced_repair(*, cap=None, stall=None, chunk_bytes=32 * 1024, seed=11):
+    """One traced (9, 6) repair of node 2, with an optional fault knob."""
+    n, k, num_nodes = 9, 6, 12
+    tracer = Tracer()
+    system = ClusterSystem(
+        num_nodes, RSCode(n, k), slice_bytes=4096,
+        tracer=tracer, metrics=MetricsRegistry(),
+    )
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, (k, chunk_bytes), dtype=np.uint8)
+    system.write_stripe("s1", data, placement=tuple(range(n)))
+    snap = make_trace(
+        "tpcds", num_nodes=num_nodes, num_snapshots=10, seed=4
+    ).snapshot(5)
+    system.set_bandwidth(snap)
+    system.fail_node(2)
+    if cap is not None:
+        # applied AFTER the bandwidth reports: the planner still believes
+        # the uncapped rate, so the cap shows up as a straggler
+        system.set_rate_cap(*cap)
+    if stall is not None:
+        system.stall_node(*stall)
+    outcome = system.repair(
+        "s1", 2, requester=num_nodes - 1, store=False, on_failure="outcome"
+    )
+    return system, tracer, outcome
+
+
+def _check_invariants(attr):
+    """Shares must sum to the measured gap — exactly, not just ±1%."""
+    d = attr.buckets.as_dict()
+    assert set(d) == set(BUCKETS)
+    assert all(v >= 0 for v in d.values())
+    gap = max(attr.elapsed_s - attr.ideal_s, 0.0)
+    assert attr.gap_s == pytest.approx(gap, rel=1e-9, abs=1e-12)
+    assert sum(d.values()) == pytest.approx(attr.gap_s, rel=1e-9, abs=1e-12)
+    shares = attr.bucket_shares_mbps()
+    assert sum(shares.values()) == pytest.approx(
+        attr.gap_mbps, rel=1e-9, abs=1e-9
+    )
+    if attr.gap_mbps > 0:  # the ISSUE acceptance bound (±1%), and then some
+        assert abs(sum(shares.values()) - attr.gap_mbps) <= 0.01 * attr.gap_mbps
+    rows = attr.node_shares_s()
+    assert sum(r[-1] for r in rows) == pytest.approx(
+        attr.gap_s, rel=1e-9, abs=1e-12
+    )
+    for bucket, label, constraint, seconds in rows:
+        assert bucket in BUCKETS
+        assert constraint in CONSTRAINTS
+        assert seconds > 0
+        assert label
+
+
+class TestCleanRepair:
+    def test_no_fault_blame_and_invariant(self):
+        system, tracer, outcome = _traced_repair()
+        attr = attribute_repair(
+            tracer, exec_model=ExecModel.from_system(system)
+        )
+        assert outcome.verified
+        _check_invariants(attr)
+        assert attr.attempts == 1
+        assert attr.buckets.fault_recovery_s == 0.0
+        assert attr.fault_nodes == ()
+        assert attr.t_ref_mbps > 0
+        assert 0 < attr.achieved_mbps <= attr.t_ref_mbps + 1e-9
+
+    def test_node_idle_covers_roles(self):
+        system, tracer, _ = _traced_repair()
+        attr = attribute_repair(
+            tracer, exec_model=ExecModel.from_system(system)
+        )
+        roles = {ni.role for ni in attr.node_idle}
+        assert "requester" in roles
+        assert "helper" in roles or "relay" in roles
+        for ni in attr.node_idle:
+            assert 0.0 <= ni.busy_s <= ni.window_s + 1e-12
+            assert ni.constraint in CONSTRAINTS
+
+
+class TestHelperStraggler:
+    def test_capped_helper_is_blamed(self):
+        system, tracer, outcome = _traced_repair(cap=(4, 2.0))
+        attr = attribute_repair(
+            tracer, exec_model=ExecModel.from_system(system)
+        )
+        _check_invariants(attr)
+        clean = _traced_repair()[1]
+        clean_attr = attribute_repair(clean)
+        assert attr.elapsed_s > 2 * clean_attr.elapsed_s
+        assert attr.buckets.straggler_s > 0
+        assert 4 in attr.straggler_nodes
+        straggler_rows = [
+            r for r in attr.node_shares_s() if r[0] == "straggler"
+        ]
+        assert any(r[1] == "node 4" for r in straggler_rows)
+
+
+class TestRequesterStall:
+    def test_stall_widens_gap_but_invariant_holds(self):
+        system, tracer, _ = _traced_repair(stall=(11, 0.005))
+        attr = attribute_repair(
+            tracer, exec_model=ExecModel.from_system(system)
+        )
+        _check_invariants(attr)
+        clean_attr = attribute_repair(_traced_repair()[1])
+        assert attr.gap_s > clean_attr.gap_s
+        assert attr.gap_s >= 0.004  # most of the 5 ms stall is gap
+
+
+class TestHubCrash:
+    def test_fault_recovery_dominates(self, hub_crash_demo):
+        demo = hub_crash_demo
+        attr = attribute_repair(
+            demo.tracer, exec_model=ExecModel.from_system(demo.system)
+        )
+        _check_invariants(attr)
+        assert attr.attempts >= 2
+        assert attr.buckets.fault_recovery_s > 0
+        assert demo.hub in attr.fault_nodes
+        fault_rows = [
+            r for r in attr.node_shares_s() if r[0] == "fault_recovery"
+        ]
+        assert any(r[1] == f"node {demo.hub}" for r in fault_rows)
+        # the crash-and-replan arc is the dominant loss
+        assert attr.buckets.fault_recovery_s >= 0.5 * attr.gap_s
+
+    def test_attribute_repairs_finds_every_repair(self, hub_crash_demo):
+        attrs = attribute_repairs(hub_crash_demo.tracer)
+        assert len(attrs) == 1
+        assert attrs[0].repair.startswith("repair")
+
+
+class TestErrors:
+    def test_empty_trace_raises(self):
+        with pytest.raises(ValueError):
+            attribute_repair(Tracer())

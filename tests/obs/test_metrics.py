@@ -55,6 +55,35 @@ class TestPrimitives:
         with pytest.raises(ValueError):
             h.quantile(1.5)
 
+    def test_histogram_quantile_clamps_at_implicit_inf_bucket(self):
+        # regression: estimates landing in the implicit overflow bucket
+        # used to interpolate towards +Inf; they must clamp to the
+        # highest finite boundary instead
+        h = Histogram(bounds=(1.0, 2.0))
+        for _ in range(10):
+            h.observe(100.0)  # everything overflows
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(0.99) == 2.0
+        assert math.isfinite(h.quantile(1.0))
+
+    def test_histogram_quantile_clamps_at_explicit_inf_bound(self):
+        h = Histogram(bounds=(0.5, 1.0, math.inf))
+        for _ in range(4):
+            h.observe(50.0)  # everything lands in the explicit +Inf bucket
+        assert h.quantile(0.9) == 1.0
+        assert math.isfinite(h.quantile(0.999))
+        # quantiles inside finite buckets still interpolate normally
+        h.observe(0.25)
+        assert 0.0 < h.quantile(0.1) <= 0.5
+
+    def test_histogram_cumulative_no_duplicate_inf_line(self):
+        h = Histogram(bounds=(1.0, math.inf))
+        h.observe(0.5)
+        h.observe(9.0)
+        cum = h.cumulative()
+        assert cum == [(1.0, 1), (math.inf, 2)]
+        assert sum(1 for le, _ in cum if math.isinf(le)) == 1
+
     def test_histogram_rejects_bad_bounds(self):
         with pytest.raises(ValueError):
             Histogram(bounds=(2.0, 1.0))

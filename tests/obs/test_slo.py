@@ -1,0 +1,173 @@
+"""SLO engine: rule parsing, breach/recover transitions, burn rate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    FleetAggregator,
+    MetricsRegistry,
+    SLOEngine,
+    SLORule,
+    Tracer,
+    parse_rule,
+    parse_rules,
+)
+
+pytestmark = pytest.mark.slo
+
+
+class TestParser:
+    def test_quantile_rule(self):
+        r = parse_rule("p99 repro_repair_seconds < 0.5")
+        assert r == SLORule(
+            name="repro_repair_seconds", agg="p99",
+            metric="repro_repair_seconds", op="<", threshold=0.5,
+        )
+        assert r.text == "p99 repro_repair_seconds < 0.5"
+
+    def test_every_aggregate_parses(self):
+        for agg in ("p50", "p90", "p95", "p99", "mean", "min", "max",
+                    "count", "rate"):
+            assert parse_rule(f"{agg} repro_x >= 1").agg == agg
+
+    def test_burn_rate_budget(self):
+        r = parse_rule("burn_rate(0.01) repro_failed > 14.4")
+        assert r.agg == "burn_rate"
+        assert r.budget == 0.01
+        assert r.threshold == 14.4
+        assert r.text == "burn_rate(0.01) repro_failed > 14.4"
+
+    def test_whitespace_and_scientific_notation(self):
+        r = parse_rule("  mean   repro_x<=1e-3  ")
+        assert (r.agg, r.op, r.threshold) == ("mean", "<=", 1e-3)
+
+    @pytest.mark.parametrize("bad", [
+        "p99 repro_x",                  # no comparison
+        "p42 repro_x < 1",              # unknown aggregate
+        "p99 9bad < 1",                 # invalid metric name
+        "p99 repro_x ! 1",              # invalid operator
+        "burn_rate(0) repro_x < 1",     # budget out of range
+        "burn_rate(1.5) repro_x < 1",   # budget out of range
+        "",                             # empty
+    ])
+    def test_rejects_bad_rules(self, bad):
+        with pytest.raises(ValueError):
+            parse_rule(bad)
+
+    def test_parse_rules_skips_comments_and_disambiguates(self):
+        rules = parse_rules([
+            "# latency",
+            "p99 repro_x < 1",
+            "",
+            "mean repro_x >= 0.5",
+        ])
+        assert [r.name for r in rules] == ["repro_x", "repro_x#2"]
+
+
+def _engine(rules, *, window_s=10.0, tracer=None, metrics=None):
+    fleet = FleetAggregator(window_s=window_s, buckets=10)
+    engine = SLOEngine(
+        fleet, parse_rules(rules),
+        tracer=tracer or Tracer(), metrics=metrics or MetricsRegistry(),
+    )
+    return fleet, engine
+
+
+class TestTransitions:
+    def test_initial_breach_emits_event_and_counter(self):
+        tracer, metrics = Tracer(), MetricsRegistry()
+        fleet, engine = _engine(
+            ["p99 repro_x < 1.0"], tracer=tracer, metrics=metrics
+        )
+        fleet.observe("repro_x", 5.0, t=0.0)
+        statuses = engine.evaluate(now=0.0)
+        assert [s.ok for s in statuses] == [False]
+        assert statuses[0].changed is True
+        assert engine.breaches == 1
+        events = [e for e in tracer.events if e.name == "slo.breach"]
+        assert len(events) == 1
+        assert events[0].attrs["rule"] == "repro_x"
+        assert events[0].attrs["value"] == pytest.approx(5.0)
+        assert metrics.get("repro_slo_breaches_total", rule="repro_x").value == 1
+        assert metrics.get("repro_slo_ok", rule="repro_x").value == 0.0
+
+    def test_breach_then_recover_cycle(self):
+        tracer = Tracer()
+        fleet, engine = _engine(["max repro_x <= 1.0"], tracer=tracer)
+        fleet.observe("repro_x", 0.5, t=0.0)
+        assert engine.evaluate(now=0.0)[0].ok is True
+        assert engine.breaches == 0
+        fleet.observe("repro_x", 9.0, t=1.0)
+        assert engine.evaluate(now=1.0)[0].ok is False
+        # the bad sample ages out of the 10 s window; a fresh good one lands
+        fleet.observe("repro_x", 0.5, t=20.0)
+        final = engine.evaluate(now=20.0)[0]
+        assert final.ok is True and final.changed is True
+        assert engine.breaches == 1
+        assert engine.recoveries == 1
+        names = [e.name for e in tracer.events if e.name.startswith("slo.")]
+        assert names == ["slo.breach", "slo.recover"]
+
+    def test_steady_state_emits_nothing(self):
+        tracer = Tracer()
+        fleet, engine = _engine(["mean repro_x < 1.0"], tracer=tracer)
+        for i in range(5):
+            fleet.observe("repro_x", 0.1, t=float(i))
+            assert engine.evaluate(now=float(i))[0].changed is False
+        assert engine.breaches == 0 and engine.recoveries == 0
+        assert [e for e in tracer.events if e.name.startswith("slo.")] == []
+
+    def test_indeterminate_window_holds_state(self):
+        fleet, engine = _engine(["p99 repro_x < 1.0"], window_s=1.0)
+        # never observed: indeterminate, reported ok, no breach
+        s = engine.evaluate(now=0.0)[0]
+        assert s.value is None and s.ok is True
+        assert engine.status() == {"repro_x": None}
+        # breach, then let the window empty out: state must hold
+        fleet.observe("repro_x", 9.0, t=1.0)
+        assert engine.evaluate(now=1.0)[0].ok is False
+        held = engine.evaluate(now=50.0)[0]
+        assert held.value is None
+        assert held.ok is False and held.changed is False
+        assert engine.status() == {"repro_x": False}
+        assert engine.recoveries == 0
+
+    def test_count_and_rate_are_determinate_at_zero(self):
+        fleet, engine = _engine(["count repro_x >= 1"], window_s=1.0)
+        s = engine.evaluate(now=0.0)[0]
+        assert s.value == 0 and s.ok is False  # empty window is a real 0
+
+
+class TestBurnRate:
+    def test_failure_ratio_over_budget(self):
+        fleet, engine = _engine(["burn_rate(0.1) repro_failed <= 1.0"])
+        # 3 failures / 10 repairs = 0.3 ratio; / 0.1 budget = burn 3.0
+        for i in range(10):
+            fleet.observe("repro_failed", 1.0 if i < 3 else 0.0, t=0.0)
+        s = engine.evaluate(now=0.0)[0]
+        assert s.value == pytest.approx(3.0)
+        assert s.ok is False
+
+    def test_all_successes_burn_zero(self):
+        fleet, engine = _engine(["burn_rate(0.1) repro_failed <= 1.0"])
+        for _ in range(10):
+            fleet.observe("repro_failed", 0.0, t=0.0)
+        s = engine.evaluate(now=0.0)[0]
+        assert s.value == 0.0 and s.ok is True
+
+
+class TestEndToEnd:
+    def test_fleet_sweep_breaches_and_recovers(self):
+        from repro.obs.demo import fleet_sweep
+
+        demo = fleet_sweep(repairs=30)
+        assert all(o.verified for o in demo.outcomes)
+        assert demo.slo.breaches > 0
+        assert demo.slo.recoveries > 0
+        names = [
+            e.name for e in demo.tracer.events if e.name.startswith("slo.")
+        ]
+        assert "slo.breach" in names and "slo.recover" in names
+        snap = demo.fleet.snapshot(demo.system.events.now)
+        assert snap["repro_repair_seconds"]["count"] == 30

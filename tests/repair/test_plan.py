@@ -167,3 +167,31 @@ class TestRepairPlan:
             ],
         )
         assert plan.num_pipelines() == 1
+
+
+class TestNodeRates:
+    def test_chain_rates_sum_per_constraint(self, ctx):
+        # 1 -> 2 -> 3 -> requester(0), every edge at 55 Mbps
+        plan = RepairPlan("t", ctx, [chain(ctx, [1, 2, 3], rate=55.0)])
+        rates = plan.node_rates()
+        assert set(rates) == {0, 1, 2, 3}
+        assert rates[1].uplink_mbps == pytest.approx(55.0)
+        assert rates[1].downlink_mbps == 0.0  # leaf receives nothing
+        assert rates[2].uplink_mbps == pytest.approx(55.0)
+        assert rates[2].downlink_mbps == pytest.approx(55.0)  # relay
+        assert rates[0].uplink_mbps == 0.0  # requester only downloads
+        assert rates[0].downlink_mbps == pytest.approx(55.0)
+
+    def test_rates_accumulate_across_pipelines(self, ctx):
+        plan = RepairPlan(
+            "t", ctx,
+            [
+                chain(ctx, [1, 2, 3], rate=30.0, segment=(0.0, 0.3)),
+                chain(ctx, [3, 4, 5], rate=70.0, segment=(0.3, 1.0), task_id=1),
+            ],
+        )
+        rates = plan.node_rates()
+        # node 3 uploads in both pipelines (30 to requester-chain, 70 to 4)
+        assert rates[3].uplink_mbps == pytest.approx(100.0)
+        assert rates[3].downlink_mbps == pytest.approx(30.0)
+        assert rates[0].downlink_mbps == pytest.approx(100.0)

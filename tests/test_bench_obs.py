@@ -39,7 +39,8 @@ class TestSchema:
         report, _ = smoke_report
         prim = report["null_primitives"]
         for key in ("event_ns", "span_pair_ns", "counter_inc_ns",
-                    "counter_factory_inc_ns", "enabled_check_ns"):
+                    "counter_factory_inc_ns", "fleet_observe_ns",
+                    "enabled_check_ns"):
             assert prim[key] > 0
         # a no-op primitive must stay in the nanoseconds regime
         assert max(prim.values()) < 100_000

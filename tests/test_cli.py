@@ -138,6 +138,83 @@ class TestLogging:
         assert len(handlers) == 1
 
 
+class TestAttrCommand:
+    def test_breakdown_sums_to_gap(self, capsys):
+        assert main(["attr"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck attribution: repair s1" in out
+        for bucket in ("fault_recovery", "plan_suboptimality",
+                       "straggler", "queueing"):
+            assert bucket in out
+        # the total row carries the exact-sum invariant end to end
+        assert "100.0%" in out
+        total = next(
+            line for line in out.splitlines()
+            if line.strip().startswith("total")
+        )
+        assert "100.0%" in total
+
+
+class TestFleetCommand:
+    def test_snapshot_table(self, capsys):
+        assert main(["fleet", "--repairs", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet aggregation" in out
+        assert "repro_repair_seconds" in out
+        assert "repro_achieved_mbps" in out
+
+
+class TestSloCommand:
+    def test_verdicts_and_transitions(self, capsys):
+        assert main(["slo", "--repairs", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO rules:" in out
+        assert "breach(es)" in out and "recover(ies)" in out
+        assert "slo.breach" in out  # the transition log
+
+    def test_custom_rules_and_bad_rule_rejected(self, capsys):
+        assert main([
+            "slo", "--repairs", "5", "--rules", "count repro_repair_seconds >= 1",
+        ]) == 0
+        assert "count repro_repair_seconds >= 1" in capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            main(["slo", "--repairs", "5", "--rules", "p42 nope !! 7"])
+
+
+class TestBenchReportCommand:
+    def test_merges_artifacts(self, tmp_path, capsys):
+        (tmp_path / "BENCH_alpha.json").write_text(json.dumps({
+            "benchmark": "alpha", "schema_version": 1,
+            "config": {"smoke": True},
+            "gate": {"pass": True, "overhead_percent": 0.5},
+        }))
+        (tmp_path / "BENCH_beta.json").write_text(json.dumps({
+            "benchmark": "beta", "schema_version": 2,
+            "median_us": 12.5,
+        }))
+        (tmp_path / "BENCH_beta.smoke.json").write_text(json.dumps({
+            "benchmark": "beta-smoke", "median_us": 1.0,
+        }))
+        out_json = tmp_path / "merged.json"
+        assert main([
+            "bench", "report", "--dir", str(tmp_path), "--json", str(out_json),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "| benchmark | metric | value |" in out
+        assert "beta-smoke" not in out  # smoke artefacts are transient
+        assert "| alpha | gate.overhead_percent | 0.5 |" in out
+        assert "| beta | median_us | 12.5 |" in out
+        assert "BENCH_alpha.json" in out  # sources footer
+        merged = json.loads(out_json.read_text())
+        assert [r["benchmark"] for r in merged["reports"]] == ["alpha", "beta"]
+        # config values are inputs, not trajectory metrics
+        assert "config.smoke" not in merged["reports"][0]["metrics"]
+
+    def test_empty_dir(self, tmp_path, capsys):
+        assert main(["bench", "report", "--dir", str(tmp_path)]) == 0
+        assert "Sources: none" in capsys.readouterr().out
+
+
 class TestCompareCommand:
     def test_tiny_sweep(self, capsys):
         assert main([

@@ -1,0 +1,49 @@
+"""Library hygiene: ``src/repro`` never prints.
+
+All human-facing output flows through the renderers in
+``repro.analysis.reporting`` and is printed by the CLI (``repro.cli``),
+which is the single module allowed to call ``print()``.  An AST walk
+(not a grep — docstrings legitimately mention ``print(...)``) enforces
+it for every other module.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: the CLI is the presentation layer; printing is its job
+ALLOWED = {SRC / "cli.py"}
+
+
+def _print_calls(path: Path) -> list[int]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    return [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "print"
+    ]
+
+
+def test_library_code_never_prints():
+    assert SRC.is_dir()
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        offenders += [f"{path}:{line}" for line in _print_calls(path)]
+    assert not offenders, (
+        "print() in library code (route output through "
+        f"repro.analysis.reporting + the CLI): {offenders}"
+    )
+
+
+def test_lint_actually_detects_print(tmp_path):
+    """The lint must not be trivially green: a print() sample trips it."""
+    sample = tmp_path / "sample.py"
+    sample.write_text('"""print(x) in a docstring is fine."""\nprint(1)\n')
+    assert _print_calls(sample) == [2]
