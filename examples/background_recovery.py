@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Background recovery under foreground load: the repair control plane.
+
+Kills two nodes (staggered, so a double loss lands mid-recovery) while
+a seeded foreground read stream is running, and lets the
+RecoveryOrchestrator drain the backlog: most-exposed stripes first,
+every repair planned inside a budget share of cluster bandwidth, with
+the SLO engine squeezing the repair throttle whenever foreground p95
+latency breaches.
+
+Run:  python examples/background_recovery.py [--budget F] [--no-slo]
+"""
+
+import argparse
+
+from repro.analysis import render_recovery, render_slo
+from repro.recovery import run_recovery_scenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=float, default=0.5,
+                        help="repair bandwidth budget fraction")
+    parser.add_argument("--stripes", type=int, default=24)
+    parser.add_argument("--reads", type=int, default=200)
+    parser.add_argument("--no-slo", action="store_true",
+                        help="disable the SLO-coupled throttle")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    scenario = run_recovery_scenario(
+        num_stripes=args.stripes,
+        foreground_reads=args.reads,
+        budget_fraction=args.budget,
+        kills=((0, 0.001), (3, 0.004)),
+        slo_latency_multiple=None if args.no_slo else 1.5,
+        seed=args.seed,
+    )
+    print(render_recovery(scenario.report, scenario.tracer))
+
+    if scenario.slo is not None:
+        print()
+        print(render_slo(scenario.slo))
+
+    # spot-check: every repaired stripe decodes back to its original bytes
+    bad = [
+        r.stripe_id
+        for r in scenario.orchestrator.records
+        if r.status != "failed" and not r.verified
+    ]
+    print()
+    print("verification:", "FAILED for " + ", ".join(bad) if bad else "all rebuilt chunks byte-identical")
+
+
+if __name__ == "__main__":
+    main()

@@ -374,6 +374,76 @@ def render_slo(engine, statuses=None, tracer=None) -> str:
     return "\n".join(lines)
 
 
+def render_recovery(report, tracer=None) -> str:
+    """Render a background-recovery run report (``repro recover``)."""
+    lines = [
+        "background recovery:",
+        f"  repaired {report.repaired} stripe(s), "
+        f"{report.verified} verified, "
+        f"{report.dead_letters} dead-lettered, "
+        f"{report.requeues} requeue(s), {report.skipped} skipped",
+    ]
+    if report.drained_at is not None:
+        lines.append(
+            f"  queue drained at {_fmt_seconds(report.drained_at).strip()}"
+        )
+    else:
+        lines.append(
+            f"  queue NOT drained: {report.queue_depth} waiting, "
+            f"{report.inflight} in flight"
+        )
+    lines.append(
+        f"  budget {report.budget_fraction:.0%} of cluster bandwidth "
+        f"(throttle x{report.throttle:.2f} -> "
+        f"effective {report.effective_budget:.0%}); "
+        f"peak committed {report.peak_committed:.0%}, "
+        f"backlogged mean {report.backlogged_committed:.0%}"
+    )
+    lines.append(
+        f"  throttle moves: {report.throttle_shrinks} shrink(s), "
+        f"{report.throttle_restores} restore(s)"
+    )
+    if report.by_class:
+        header = f"{'priority class':>16} | {'repairs':>8} | {'mean time':>11}"
+        lines += ["", header, "-" * len(header)]
+        for cls, count, mean_s in report.by_class:
+            label = f"{cls} chunk(s) lost"
+            lines.append(
+                f"{label:>16} | {count:>8} | {_fmt_seconds(mean_s):>11}"
+            )
+    fg = report.foreground
+    if fg:
+        lines += [
+            "",
+            "foreground coexistence:",
+            f"  {fg['recorded']} read(s), {fg['ok']} ok, "
+            f"{fg['degraded']} degraded, "
+            f"{fg['bytes'] / units.KIB:.0f} KiB served",
+            f"  latency mean {_fmt_seconds(fg['mean_latency_s']).strip()}, "
+            f"p95 {_fmt_seconds(fg['p95_latency_s']).strip()}, "
+            f"max {_fmt_seconds(fg['max_latency_s']).strip()}",
+        ]
+    if tracer is not None:
+        events = [
+            e
+            for e in tracer.all_events()
+            if e.name in ("recovery.throttle", "slo.breach", "slo.recover")
+        ]
+        if events:
+            lines += ["", "throttle/SLO transitions:"]
+            for e in events:
+                detail = (
+                    f"-> x{e.attrs['throttle']:.2f}"
+                    if e.name == "recovery.throttle"
+                    else e.attrs.get("expr", "")
+                )
+                lines.append(
+                    f"  {_fmt_seconds(e.time).strip():>10}  {e.name}  "
+                    f"{e.attrs.get('direction', '')}{detail}"
+                )
+    return "\n".join(lines)
+
+
 def _flatten_numeric(obj, prefix: str = "", depth: int = 4) -> dict[str, float]:
     """Dotted-path view of every numeric leaf in a nested report dict."""
     out: dict[str, float] = {}

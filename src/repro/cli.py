@@ -20,6 +20,8 @@ Subcommands
 ``fleet``       run the fleet sweep demo and print the aggregated sketches
 ``slo``         run the fleet sweep demo against SLO rules and print the
                 verdicts plus the breach/recover transition log
+``recover``     background recovery demo: kill node(s) under a foreground
+                workload and drain the repair queue on a bandwidth budget
 ``bench``       ``bench report``: merge the repo's BENCH_*.json artifacts
                 into one trajectory table (markdown, or ``--json``)
 
@@ -252,6 +254,33 @@ def cmd_slo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_recover(args: argparse.Namespace) -> int:
+    from .analysis import render_recovery
+    from .recovery import run_recovery_scenario
+
+    kills = tuple(
+        (node, 0.001 + i * args.stagger_s) for i, node in enumerate(args.kill)
+    )
+    log.info(
+        "recovering %d stripe(s) after killing node(s) %s under a %r "
+        "foreground workload ...",
+        args.stripes, list(args.kill), args.workload,
+    )
+    scenario = run_recovery_scenario(
+        num_stripes=args.stripes,
+        chunk_bytes=args.chunk_kib * units.KIB,
+        workload=args.workload,
+        seed=args.seed,
+        kills=kills,
+        budget_fraction=args.budget,
+        max_concurrent=args.max_concurrent,
+        foreground_reads=args.reads,
+        slo_latency_multiple=None if args.no_slo else args.slo_multiple,
+    )
+    print(render_recovery(scenario.report, scenario.tracer))
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import glob
     import json
@@ -431,6 +460,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="override rules, e.g. 'p99 repro_repair_seconds < 0.01'",
     )
     p.set_defaults(func=cmd_slo)
+
+    p = sub.add_parser(
+        "recover",
+        help="background recovery demo: kill node(s) under foreground load",
+    )
+    p.add_argument(
+        "--kill", type=int, nargs="+", default=[0],
+        help="node id(s) to crash (staggered by --stagger-s)",
+    )
+    p.add_argument("--stagger-s", type=float, default=0.003)
+    p.add_argument("--stripes", type=int, default=24)
+    p.add_argument("--chunk-kib", type=int, default=16)
+    p.add_argument("--workload", default="tpcds")
+    p.add_argument("--budget", type=float, default=0.5,
+                   help="repair bandwidth budget fraction")
+    p.add_argument("--max-concurrent", type=int, default=4)
+    p.add_argument("--reads", type=int, default=200,
+                   help="foreground reads to issue during recovery")
+    p.add_argument("--slo-multiple", type=float, default=1.5,
+                   help="p95 latency SLO as a multiple of the clean read")
+    p.add_argument("--no-slo", action="store_true",
+                   help="disable the SLO-coupled throttle")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_recover)
 
     p = sub.add_parser("bench", help="benchmark artifact tools")
     bench_sub = p.add_subparsers(dest="bench_command", required=True)

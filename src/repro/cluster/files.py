@@ -62,6 +62,9 @@ class FileStore:
             system.num_nodes, system.code.n
         )
         self._catalog: dict[str, FileEntry] = {}
+        #: stripe id -> owning file, so failure handling maps a node's
+        #: stripes to files without scanning the whole catalog
+        self._stripe_file: dict[str, str] = {}
         self._stripe_counter = 0
 
     # ------------------------------------------------------------------ #
@@ -99,6 +102,8 @@ class FileStore:
             stripe_ids=tuple(stripe_ids),
         )
         self._catalog[name] = entry
+        for sid in stripe_ids:
+            self._stripe_file[sid] = name
         return entry
 
     def read(self, name: str, *, reader: int | None = None) -> tuple[bytes, float]:
@@ -136,12 +141,19 @@ class FileStore:
         return self.entry(name).stripe_ids
 
     def affected_files(self, node: int) -> list[str]:
-        """Files with at least one chunk on the given node."""
-        on_node = set(self.system.stripes_on(node))
+        """Files with at least one chunk on the given node.
+
+        Both hops are index lookups — the master's node->stripes index
+        and this store's stripe->file map — so the cost scales with the
+        node's chunk count, not the namespace size (the recovery
+        orchestrator asks on every failure event).
+        """
         return sorted(
-            name
-            for name, entry in self._catalog.items()
-            if on_node & set(entry.stripe_ids)
+            {
+                self._stripe_file[sid]
+                for sid in self.system.stripes_on(node)
+                if sid in self._stripe_file
+            }
         )
 
     # ------------------------------------------------------------------ #

@@ -85,6 +85,9 @@ class Master:
         self._uplink = np.zeros(num_nodes)
         self._downlink = np.zeros(num_nodes)
         self._stripes: dict[str, StripeLocation] = {}
+        #: node -> stripe ids with a chunk on it, maintained on
+        #: register/relocate so failure handling never scans every stripe
+        self._node_stripes: dict[int, set[str]] = {}
         self._dead: set[int] = set()
         #: node -> simulation time of its last bandwidth report (lease basis)
         self._last_report: dict[int, float] = {}
@@ -155,7 +158,13 @@ class Master:
             )
         if len(set(location.placement)) != self.code.n:
             raise ValueError("stripe chunks must land on distinct nodes")
+        prev = self._stripes.get(location.stripe_id)
+        if prev is not None:
+            for node in prev.placement:
+                self._node_stripes.get(node, set()).discard(location.stripe_id)
         self._stripes[location.stripe_id] = location
+        for node in location.placement:
+            self._node_stripes.setdefault(node, set()).add(location.stripe_id)
 
     def stripe(self, stripe_id: str) -> StripeLocation:
         return self._stripes[stripe_id]
@@ -165,10 +174,13 @@ class Master:
         return sorted(self._stripes)
 
     def stripes_with_node(self, node: int) -> list[str]:
-        """Stripes that placed a chunk on ``node``."""
-        return sorted(
-            sid for sid, loc in self._stripes.items() if node in loc.placement
-        )
+        """Stripes that placed a chunk on ``node``.
+
+        Served from the node->stripes index (O(stripes on the node), not
+        a scan of the whole namespace): the recovery orchestrator calls
+        this on every failure event.
+        """
+        return sorted(self._node_stripes.get(node, ()))
 
     def relocate_chunk(self, stripe_id: str, chunk_index: int, new_node: int) -> None:
         """Record that a chunk now lives on ``new_node`` (post-repair).
@@ -181,10 +193,14 @@ class Master:
                 f"node {new_node} already holds a chunk of {stripe_id}"
             )
         placement = list(loc.placement)
+        old_node = placement[chunk_index]
         placement[chunk_index] = new_node
         self._stripes[stripe_id] = StripeLocation(
             stripe_id=stripe_id, placement=tuple(placement)
         )
+        if old_node != new_node:
+            self._node_stripes.get(old_node, set()).discard(stripe_id)
+            self._node_stripes.setdefault(new_node, set()).add(stripe_id)
 
     def on_bandwidth_report(
         self, report: BandwidthReport, now: float | None = None
@@ -227,6 +243,7 @@ class Master:
         requester: int,
         *,
         exclude: tuple[int, ...] = (),
+        bandwidth_scale: float = 1.0,
     ) -> RepairContext:
         """Repair context for a stripe/failure pair from current bandwidth.
 
@@ -235,6 +252,12 @@ class Master:
         :class:`RepairImpossibleError` when fewer than k helpers survive
         — the caller's only correct moves are the multi-chunk path or an
         explicit failure verdict.
+
+        ``bandwidth_scale`` plans the repair inside a *fraction* of every
+        node's available bandwidth — the recovery orchestrator's budget
+        share (see :mod:`repro.recovery`); algorithms like FullRepair
+        consume everything they are offered, so scaling the snapshot is
+        how admission control bounds a repair's footprint.
         """
         loc = self.stripe(stripe_id)
         if failed_node not in loc.placement:
@@ -252,8 +275,18 @@ class Master:
                 f"{stripe_id}: only {len(helpers)} live helpers remain, "
                 f"need k={self.code.k}"
             )
+        if not 0.0 < bandwidth_scale <= 1.0:
+            raise ValueError(
+                f"bandwidth_scale must be in (0, 1], got {bandwidth_scale}"
+            )
+        snapshot = self.snapshot()
+        if bandwidth_scale != 1.0:
+            snapshot = BandwidthSnapshot(
+                uplink=snapshot.uplink * bandwidth_scale,
+                downlink=snapshot.downlink * bandwidth_scale,
+            )
         return RepairContext(
-            snapshot=self.snapshot(),
+            snapshot=snapshot,
             requester=requester,
             helpers=helpers,
             k=self.code.k,
@@ -348,6 +381,7 @@ class Master:
         exclude: tuple[int, ...] = (),
         prev_plan: RepairPlan | None = None,
         newly_dead: tuple[int, ...] = (),
+        bandwidth_scale: float = 1.0,
     ) -> RepairPlan:
         """Compute and validate the repair plan for a failure.
 
@@ -357,10 +391,13 @@ class Master:
         re-plan after a mid-repair helper loss, pass the previous plan
         and the newly dead nodes to enable the promotion fast path and
         the star fallback (the degradation ladder of
-        :meth:`plan_with_fallback`).
+        :meth:`plan_with_fallback`).  ``bandwidth_scale`` plans inside a
+        fraction of every node's bandwidth (budgeted admission; see
+        :meth:`build_context`).
         """
         context = self.build_context(
-            stripe_id, failed_node, requester, exclude=exclude
+            stripe_id, failed_node, requester,
+            exclude=exclude, bandwidth_scale=bandwidth_scale,
         )
         plan = self.plan_with_fallback(
             context, prev_plan=prev_plan, newly_dead=newly_dead

@@ -97,6 +97,10 @@ class _Assembly:
     requester: int
     chunk_bytes: int
     failed_node: int = -1
+    #: chunk index lost on failed_node, resolved at dispatch — the live
+    #: placement may have relocated it by the time the repair settles
+    #: (a degraded read racing the orchestrator on the same chunk)
+    lost_chunk: int = -1
     #: pipeline key -> sender nodes expected to deliver that range
     expected: dict[int, set] = field(default_factory=dict)
     #: pipeline key -> bytes of its range not yet decode-complete
@@ -127,6 +131,14 @@ class _Assembly:
     max_attempts: int = 3
     backoff_base_s: float = 0.02
     watchdog: bool = False
+    # ---- non-blocking dispatch (orchestrator path) -------------------- #
+    #: terminal callback fired exactly once with the assembly itself
+    on_done: object = None
+    store: bool = True
+    start_time: float = 0.0
+    busy_before: list | None = None
+    #: fraction of cluster bandwidth this repair (and its re-plans) may use
+    bandwidth_scale: float = 1.0
     # ---- observability (None / NULL_SPAN when tracing is off) --------- #
     span: object = None
     attempt_span: object = None
@@ -233,6 +245,11 @@ class ClusterSystem:
         self._heartbeat_on = False
         self._heartbeat_period_s = 0.05
         self._heartbeat_pending = False
+        #: callbacks fired (with the node id) whenever a node crashes —
+        #: how the recovery orchestrator learns of new failures
+        self._failure_listeners: list = []
+        #: monotone suffix source keeping async repair ids collision-free
+        self._async_seq = 0
 
     # ---- cluster state ------------------------------------------------ #
 
@@ -327,6 +344,17 @@ class ClusterSystem:
                         reason="second chunk lost mid-repair",
                     )
                 self._finish_assembly(asm, retire=True)
+        for listener in list(self._failure_listeners):
+            listener(node)
+
+    def add_failure_listener(self, callback) -> None:
+        """Register ``callback(node)`` to run whenever a node crashes.
+
+        Listeners run *after* the crash has been classified against every
+        active repair, so a listener observing the cluster sees the
+        post-crash state (escalations already flagged).
+        """
+        self._failure_listeners.append(callback)
 
     # ---- fault hooks (used by repro.faults.FaultInjector) -------------- #
 
@@ -370,6 +398,10 @@ class ClusterSystem:
     def stripes_on(self, node: int) -> list[str]:
         """Stripe ids that placed a chunk on the given node."""
         return self.master.stripes_with_node(node)
+
+    def chunk_bytes_of(self, stripe_id: str) -> int:
+        """Chunk size in bytes of a stored stripe."""
+        return self._stripe_sizes[stripe_id]
 
     def read_chunk(self, stripe_id: str, chunk_index: int) -> np.ndarray:
         """Direct chunk read (test/diagnostic path)."""
@@ -447,11 +479,14 @@ class ClusterSystem:
             requester=requester,
             chunk_bytes=chunk_bytes,
             failed_node=failed_node,
+            lost_chunk=self.master.stripe(stripe_id).chunk_on(failed_node),
             buffer=np.zeros(chunk_bytes, dtype=np.uint8),
             timeout_s=progress_timeout_s,
             max_attempts=max_attempts,
             backoff_base_s=backoff_base_s,
             watchdog=True,
+            store=store,
+            start_time=start_time,
         )
         if self.tracer.enabled:
             asm.span = self.tracer.start_span(
@@ -472,41 +507,8 @@ class ClusterSystem:
             outcome = self._finish_escalated(
                 asm, start_time, on_failure="outcome"
             )
-        elif not asm.complete:
-            reason = asm.failure_reason or "repair did not complete"
-            outcome = RepairOutcome(
-                plan=asm.plan,
-                rebuilt=None,
-                elapsed_seconds=self.events.now - start_time,
-                bytes_received=asm.received,
-                verified=False,
-                attempts=max(asm.attempt, 1),
-                status=FAILED,
-                retries=asm.retries,
-                replans=asm.replans,
-                bytes_retransferred=asm.bytes_retransferred,
-                failure_reason=reason,
-            )
         else:
-            loc = self.master.stripe(stripe_id)
-            lost_chunk = loc.chunk_on(failed_node)
-            rebuilt = asm.buffer
-            if store:
-                self.nodes[requester].store.put(stripe_id, lost_chunk, rebuilt)
-                self.master.relocate_chunk(stripe_id, lost_chunk, requester)
-            original = self.nodes[failed_node].store.get(stripe_id, lost_chunk)
-            outcome = RepairOutcome(
-                plan=asm.plan,
-                rebuilt=rebuilt,
-                elapsed_seconds=asm.last_arrival - start_time,
-                bytes_received=asm.received,
-                verified=bool(np.array_equal(rebuilt, original)),
-                attempts=asm.attempt,
-                status=DEGRADED if asm.degraded else COMPLETED,
-                retries=asm.retries,
-                replans=asm.replans,
-                bytes_retransferred=asm.bytes_retransferred,
-            )
+            outcome = self._settle_outcome(asm)
         self._finalize_repair_obs(asm, outcome, start_time, busy_before)
         if outcome.status == FAILED and on_failure == "raise":
             if asm.escalate:
@@ -555,48 +557,8 @@ class ClusterSystem:
         """
         loc = self.master.stripe(stripe_id)
         failed_nodes = tuple(failed_nodes)
-        if any(self._alive[f] for f in failed_nodes):
-            raise ValueError("all listed nodes must have failed")
-        if len(failed_nodes) > self.code.n - self.code.k:
-            raise ValueError(
-                f"an ({self.code.n},{self.code.k}) stripe tolerates at most "
-                f"{self.code.n - self.code.k} failures"
-            )
-        helpers = tuple(
-            n for n in loc.placement
-            if n not in failed_nodes and self._alive[n]
-        )
-        if len(helpers) < self.code.k:
-            raise ValueError("not enough surviving helpers to decode")
-        for f in failed_nodes:
-            r = requester_for[f]
-            if not self._alive[r] or r in loc.placement:
-                raise ValueError(f"invalid requester {r} for failed node {f}")
-        if len(set(requester_for[f] for f in failed_nodes)) != len(failed_nodes):
-            raise ValueError("each lost chunk needs a distinct requester")
-
         starts: dict[int, float] = {}
-        plans: dict[int, RepairPlan] = {}
-        # fair split: every concurrent repair plans inside a 1/m share of
-        # each node's bandwidth (an algorithm like FullRepair consumes
-        # everything it is offered, so residual carving would starve the
-        # later repairs); the shares are simultaneously feasible
-        snapshot = self.master.snapshot()
-        share = BandwidthSnapshot(
-            uplink=snapshot.uplink / len(failed_nodes),
-            downlink=snapshot.downlink / len(failed_nodes),
-        )
-        for f in failed_nodes:
-            context = RepairContext(
-                snapshot=share,
-                requester=requester_for[f],
-                helpers=helpers,
-                k=self.code.k,
-                chunk_index={n: loc.chunk_on(n) for n in helpers},
-            )
-            plan = self.master.algorithm.plan(context)
-            plan.validate()
-            plans[f] = plan
+        plans = self._plan_multi(stripe_id, failed_nodes, requester_for)
         for f in failed_nodes:
             starts[f] = self.events.now
             self._dispatch_plan(
@@ -687,7 +649,22 @@ class ClusterSystem:
             for sid in batch:
                 asm = self._pop_assembly(f"{sid}/n{failed_node}")
                 if not asm.complete:
-                    raise RuntimeError(f"batched repair of {sid} incomplete")
+                    # structured per-stripe verdict: whole-node recovery
+                    # degrades (other stripes keep repairing) instead of
+                    # aborting the batch loop with a bare RuntimeError
+                    outcomes[sid] = RepairOutcome(
+                        plan=node_plan.plans[sid],
+                        rebuilt=None,
+                        elapsed_seconds=self.events.now - starts[sid],
+                        bytes_received=asm.received,
+                        verified=False,
+                        status=FAILED,
+                        failure_reason=(
+                            f"batched repair incomplete: {asm.received} of "
+                            f"{asm.chunk_bytes} bytes arrived"
+                        ),
+                    )
+                    continue
                 loc = self.master.stripe(sid)
                 lost = loc.chunk_on(failed_node)
                 self.nodes[requester_for[sid]].store.put(sid, lost, asm.buffer)
@@ -701,6 +678,313 @@ class ClusterSystem:
                     verified=bool(np.array_equal(asm.buffer, original)),
                 )
         return outcomes
+
+    # ---- non-blocking dispatch (recovery-orchestrator substrate) ------ #
+
+    def _plan_multi(
+        self,
+        stripe_id: str,
+        failed_nodes: tuple[int, ...],
+        requester_for: dict[int, int],
+        *,
+        bandwidth_scale: float = 1.0,
+    ) -> dict[int, RepairPlan]:
+        """Validate a multi-chunk repair and plan each lost chunk.
+
+        Fair split: every concurrent repair plans inside a 1/m share of
+        each node's bandwidth (an algorithm like FullRepair consumes
+        everything it is offered, so residual carving would starve the
+        later repairs); the shares are simultaneously feasible.  The
+        split is carved out of ``bandwidth_scale`` — the budget share an
+        orchestrator grants the whole stripe.
+        """
+        loc = self.master.stripe(stripe_id)
+        failed_nodes = tuple(failed_nodes)
+        if any(self._alive[f] for f in failed_nodes):
+            raise ValueError("all listed nodes must have failed")
+        if len(failed_nodes) > self.code.n - self.code.k:
+            raise ValueError(
+                f"an ({self.code.n},{self.code.k}) stripe tolerates at most "
+                f"{self.code.n - self.code.k} failures"
+            )
+        helpers = tuple(
+            n for n in loc.placement
+            if n not in failed_nodes and self._alive[n]
+        )
+        if len(helpers) < self.code.k:
+            raise ValueError("not enough surviving helpers to decode")
+        for f in failed_nodes:
+            r = requester_for[f]
+            if not self._alive[r] or r in loc.placement:
+                raise ValueError(f"invalid requester {r} for failed node {f}")
+        if len(set(requester_for[f] for f in failed_nodes)) != len(failed_nodes):
+            raise ValueError("each lost chunk needs a distinct requester")
+        snapshot = self.master.snapshot()
+        factor = bandwidth_scale / len(failed_nodes)
+        share = BandwidthSnapshot(
+            uplink=snapshot.uplink * factor,
+            downlink=snapshot.downlink * factor,
+        )
+        plans: dict[int, RepairPlan] = {}
+        for f in failed_nodes:
+            context = RepairContext(
+                snapshot=share,
+                requester=requester_for[f],
+                helpers=helpers,
+                k=self.code.k,
+                chunk_index={n: loc.chunk_on(n) for n in helpers},
+            )
+            plan = self.master.algorithm.plan(context)
+            plan.validate()
+            plans[f] = plan
+        return plans
+
+    def repair_async(
+        self,
+        stripe_id: str,
+        failed_node: int,
+        requester: int,
+        *,
+        on_done,
+        store: bool = True,
+        bandwidth_scale: float = 1.0,
+        max_attempts: int = 3,
+        progress_timeout_s: float | None = None,
+        backoff_base_s: float = 0.02,
+    ) -> str:
+        """Start a self-healing chunk repair without draining the queue.
+
+        The non-blocking sibling of :meth:`repair`, built for control
+        loops that live *inside* the event queue (the recovery
+        orchestrator, foreground degraded reads): the repair is planned
+        inside ``bandwidth_scale`` of every node's bandwidth, dispatched,
+        and left to the same watchdog/re-plan state machine; when it
+        reaches a terminal state, ``on_done(outcome)`` fires from within
+        the event-queue run.  A mid-repair second chunk loss is *not*
+        escalated inline (that would nest an event-queue run); the
+        outcome comes back ``failed`` with an explanatory
+        ``failure_reason`` and the caller decides whether to re-dispatch
+        through :meth:`repair_multi_async`.
+
+        Returns the repair id (unique per call, so concurrent repairs of
+        the same chunk — e.g. a degraded read racing the orchestrator —
+        never collide).
+        """
+        if self._alive[failed_node]:
+            raise ValueError(f"node {failed_node} has not failed")
+        if not self._alive[requester]:
+            raise ValueError("requester node is down")
+        self._async_seq += 1
+        repair_id = f"{stripe_id}/n{failed_node}@a{self._async_seq}"
+        chunk_bytes = self._stripe_sizes[stripe_id]
+        asm = _Assembly(
+            stripe_id=stripe_id,
+            repair_id=repair_id,
+            requester=requester,
+            chunk_bytes=chunk_bytes,
+            failed_node=failed_node,
+            lost_chunk=self.master.stripe(stripe_id).chunk_on(failed_node),
+            buffer=np.zeros(chunk_bytes, dtype=np.uint8),
+            timeout_s=progress_timeout_s,
+            max_attempts=max_attempts,
+            backoff_base_s=backoff_base_s,
+            watchdog=True,
+            store=store,
+            start_time=self.events.now,
+            bandwidth_scale=bandwidth_scale,
+            busy_before=(
+                [(n.uplink_busy_s, n.downlink_busy_s) for n in self.nodes]
+                if self.metrics.enabled
+                else None
+            ),
+            on_done=lambda a, cb=on_done: self._complete_async(a, cb),
+        )
+        if self.tracer.enabled:
+            asm.span = self.tracer.start_span(
+                f"repair {repair_id}",
+                kind="repair",
+                stripe=stripe_id,
+                failed_node=failed_node,
+                requester=requester,
+                chunk_bytes=chunk_bytes,
+                algorithm=self.master.algorithm.name,
+                bandwidth_scale=bandwidth_scale,
+            )
+        self._assemblies[repair_id] = asm
+        self._start_attempt(asm)
+        return repair_id
+
+    def _settle_outcome(self, asm: _Assembly) -> RepairOutcome:
+        """Terminal outcome of a finished, non-escalated watchdog repair."""
+        if not asm.complete:
+            reason = asm.failure_reason or "repair did not complete"
+            return RepairOutcome(
+                plan=asm.plan,
+                rebuilt=None,
+                elapsed_seconds=self.events.now - asm.start_time,
+                bytes_received=asm.received,
+                verified=False,
+                attempts=max(asm.attempt, 1),
+                status=FAILED,
+                retries=asm.retries,
+                replans=asm.replans,
+                bytes_retransferred=asm.bytes_retransferred,
+                failure_reason=reason,
+            )
+        if asm.lost_chunk >= 0:
+            lost_chunk = asm.lost_chunk
+        else:
+            loc = self.master.stripe(asm.stripe_id)
+            lost_chunk = loc.chunk_on(asm.failed_node)
+        rebuilt = asm.buffer
+        if asm.store:
+            self.nodes[asm.requester].store.put(
+                asm.stripe_id, lost_chunk, rebuilt
+            )
+            self.master.relocate_chunk(asm.stripe_id, lost_chunk, asm.requester)
+        original = self.nodes[asm.failed_node].store.get(
+            asm.stripe_id, lost_chunk
+        )
+        return RepairOutcome(
+            plan=asm.plan,
+            rebuilt=rebuilt,
+            elapsed_seconds=asm.last_arrival - asm.start_time,
+            bytes_received=asm.received,
+            verified=bool(np.array_equal(rebuilt, original)),
+            attempts=asm.attempt,
+            status=DEGRADED if asm.degraded else COMPLETED,
+            retries=asm.retries,
+            replans=asm.replans,
+            bytes_retransferred=asm.bytes_retransferred,
+        )
+
+    def _complete_async(self, asm: _Assembly, callback) -> None:
+        """Terminal handler for :meth:`repair_async` dispatches."""
+        if asm.escalate:
+            outcome = RepairOutcome(
+                plan=asm.plan,
+                rebuilt=None,
+                elapsed_seconds=self.events.now - asm.start_time,
+                bytes_received=asm.received,
+                verified=False,
+                attempts=max(asm.attempt, 1),
+                status=FAILED,
+                retries=asm.retries,
+                replans=asm.replans,
+                bytes_retransferred=asm.bytes_retransferred,
+                failure_reason=(
+                    "second chunk lost mid-repair; "
+                    "multi-chunk repair required"
+                ),
+            )
+        else:
+            outcome = self._settle_outcome(asm)
+        self._finalize_repair_obs(asm, outcome, asm.start_time, asm.busy_before)
+        # routing cleanup WITHOUT purging retired epochs: stale slices of
+        # aborted attempts may still be in flight and must keep being
+        # dropped silently; the finished wire joins the retired set so a
+        # straggling duplicate cannot hit an unknown-assembly error
+        self._assemblies.pop(asm.repair_id, None)
+        self._wire_assembly.pop(asm.wire_id, None)
+        self._retired.add(asm.wire_id or asm.repair_id)
+        callback(outcome)
+
+    def repair_multi_async(
+        self,
+        stripe_id: str,
+        failed_nodes: tuple[int, ...],
+        requester_for: dict[int, int],
+        *,
+        on_done,
+        bandwidth_scale: float = 1.0,
+        deadline_s: float | None = None,
+    ) -> str:
+        """Rebuild several lost chunks of one stripe without blocking.
+
+        The non-blocking sibling of :meth:`repair_multi`: each lost
+        chunk's plan is carved out of ``bandwidth_scale`` (the 1/m split
+        happens *inside* the share) and dispatched onto the running event
+        queue.  When every chunk assembles — or ``deadline_s`` elapses
+        first — ``on_done(outcomes)`` fires with a per-failed-node
+        :class:`RepairOutcome` dict; chunks that missed the deadline come
+        back ``failed`` with a ``failure_reason`` instead of raising, so
+        an orchestrator can re-queue them.
+        """
+        failed_nodes = tuple(failed_nodes)
+        plans = self._plan_multi(
+            stripe_id, failed_nodes, requester_for,
+            bandwidth_scale=bandwidth_scale,
+        )
+        self._async_seq += 1
+        group = f"@m{self._async_seq}"
+        loc = self.master.stripe(stripe_id)
+        rids = {f: f"{stripe_id}/n{f}{group}" for f in failed_nodes}
+        starts = {f: self.events.now for f in failed_nodes}
+        remaining = set(failed_nodes)
+        outcomes: dict[int, RepairOutcome] = {}
+        deadline_timer: list = [None]
+
+        def settle_chunk(f: int, asm: _Assembly) -> None:
+            lost = loc.chunk_on(f)
+            self.nodes[requester_for[f]].store.put(stripe_id, lost, asm.buffer)
+            self.master.relocate_chunk(stripe_id, lost, requester_for[f])
+            original = self.nodes[f].store.get(stripe_id, lost)
+            outcomes[f] = RepairOutcome(
+                plan=plans[f],
+                rebuilt=asm.buffer,
+                elapsed_seconds=asm.last_arrival - starts[f],
+                bytes_received=asm.received,
+                verified=bool(np.array_equal(asm.buffer, original)),
+            )
+            self._pop_assembly(asm.repair_id)
+            self._retired.add(asm.wire_id)
+            remaining.discard(f)
+            if not remaining:
+                if deadline_timer[0] is not None:
+                    self.events.cancel(deadline_timer[0])
+                on_done(dict(outcomes))
+
+        def on_deadline() -> None:
+            deadline_timer[0] = None
+            if not remaining:
+                return
+            for f in sorted(remaining):
+                rid = rids[f]
+                asm = self._assemblies.get(rid)
+                if asm is None:
+                    continue
+                asm.on_done = None
+                for node in self.nodes:
+                    node.cancel_repair(rid)
+                self._retired.add(rid)
+                popped = self._pop_assembly(rid)
+                outcomes[f] = RepairOutcome(
+                    plan=plans[f],
+                    rebuilt=None,
+                    elapsed_seconds=self.events.now - starts[f],
+                    bytes_received=popped.received,
+                    verified=False,
+                    status=FAILED,
+                    failure_reason=(
+                        f"multi-chunk repair missed its "
+                        f"{deadline_s:g}s deadline"
+                    ),
+                )
+            remaining.clear()
+            on_done(dict(outcomes))
+
+        for f in failed_nodes:
+            self._dispatch_plan(
+                plans[f], stripe_id, f, requester_for[f], repair_id=rids[f]
+            )
+            asm = self._assemblies[rids[f]]
+            asm.failed_node = f
+            asm.start_time = starts[f]
+            asm.bandwidth_scale = bandwidth_scale
+            asm.on_done = lambda a, ff=f: settle_chunk(ff, a)
+        if deadline_s is not None:
+            deadline_timer[0] = self.events.schedule(deadline_s, on_deadline)
+        return group
 
     # ---- self-healing attempt state machine --------------------------- #
 
@@ -766,6 +1050,7 @@ class ClusterSystem:
                 asm.requester,
                 prev_plan=asm.plan,
                 newly_dead=newly_dead,
+                bandwidth_scale=asm.bandwidth_scale,
             )
         except (ValueError, RuntimeError) as exc:
             asm.failure_reason = f"planning failed: {exc}"
@@ -941,6 +1226,11 @@ class ClusterSystem:
         if retire:
             self._retire_attempt(asm)
         self._end_attempt_span(asm)
+        if asm.on_done is not None:
+            # non-blocking dispatch: the terminal callback fires exactly
+            # once, from inside the event-queue run that finished us
+            callback, asm.on_done = asm.on_done, None
+            callback(asm)
 
     def _drop_assembly(self, asm: _Assembly) -> None:
         """Forget a finished repair's routing state (queue is drained)."""

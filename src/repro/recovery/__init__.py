@@ -1,0 +1,48 @@
+"""Background recovery: the repair control plane above FullRepair.
+
+While :mod:`repro.repair` answers *how fast one repair can go*, this
+package schedules *many* repairs against a live cluster: a
+durability-prioritised queue, budgeted admission control with an
+SLO-coupled throttle, and a foreground traffic generator so the
+interference between recovery and user reads is measurable.  See
+``docs/RECOVERY.md`` for the model.
+
+The lower-level plan-patching helpers that predate this package
+(:func:`substitute_nodes` and the interval algebra) live in
+:mod:`repro.repair.recovery` and are re-exported here so the recovery
+story has one import surface.
+"""
+
+from ..repair.recovery import (
+    intervals_length,
+    merge_intervals,
+    substitute_nodes,
+    uncovered_intervals,
+)
+from .foreground import ForegroundRead, ForegroundTraffic
+from .orchestrator import RecoveryConfig, RecoveryOrchestrator, RepairRecord
+from .queue import RepairQueue, RepairTicket
+from .scenario import (
+    RecoveryReport,
+    RecoveryScenario,
+    build_report,
+    run_recovery_scenario,
+)
+
+__all__ = [
+    "ForegroundRead",
+    "ForegroundTraffic",
+    "RecoveryConfig",
+    "RecoveryOrchestrator",
+    "RecoveryReport",
+    "RecoveryScenario",
+    "RepairQueue",
+    "RepairRecord",
+    "RepairTicket",
+    "build_report",
+    "intervals_length",
+    "merge_intervals",
+    "run_recovery_scenario",
+    "substitute_nodes",
+    "uncovered_intervals",
+]

@@ -1,0 +1,649 @@
+"""Background recovery orchestrator: the repair control plane.
+
+FullRepair answers *how fast one repair can go*; this module answers
+the production question layered on top — *which* stripe to repair next,
+*how much* of the cluster a repair may consume while users are being
+served, and *how to adapt* when foreground latency suffers.  Following
+the MLF line of work (Zhou et al., arXiv:2011.01410), recovery is a
+long-lived scheduling loop, not a one-shot call:
+
+- a durability-ordered :class:`~repro.recovery.queue.RepairQueue`
+  (fewest surviving chunks first, tie-broken by age), re-sorted when
+  new failures land mid-recovery;
+- admission control — at most ``max_concurrent`` in-flight repairs,
+  each planned inside a *budget share* of every node's bandwidth.
+  Shares are carved from the free budget at admission time and
+  reclaimed when a repair finishes, so later admissions re-plan into
+  the freed bandwidth instead of inheriting a static 1/m split;
+- an adaptive throttle coupled to the SLO engine: any breached rule
+  (typically on foreground latency) multiplicatively shrinks the
+  effective budget down to a floor; recovery restores it.
+
+The orchestrator lives *inside* the event queue: it owns no thread and
+blocks nothing.  Construct it, :meth:`~RecoveryOrchestrator.start` it,
+and run the system's event queue — the control loop ticks, admits,
+and drains until both queue and in-flight set are empty.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+from ..faults import COMPLETED, FAILED
+from .queue import RepairQueue, RepairTicket
+
+logger = logging.getLogger(__name__)
+
+#: failure_reason marker for an escalation bounced back by repair_async
+_ESCALATED_MARK = "multi-chunk repair required"
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Tunables of the recovery control loop.
+
+    Attributes
+    ----------
+    budget_fraction:
+        Fraction of every node's bandwidth that repair traffic may
+        occupy in aggregate (the *repair budget*).
+    max_concurrent:
+        Admission-control cap on simultaneously in-flight stripe
+        repairs.
+    tick_s:
+        Control-loop period: throttle update + admission + gauges.
+    throttle_shrink / throttle_restore / throttle_floor:
+        Multiplicative-decrease / multiplicative-increase factors
+        applied to the throttle on SLO breach / recovery, and the
+        floor the throttle never shrinks below (repair must keep
+        making progress even under sustained foreground pressure).
+    min_share_fraction:
+        Smallest budget share worth admitting with; below it the loop
+        waits for a completion to reclaim bandwidth.
+    max_item_attempts:
+        Dispatch attempts per stripe before it is dead-lettered.
+    repair_max_attempts:
+        Watchdog attempts inside each single-chunk dispatch (see
+        :meth:`repro.cluster.system.ClusterSystem.repair`).
+    multi_deadline_s:
+        Deadline handed to multi-chunk dispatches; misses come back
+        ``failed`` and re-queue instead of wedging the loop.  Multi
+        repairs have no progress watchdog, so the deadline is the
+        liveness guarantee — a helper crash mid-repair would otherwise
+        leave the stripe in flight forever.
+    """
+
+    budget_fraction: float = 0.5
+    max_concurrent: int = 4
+    tick_s: float = 0.01
+    throttle_shrink: float = 0.5
+    throttle_restore: float = 1.5
+    throttle_floor: float = 0.1
+    min_share_fraction: float = 0.01
+    max_item_attempts: int = 3
+    repair_max_attempts: int = 3
+    multi_deadline_s: float | None = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.budget_fraction <= 1.0:
+            raise ValueError("budget_fraction must be in (0, 1]")
+        if self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be at least 1")
+        if self.tick_s <= 0.0:
+            raise ValueError("tick_s must be positive")
+        if not 0.0 < self.throttle_shrink < 1.0:
+            raise ValueError("throttle_shrink must be in (0, 1)")
+        if self.throttle_restore <= 1.0:
+            raise ValueError("throttle_restore must exceed 1")
+        if not 0.0 < self.throttle_floor <= 1.0:
+            raise ValueError("throttle_floor must be in (0, 1]")
+        if self.max_item_attempts < 1:
+            raise ValueError("max_item_attempts must be at least 1")
+
+
+@dataclass
+class RepairRecord:
+    """Audit entry for one admitted stripe repair."""
+
+    stripe_id: str
+    #: lost-chunk count at admission (the priority class)
+    priority_class: int
+    enqueued_at: float
+    admitted_at: float
+    #: budget share granted (fraction of cluster bandwidth)
+    share: float
+    finished_at: float = 0.0
+    status: str = ""
+    verified: bool = False
+    attempts: int = 1
+    failure_reason: str | None = field(default=None, repr=False)
+
+
+class RecoveryOrchestrator:
+    """Prioritised, budgeted, SLO-coupled background recovery.
+
+    Parameters
+    ----------
+    system:
+        The cluster to recover.  The orchestrator registers itself as a
+        failure listener, so stripes of any node that crashes after
+        construction are enqueued automatically (call
+        :meth:`enqueue_node` for nodes that died earlier).
+    config:
+        Control-loop tunables (:class:`RecoveryConfig`).
+    slo:
+        SLO engine to couple the throttle to; defaults to
+        ``system.slo``.  ``None`` disables throttling.
+    """
+
+    def __init__(self, system, config: RecoveryConfig | None = None, *, slo=None):
+        self.system = system
+        self.config = config or RecoveryConfig()
+        self.slo = slo if slo is not None else system.slo
+        self.queue = RepairQueue()
+        self.throttle = 1.0
+        self.records: list[RepairRecord] = []
+        #: stripes that exhausted their attempts -> final failure reason
+        self.dead_letters: dict[str, str] = {}
+        #: (t, effective budget, committed, in-flight, queue depth)
+        self.timeline: list[tuple[float, float, float, int, int]] = []
+        self.requeues = 0
+        self.skipped = 0
+        self.throttle_shrinks = 0
+        self.throttle_restores = 0
+        self.drained_at: float | None = None
+        self._inflight: dict[str, RepairRecord] = {}
+        self._tickets: dict[str, RepairTicket] = {}
+        self._committed = 0.0
+        self._started = False
+        self._tick_pending = False
+        self._was_active = False
+        self._rr = 0  # round-robin cursor over requester candidates
+        self._span = None
+        self._events = system.events
+        self._tracer = system.tracer
+        self._metrics = system.metrics
+        system.add_failure_listener(self._on_node_failure)
+
+    # ---- public surface ------------------------------------------------ #
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def committed_fraction(self) -> float:
+        """Budget fraction currently granted to in-flight repairs."""
+        return self._committed
+
+    def effective_budget(self) -> float:
+        """Repair budget after SLO throttling."""
+        return self.config.budget_fraction * self.throttle
+
+    @property
+    def active(self) -> bool:
+        return bool(self.queue) or bool(self._inflight)
+
+    def start(self) -> None:
+        """Arm the control loop (idempotent); run the event queue after."""
+        if self._started:
+            return
+        self._started = True
+        if self._tracer.enabled:
+            self._span = self._tracer.start_span(
+                "recovery.run",
+                kind="recovery",
+                budget_fraction=self.config.budget_fraction,
+                max_concurrent=self.config.max_concurrent,
+            )
+        self._ensure_tick(delay=0.0)
+
+    def enqueue_node(self, node: int) -> int:
+        """Queue every under-replicated stripe touching ``node``.
+
+        Returns the number of stripes enqueued.  Normally unnecessary —
+        the failure listener does this — but useful for nodes that died
+        before the orchestrator existed.
+        """
+        return self._enqueue_for(node)
+
+    def report(self):
+        """Snapshot of the run for rendering (lazy import avoids cycles)."""
+        from .scenario import build_report
+
+        return build_report(self)
+
+    # ---- failure intake ------------------------------------------------ #
+
+    def _on_node_failure(self, node: int) -> None:
+        added = self._enqueue_for(node)
+        # a crash can change the exposure of *queued* stripes too:
+        # re-sort the whole backlog so double losses jump the line
+        self.queue.reprioritise(self._exposure)
+        if self._tracer.enabled:
+            self._tracer.event(
+                self._span,
+                "recovery.failure",
+                node=node,
+                enqueued=added,
+                queue_depth=len(self.queue),
+            )
+        if self._started:
+            self._ensure_tick(delay=0.0)
+
+    def _enqueue_for(self, node: int) -> int:
+        now = self._events.now
+        added = 0
+        for stripe_id in self.system.stripes_on(node):
+            if stripe_id in self._inflight or stripe_id in self.queue:
+                continue
+            if stripe_id in self.dead_letters:
+                continue
+            exposure = self._exposure(stripe_id)
+            if exposure <= 0:
+                continue
+            self.queue.push(stripe_id, now, exposure)
+            added += 1
+        if added and self._metrics.enabled:
+            self._metrics.counter(
+                "repro_recovery_enqueued_total",
+                "Stripes entering the repair queue.",
+            ).inc(added)
+        return added
+
+    def _exposure(self, stripe_id: str) -> int:
+        loc = self.system.master.stripe(stripe_id)
+        return sum(1 for n in loc.placement if not self.system.is_alive(n))
+
+    # ---- control loop -------------------------------------------------- #
+
+    def _ensure_tick(self, delay: float | None = None) -> None:
+        if self._tick_pending or not self._started:
+            return
+        self._tick_pending = True
+        self._events.schedule(
+            self.config.tick_s if delay is None else delay, self._tick
+        )
+
+    def _tick(self) -> None:
+        self._tick_pending = False
+        now = self._events.now
+        if self.active:
+            self._was_active = True
+        self._update_throttle(now)
+        self._admit(now)
+        self._publish_gauges(now)
+        self.timeline.append(
+            (now, self.effective_budget(), self._committed,
+             len(self._inflight), len(self.queue))
+        )
+        if self.active:
+            self._ensure_tick()
+        elif self._was_active:
+            self._was_active = False
+            self.drained_at = now
+            if self._tracer.enabled:
+                self._tracer.event(
+                    self._span,
+                    "recovery.drained",
+                    repaired=len(self.records),
+                    dead_letters=len(self.dead_letters),
+                )
+            logger.info(
+                "recovery drained at t=%.4fs: %d repaired, %d dead-lettered",
+                now, len(self.records), len(self.dead_letters),
+            )
+
+    def _update_throttle(self, now: float) -> None:
+        if self.slo is None:
+            return
+        cfg = self.config
+        self.slo.evaluate(now)
+        breached = any(ok is False for ok in self.slo.status().values())
+        if breached:
+            shrunk = max(cfg.throttle_floor, self.throttle * cfg.throttle_shrink)
+            if shrunk < self.throttle - 1e-12:
+                self.throttle = shrunk
+                self._note_throttle("shrink")
+        elif self.throttle < 1.0:
+            self.throttle = min(1.0, self.throttle * cfg.throttle_restore)
+            self._note_throttle("restore")
+
+    def _note_throttle(self, direction: str) -> None:
+        if direction == "shrink":
+            self.throttle_shrinks += 1
+        else:
+            self.throttle_restores += 1
+        if self._tracer.enabled:
+            self._tracer.event(
+                self._span,
+                "recovery.throttle",
+                direction=direction,
+                throttle=self.throttle,
+                effective_budget=self.effective_budget(),
+            )
+        if self._metrics.enabled:
+            self._metrics.counter(
+                "repro_recovery_throttle_total",
+                "Throttle moves, by direction.",
+                direction=direction,
+            ).inc()
+
+    def _admit(self, now: float) -> None:
+        cfg = self.config
+        while len(self._inflight) < cfg.max_concurrent and len(self.queue):
+            free = self.effective_budget() - self._committed
+            slots = cfg.max_concurrent - len(self._inflight)
+            share = free / min(slots, len(self.queue))
+            if share < cfg.min_share_fraction:
+                return  # wait for a completion to reclaim budget
+            ticket = self.queue.pop()
+            lost = self._lost_nodes(ticket.stripe_id)
+            if not lost:
+                # healed while queued (e.g. a degraded read stored it)
+                self.skipped += 1
+                continue
+            self._dispatch(ticket, lost, share, now)
+
+    def _lost_nodes(self, stripe_id: str) -> tuple[int, ...]:
+        loc = self.system.master.stripe(stripe_id)
+        return tuple(
+            n for n in loc.placement if not self.system.is_alive(n)
+        )
+
+    def _pick_requesters(
+        self, stripe_id: str, lost: tuple[int, ...]
+    ) -> dict[int, int] | None:
+        """Distinct live non-placement nodes to rebuild onto.
+
+        Round-robins over the candidate pool so rebuilt chunks spread
+        across the cluster instead of piling onto the lowest node id.
+        """
+        placement = set(self.system.master.stripe(stripe_id).placement)
+        candidates = [
+            r
+            for r in range(self.system.num_nodes)
+            if self.system.is_alive(r)
+            and r not in placement
+            and not self.system.master.is_node_dead(r)
+        ]
+        if len(candidates) < len(lost):
+            return None
+        chosen = {
+            f: candidates[(self._rr + i) % len(candidates)]
+            for i, f in enumerate(lost)
+        }
+        self._rr += len(lost)
+        return chosen
+
+    def _dispatch(
+        self,
+        ticket: RepairTicket,
+        lost: tuple[int, ...],
+        share: float,
+        now: float,
+    ) -> None:
+        cfg = self.config
+        stripe_id = ticket.stripe_id
+        ticket.attempts += 1
+        requesters = self._pick_requesters(stripe_id, lost)
+        if requesters is None:
+            self._settle(
+                ticket, now, status=FAILED, verified=False,
+                reason="no spare live node to rebuild onto", share=None,
+            )
+            return
+        record = RepairRecord(
+            stripe_id=stripe_id,
+            priority_class=len(lost),
+            enqueued_at=ticket.enqueued_at,
+            admitted_at=now,
+            share=share,
+            attempts=ticket.attempts,
+        )
+        # commit *before* dispatching: on_done may fire synchronously
+        # (planning failure) and expects the share to be reclaimable
+        self._committed += share
+        self._inflight[stripe_id] = record
+        self._tickets[stripe_id] = ticket
+        if self._metrics.enabled:
+            self._metrics.counter(
+                "repro_recovery_admitted_total",
+                "Stripe repairs admitted past admission control.",
+                priority_class=str(len(lost)),
+            ).inc()
+        if self._tracer.enabled:
+            self._tracer.event(
+                self._span,
+                "recovery.admit",
+                stripe=stripe_id,
+                priority_class=len(lost),
+                share=share,
+                committed=self._committed,
+            )
+        try:
+            if len(lost) == 1:
+                self.system.repair_async(
+                    stripe_id,
+                    lost[0],
+                    requesters[lost[0]],
+                    bandwidth_scale=share,
+                    max_attempts=cfg.repair_max_attempts,
+                    on_done=lambda outcome, t=ticket: self._on_single_done(
+                        t, outcome
+                    ),
+                )
+            else:
+                self.system.repair_multi_async(
+                    stripe_id,
+                    lost,
+                    requesters,
+                    bandwidth_scale=share,
+                    deadline_s=cfg.multi_deadline_s,
+                    on_done=lambda outcomes, t=ticket: self._on_multi_done(
+                        t, outcomes
+                    ),
+                )
+        except (ValueError, RuntimeError) as exc:
+            self._reclaim(stripe_id)
+            self._settle(
+                ticket, self._events.now, status=FAILED, verified=False,
+                reason=str(exc), share=share,
+            )
+
+    # ---- completion ---------------------------------------------------- #
+
+    def _reclaim(self, stripe_id: str) -> RepairRecord | None:
+        record = self._inflight.pop(stripe_id, None)
+        if record is not None:
+            self._committed = max(0.0, self._committed - record.share)
+        self._tickets.pop(stripe_id, None)
+        return record
+
+    def _on_single_done(self, ticket: RepairTicket, outcome) -> None:
+        record = self._reclaim(ticket.stripe_id)
+        self._finish(
+            ticket,
+            record,
+            status=outcome.status,
+            verified=outcome.verified,
+            reason=outcome.failure_reason,
+        )
+
+    def _on_multi_done(self, ticket: RepairTicket, outcomes: dict) -> None:
+        record = self._reclaim(ticket.stripe_id)
+        failed = {
+            f: o for f, o in outcomes.items() if o.status == FAILED
+        }
+        if failed:
+            reasons = "; ".join(
+                f"n{f}: {o.failure_reason}" for f, o in sorted(failed.items())
+            )
+            self._finish(
+                ticket, record, status=FAILED, verified=False, reason=reasons
+            )
+            return
+        self._finish(
+            ticket,
+            record,
+            status=max(o.status for o in outcomes.values()),
+            verified=all(o.verified for o in outcomes.values()),
+            reason=None,
+        )
+
+    def _finish(
+        self,
+        ticket: RepairTicket,
+        record: RepairRecord | None,
+        *,
+        status: str,
+        verified: bool,
+        reason: str | None,
+    ) -> None:
+        now = self._events.now
+        if record is not None:
+            record.finished_at = now
+            record.status = status
+            record.verified = verified
+            record.failure_reason = reason
+            if self._metrics.enabled:
+                self._metrics.counter(
+                    "repro_recovery_completed_total",
+                    "Stripe repairs reaching a terminal state.",
+                    status=status,
+                ).inc()
+                self._metrics.histogram(
+                    "repro_recovery_repair_seconds",
+                    "Admission-to-finish stripe repair time.",
+                    priority_class=str(record.priority_class),
+                ).observe(now - record.admitted_at)
+                self._metrics.counter(
+                    "repro_recovery_share_seconds_total",
+                    "Budget utilisation: granted share x occupancy.",
+                ).inc(record.share * (now - record.admitted_at))
+        if status == FAILED:
+            escalated = reason is not None and _ESCALATED_MARK in reason
+            if escalated:
+                # exposure changed under us — not the ticket's fault, so
+                # the attempt does not count against its retry allowance
+                ticket.attempts -= 1
+            if escalated or ticket.attempts < self.config.max_item_attempts:
+                ticket.last_failure = reason
+                self.requeues += 1
+                self.queue.requeue(
+                    ticket, max(1, self._exposure(ticket.stripe_id))
+                )
+                if self._metrics.enabled:
+                    self._metrics.counter(
+                        "repro_recovery_requeued_total",
+                        "Failed stripe repairs sent back to the queue.",
+                    ).inc()
+                if self._tracer.enabled:
+                    self._tracer.event(
+                        self._span,
+                        "recovery.requeue",
+                        stripe=ticket.stripe_id,
+                        reason=reason,
+                        attempts=ticket.attempts,
+                    )
+                if record is not None:
+                    self.records.append(record)
+                return
+            self.dead_letters[ticket.stripe_id] = reason or "repair failed"
+            logger.warning(
+                "recovery dead-letter %s after %d attempts: %s",
+                ticket.stripe_id, ticket.attempts, reason,
+            )
+        if record is not None:
+            self.records.append(record)
+        if self._tracer.enabled:
+            self._tracer.event(
+                self._span,
+                "recovery.complete",
+                stripe=ticket.stripe_id,
+                status=status or COMPLETED,
+                verified=verified,
+                waited=record.admitted_at - ticket.enqueued_at
+                if record else 0.0,
+            )
+        if status != FAILED:
+            self._recheck_exposure(ticket.stripe_id, now)
+
+    def _recheck_exposure(self, stripe_id: str, now: float) -> None:
+        """Re-queue a repaired stripe that is *still* exposed.
+
+        A crash landing while the stripe was in flight is invisible to
+        the failure intake (in-flight stripes are skipped), and when the
+        dead node was a plan participant the watchdog re-plans around it
+        without escalating — the repair completes, yet a different chunk
+        of the stripe now sits on a dead node.  The completion is the
+        first safe moment to notice.
+        """
+        if stripe_id in self.dead_letters or stripe_id in self.queue:
+            return
+        residual = self._exposure(stripe_id)
+        if residual <= 0:
+            return
+        self.queue.push(stripe_id, now, residual)
+        if self._metrics.enabled:
+            self._metrics.counter(
+                "repro_recovery_enqueued_total",
+                "Stripes entering the repair queue.",
+            ).inc()
+        if self._tracer.enabled:
+            self._tracer.event(
+                self._span,
+                "recovery.reexposed",
+                stripe=stripe_id,
+                exposure=residual,
+            )
+        if self._started:
+            self._ensure_tick(delay=0.0)
+
+    def _settle(
+        self,
+        ticket: RepairTicket,
+        now: float,
+        *,
+        status: str,
+        verified: bool,
+        reason: str | None,
+        share: float | None,
+    ) -> None:
+        """Terminal path for dispatches that never went in flight."""
+        record = RepairRecord(
+            stripe_id=ticket.stripe_id,
+            priority_class=ticket.exposure,
+            enqueued_at=ticket.enqueued_at,
+            admitted_at=now,
+            share=share if share is not None else 0.0,
+        )
+        self._finish(
+            ticket, record, status=status, verified=verified, reason=reason
+        )
+
+    # ---- gauges -------------------------------------------------------- #
+
+    def _publish_gauges(self, now: float) -> None:
+        if not self._metrics.enabled:
+            return
+        m = self._metrics
+        m.gauge(
+            "repro_recovery_queue_depth", "Stripes waiting for repair."
+        ).set(len(self.queue))
+        m.gauge(
+            "repro_recovery_queue_oldest_age_seconds",
+            "Age of the longest-waiting queued stripe.",
+        ).set(self.queue.oldest_age(now))
+        m.gauge(
+            "repro_recovery_inflight", "Stripe repairs currently in flight."
+        ).set(len(self._inflight))
+        m.gauge(
+            "repro_recovery_budget_fraction",
+            "Effective repair budget after SLO throttling.",
+        ).set(self.effective_budget())
+        m.gauge(
+            "repro_recovery_budget_committed_fraction",
+            "Budget fraction granted to in-flight repairs.",
+        ).set(self._committed)

@@ -1,0 +1,152 @@
+"""Durability-ordered repair queue for the recovery orchestrator.
+
+Repair *ordering* is a durability question (Abdrashitov et al.,
+arXiv:1708.05474): a stripe that has lost two chunks is one failure
+away from data loss, so it must be rebuilt before any number of
+single-loss stripes, however long those have waited.  The queue ranks
+pending stripes by **exposure** — the number of lost chunks — and
+breaks ties by enqueue age (oldest first), then by arrival sequence so
+ordering stays fully deterministic.
+
+Exposure changes while work is queued: a second failure can hit a
+waiting stripe, and a repair can heal it out from under the queue.
+:meth:`RepairQueue.reprioritise` re-sorts the whole backlog against a
+caller-supplied exposure oracle, which the orchestrator invokes from
+its failure listener whenever a new node drops.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RepairTicket:
+    """One stripe awaiting repair.
+
+    ``exposure`` is the lost-chunk count at the last (re)sort; the
+    orchestrator re-verifies it at admission time, so a stale ticket is
+    harmless — at worst the stripe pops slightly out of order and is
+    skipped if it healed meanwhile.
+    """
+
+    stripe_id: str
+    enqueued_at: float
+    seq: int
+    exposure: int = 1
+    #: dispatch attempts so far (requeues keep the original enqueue age)
+    attempts: int = 0
+    last_failure: str | None = field(default=None, repr=False)
+
+    @property
+    def sort_key(self) -> tuple[float, float, int]:
+        # most exposed first, then oldest, then arrival order
+        return (-self.exposure, self.enqueued_at, self.seq)
+
+
+class RepairQueue:
+    """Priority queue of stripes keyed by durability exposure.
+
+    A binary heap with lazy invalidation: each push bumps a per-stripe
+    version, and stale heap entries are discarded on pop.  Re-sorting
+    after a new failure is a single heap rebuild, not a per-item churn.
+    """
+
+    def __init__(self) -> None:
+        self._tickets: dict[str, RepairTicket] = {}
+        self._version: dict[str, int] = {}
+        self._heap: list[tuple[tuple[float, float, int], int, str]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._tickets)
+
+    def __contains__(self, stripe_id: str) -> bool:
+        return stripe_id in self._tickets
+
+    def stripe_ids(self) -> list[str]:
+        """Queued stripes in priority order (non-destructive)."""
+        return [t.stripe_id for t in sorted(
+            self._tickets.values(), key=lambda t: t.sort_key
+        )]
+
+    def push(
+        self, stripe_id: str, now: float, exposure: int
+    ) -> RepairTicket:
+        """Enqueue a stripe, or refresh the exposure of a queued one.
+
+        A re-push keeps the original enqueue time (age is time since
+        the stripe *first* needed repair, not since its latest bump).
+        """
+        ticket = self._tickets.get(stripe_id)
+        if ticket is None:
+            ticket = RepairTicket(
+                stripe_id=stripe_id,
+                enqueued_at=now,
+                seq=self._seq,
+                exposure=exposure,
+            )
+            self._seq += 1
+            self._tickets[stripe_id] = ticket
+        else:
+            ticket.exposure = exposure
+        version = self._version.get(stripe_id, 0) + 1
+        self._version[stripe_id] = version
+        heapq.heappush(self._heap, (ticket.sort_key, version, stripe_id))
+        return ticket
+
+    def requeue(self, ticket: RepairTicket, exposure: int) -> None:
+        """Put a popped ticket back, preserving its age and attempts."""
+        if ticket.stripe_id in self._tickets:
+            raise ValueError(f"stripe {ticket.stripe_id!r} already queued")
+        ticket.exposure = exposure
+        self._tickets[ticket.stripe_id] = ticket
+        version = self._version.get(ticket.stripe_id, 0) + 1
+        self._version[ticket.stripe_id] = version
+        heapq.heappush(self._heap, (ticket.sort_key, version, ticket.stripe_id))
+
+    def pop(self) -> RepairTicket | None:
+        """Remove and return the highest-priority ticket (None if empty)."""
+        while self._heap:
+            _key, version, stripe_id = heapq.heappop(self._heap)
+            ticket = self._tickets.get(stripe_id)
+            if ticket is not None and self._version[stripe_id] == version:
+                del self._tickets[stripe_id]
+                return ticket
+        return None
+
+    def discard(self, stripe_id: str) -> bool:
+        """Drop a queued stripe (True if it was queued)."""
+        if self._tickets.pop(stripe_id, None) is None:
+            return False
+        self._version[stripe_id] = self._version.get(stripe_id, 0) + 1
+        return True
+
+    def reprioritise(self, exposure_of) -> None:
+        """Re-sort the backlog against fresh exposures.
+
+        ``exposure_of(stripe_id)`` returns the current lost-chunk count;
+        stripes that report 0 (healed while queued) are dropped.  Called
+        by the orchestrator's failure listener so that a second loss on
+        a queued stripe jumps it over every single-loss stripe.
+        """
+        self._heap.clear()
+        for stripe_id in list(self._tickets):
+            ticket = self._tickets[stripe_id]
+            exposure = exposure_of(stripe_id)
+            if exposure <= 0:
+                del self._tickets[stripe_id]
+                self._version[stripe_id] = self._version.get(stripe_id, 0) + 1
+                continue
+            ticket.exposure = exposure
+            version = self._version.get(stripe_id, 0) + 1
+            self._version[stripe_id] = version
+            self._heap.append((ticket.sort_key, version, stripe_id))
+        heapq.heapify(self._heap)
+
+    def oldest_age(self, now: float) -> float:
+        """Age of the longest-waiting ticket (0 when empty)."""
+        if not self._tickets:
+            return 0.0
+        return now - min(t.enqueued_at for t in self._tickets.values())

@@ -147,3 +147,94 @@ def test_chaos_outcomes_are_mostly_recoverable():
     statuses = [run_one(seed)[3].status for seed in range(40)]
     recovered = sum(s != FAILED for s in statuses)
     assert recovered >= 30
+
+
+# ---- orchestrated recovery under chaos --------------------------------- #
+
+ORCH_ITERATIONS = max(1, ITERATIONS // 8)
+
+
+def run_orchestrated(seed):
+    """Node deaths landing *during* orchestrator-driven node recovery.
+
+    Three seeded crashes hit a (6,4) cluster while the background
+    recovery orchestrator drains: the later deaths kill helpers,
+    requesters, and queued stripes' second chunks mid-flight.
+    """
+    from repro.recovery import RecoveryConfig, RecoveryOrchestrator
+
+    rng = np.random.default_rng(seed + 10_000)
+    sys_ = ClusterSystem(12, RSCode(6, 4), slice_bytes=4096)
+    from repro.net import BandwidthSnapshot
+
+    sys_.set_bandwidth(
+        BandwidthSnapshot(
+            uplink=rng.uniform(200.0, 1000.0, 12),
+            downlink=rng.uniform(200.0, 1000.0, 12),
+        )
+    )
+    payloads = {}
+    for s in range(8):
+        data = rng.integers(0, 256, (4, CHUNK), dtype=np.uint8)
+        sid = f"s{s}"
+        sys_.write_stripe(
+            sid, data,
+            placement=tuple(int(x) for x in rng.choice(12, 6, replace=False)),
+        )
+        payloads[sid] = data
+    orch = RecoveryOrchestrator(
+        sys_,
+        RecoveryConfig(
+            budget_fraction=0.5, max_concurrent=2, tick_s=0.005,
+            multi_deadline_s=0.05, max_item_attempts=3,
+        ),
+    )
+    orch.start()
+    victims = [int(v) for v in rng.choice(12, size=3, replace=False)]
+    times = sorted(0.001 + rng.uniform(0.0, 0.04, 3))
+    for victim, t in zip(victims, times):
+        sys_.events.schedule_at(t, lambda v=victim: sys_.fail_node(v))
+    sys_.events.run()
+    return sys_, orch, payloads
+
+
+@pytest.mark.recovery
+@pytest.mark.parametrize("seed", range(ORCH_ITERATIONS))
+def test_death_during_orchestrated_recovery_terminates(seed):
+    sys_, orch, payloads = run_orchestrated(seed)
+    # termination: the control loop wound down, never wedged
+    assert not orch.active
+    assert orch.inflight == 0 and orch.committed_fraction == 0.0
+    # every terminal record is either byte-verified or carries a reason
+    for record in orch.records:
+        if record.status == FAILED:
+            assert record.failure_reason
+        else:
+            assert record.verified
+    assert all(reason for reason in orch.dead_letters.values())
+    # any stripe the orchestrator did not give up on ends fully healthy,
+    # its chunks byte-identical to the originals
+    for sid, data in payloads.items():
+        if sid in orch.dead_letters:
+            continue
+        loc = sys_.master.stripe(sid)
+        assert all(sys_.is_alive(node) for node in loc.placement), sid
+        for ci in range(data.shape[0]):
+            assert np.array_equal(sys_.read_chunk(sid, ci), data[ci]), sid
+
+
+@pytest.mark.recovery
+def test_orchestrated_chaos_reproduces_per_seed():
+    def fingerprint(seed):
+        _, orch, _ = run_orchestrated(seed)
+        return (
+            [
+                (r.stripe_id, r.priority_class, r.status, r.verified,
+                 r.admitted_at, r.finished_at, r.share)
+                for r in orch.records
+            ],
+            dict(orch.dead_letters),
+            orch.drained_at,
+        )
+
+    assert fingerprint(17) == fingerprint(17)

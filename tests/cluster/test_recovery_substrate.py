@@ -1,0 +1,177 @@
+"""Substrate the recovery orchestrator stands on: structured node-repair
+failures, the node->stripes index, and the async repair primitives."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSystem, FileStore
+from repro.ec import RSCode
+from repro.faults import FAILED
+from repro.net import BandwidthSnapshot
+
+
+def make_system(num_nodes=8, n=4, k=2, chunk=4096, mbps=500.0, seed=0):
+    sys_ = ClusterSystem(num_nodes, RSCode(n, k), slice_bytes=2048)
+    sys_.set_bandwidth(BandwidthSnapshot.uniform(num_nodes, mbps))
+    rng = np.random.default_rng(seed)
+    payloads = {}
+
+    def write(sid, placement):
+        data = rng.integers(0, 256, (k, chunk), dtype=np.uint8)
+        sys_.write_stripe(sid, data, placement=placement)
+        payloads[sid] = data
+
+    return sys_, write, payloads
+
+
+class TestRepairNodeStructuredFailure:
+    def test_helper_death_mid_batch_yields_per_stripe_failed_outcome(self):
+        # k=3 needs all three surviving chunks of "bad"; killing helper 4
+        # mid-transfer starves that assembly while "good" (whose helpers
+        # are 1,2,3) streams on — the batch must degrade per stripe, not
+        # abort with a bare RuntimeError
+        sys_, write, payloads = make_system(
+            n=4, k=3, chunk=64 * 1024, mbps=100.0
+        )
+        write("good", (0, 1, 2, 3))
+        write("bad", (0, 4, 5, 6))
+        sys_.fail_node(0)
+        sys_.events.schedule(0.0002, lambda: sys_.fail_node(4))
+        outcomes = sys_.repair_node(0, {"good": 7, "bad": 7})
+        assert set(outcomes) == {"good", "bad"}
+        bad = outcomes["bad"]
+        assert bad.status == FAILED
+        assert not bad.verified
+        assert bad.rebuilt is None
+        assert bad.failure_reason.startswith("batched repair incomplete: ")
+        assert f"of {64 * 1024} bytes arrived" in bad.failure_reason
+        good = outcomes["good"]
+        assert good.verified
+        assert np.array_equal(good.rebuilt, payloads["good"][0])
+
+
+class TestNodeStripesIndex:
+    def make_populated(self, num_stripes=40):
+        sys_, write, _ = make_system(num_nodes=10)
+        rng = np.random.default_rng(42)
+        for s in range(num_stripes):
+            placement = tuple(
+                int(x) for x in rng.choice(10, size=4, replace=False)
+            )
+            write(f"s{s:02d}", placement)
+        return sys_
+
+    def brute_force(self, sys_, node):
+        return sorted(
+            sid
+            for sid in sys_.master.stripe_ids()
+            if node in sys_.master.stripe(sid).placement
+        )
+
+    def test_index_matches_placement_scan(self):
+        sys_ = self.make_populated()
+        for node in range(sys_.num_nodes):
+            assert sys_.stripes_on(node) == self.brute_force(sys_, node)
+
+    def test_index_follows_relocation(self):
+        sys_ = self.make_populated(num_stripes=12)
+        moved = 0
+        for sid in sys_.master.stripe_ids():
+            loc = sys_.master.stripe(sid)
+            spare = next(
+                n for n in range(sys_.num_nodes) if n not in loc.placement
+            )
+            sys_.master.relocate_chunk(sid, 0, spare)
+            moved += 1
+        assert moved == 12
+        for node in range(sys_.num_nodes):
+            assert sys_.stripes_on(node) == self.brute_force(sys_, node)
+
+    def test_index_survives_reregistration(self):
+        sys_, write, _ = make_system()
+        write("s0", (0, 1, 2, 3))
+        write("s0", (4, 5, 6, 7))  # re-register elsewhere
+        assert sys_.stripes_on(0) == []
+        assert sys_.stripes_on(4) == ["s0"]
+
+    def test_affected_files_uses_both_index_hops(self):
+        sys_, _, _ = make_system(num_nodes=10)
+        store = FileStore(sys_, chunk_bytes=2048)
+        rng = np.random.default_rng(7)
+        for name in ("alpha", "beta", "gamma"):
+            store.write(name, rng.integers(0, 256, 3 * 4096, dtype=np.uint8))
+        for node in range(sys_.num_nodes):
+            expected = sorted(
+                {
+                    name
+                    for name in store.files()
+                    for sid in store.stripes_of(name)
+                    if node in sys_.master.stripe(sid).placement
+                }
+            )
+            assert store.affected_files(node) == expected
+
+
+class TestAsyncPrimitives:
+    def test_concurrent_repairs_of_same_chunk_get_unique_ids(self):
+        sys_, write, payloads = make_system()
+        write("s0", (0, 4, 5, 6))
+        sys_.fail_node(0)
+        done = []
+        ids = [
+            sys_.repair_async(
+                "s0", 0, requester=r, store=False, on_done=done.append
+            )
+            for r in (1, 2, 3)
+        ]
+        assert len(set(ids)) == 3
+        sys_.events.run()
+        assert len(done) == 3
+        assert all(o.verified for o in done)
+        for o in done:
+            assert np.array_equal(o.rebuilt, payloads["s0"][0])
+
+    def test_slow_degraded_read_survives_concurrent_relocation(self):
+        # a store=True repair relocates the chunk off node 0 while a
+        # slower store=False degraded read of the same chunk is still in
+        # flight; the read must settle against its dispatch-time
+        # placement, not crash on the relocated one
+        sys_, write, payloads = make_system()
+        write("s0", (0, 4, 5, 6))
+        sys_.fail_node(0)
+        done = []
+        sys_.repair_async(
+            "s0", 0, requester=2, store=False,
+            bandwidth_scale=0.05, on_done=done.append,
+        )
+        sys_.repair_async(
+            "s0", 0, requester=1, store=True,
+            bandwidth_scale=1.0, on_done=done.append,
+        )
+        sys_.events.run()
+        assert len(done) == 2
+        assert sys_.master.stripe("s0").placement[0] == 1  # relocated
+        for outcome in done:
+            assert outcome.verified
+            assert np.array_equal(outcome.rebuilt, payloads["s0"][0])
+
+    def test_multi_repair_deadline_returns_failed_outcomes(self):
+        # the transfer needs ~ms at 1 Mbps; a 50 us deadline must expire
+        # first and surface FAILED outcomes instead of hanging
+        sys_, write, _ = make_system(chunk=64 * 1024, mbps=1.0)
+        write("s0", (0, 1, 5, 6))
+        sys_.fail_node(0)
+        sys_.fail_node(1)
+        results = []
+        sys_.repair_multi_async(
+            "s0", (0, 1), {0: 2, 1: 3},
+            deadline_s=0.00005, on_done=results.append,
+        )
+        sys_.events.run()
+        assert len(results) == 1
+        outcomes = results[0]
+        assert set(outcomes) == {0, 1}
+        for outcome in outcomes.values():
+            assert outcome.status == FAILED
+            assert not outcome.verified
+            assert "deadline" in outcome.failure_reason

@@ -1,0 +1,102 @@
+"""RepairQueue: exposure-first ordering, re-sorting, requeues."""
+
+import pytest
+
+from repro.recovery import RepairQueue
+
+pytestmark = pytest.mark.recovery
+
+
+def drain(q):
+    out = []
+    while True:
+        t = q.pop()
+        if t is None:
+            return out
+        out.append(t.stripe_id)
+
+
+class TestOrdering:
+    def test_exposure_beats_age(self):
+        q = RepairQueue()
+        q.push("old-single", now=0.0, exposure=1)
+        q.push("new-double", now=5.0, exposure=2)
+        assert drain(q) == ["new-double", "old-single"]
+
+    def test_age_breaks_ties_within_class(self):
+        q = RepairQueue()
+        q.push("b", now=1.0, exposure=1)
+        q.push("a", now=0.0, exposure=1)
+        q.push("c", now=2.0, exposure=1)
+        assert drain(q) == ["a", "b", "c"]
+
+    def test_sequence_breaks_exact_ties(self):
+        q = RepairQueue()
+        for name in ("x", "y", "z"):
+            q.push(name, now=0.0, exposure=1)
+        assert drain(q) == ["x", "y", "z"]
+
+    def test_stripe_ids_previews_priority_order(self):
+        q = RepairQueue()
+        q.push("s1", now=0.0, exposure=1)
+        q.push("s2", now=1.0, exposure=3)
+        q.push("s3", now=2.0, exposure=2)
+        assert q.stripe_ids() == ["s2", "s3", "s1"]
+        assert len(q) == 3  # non-destructive
+
+
+class TestMutation:
+    def test_repush_bumps_exposure_but_keeps_age(self):
+        q = RepairQueue()
+        q.push("a", now=0.0, exposure=1)
+        q.push("b", now=1.0, exposure=1)
+        ticket = q.push("b", now=9.0, exposure=2)
+        assert ticket.enqueued_at == 1.0
+        assert drain(q) == ["b", "a"]
+
+    def test_reprioritise_resorts_and_drops_healed(self):
+        q = RepairQueue()
+        q.push("healed", now=0.0, exposure=1)
+        q.push("single", now=1.0, exposure=1)
+        q.push("double", now=2.0, exposure=1)
+        exposures = {"healed": 0, "single": 1, "double": 2}
+        q.reprioritise(lambda sid: exposures[sid])
+        assert drain(q) == ["double", "single"]
+
+    def test_requeue_preserves_age_and_attempts(self):
+        q = RepairQueue()
+        q.push("a", now=0.0, exposure=1)
+        ticket = q.pop()
+        ticket.attempts = 2
+        q.requeue(ticket, exposure=2)
+        back = q.pop()
+        assert back.attempts == 2
+        assert back.enqueued_at == 0.0
+        assert back.exposure == 2
+
+    def test_requeue_of_queued_stripe_rejected(self):
+        q = RepairQueue()
+        q.push("a", now=0.0, exposure=1)
+        ticket = q.pop()
+        q.push("a", now=1.0, exposure=1)
+        with pytest.raises(ValueError):
+            q.requeue(ticket, exposure=1)
+
+    def test_discard(self):
+        q = RepairQueue()
+        q.push("a", now=0.0, exposure=1)
+        assert q.discard("a")
+        assert not q.discard("a")
+        assert q.pop() is None
+
+    def test_oldest_age(self):
+        q = RepairQueue()
+        assert q.oldest_age(5.0) == 0.0
+        q.push("a", now=1.0, exposure=1)
+        q.push("b", now=3.0, exposure=2)
+        assert q.oldest_age(5.0) == pytest.approx(4.0)
+
+    def test_contains(self):
+        q = RepairQueue()
+        q.push("a", now=0.0, exposure=1)
+        assert "a" in q and "b" not in q
