@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..ec import gf256
+from ..ec import backend as ec_backend
 from ..net import units
 from ..sim.events import EventQueue
 from .chunkstore import ChunkStore
@@ -200,7 +200,9 @@ class DataNode:
             state.partials[idx] = np.zeros(hi - lo, dtype=np.uint8)
         else:
             raw = self.store.get_range(t.stripe_id, t.chunk_index, lo, hi)
-            state.partials[idx] = gf256.mul_chunk(t.coeff, raw)
+            # coefficient scaling goes through the EC backend so the hub
+            # combine path shares the blocked table kernels with encode
+            state.partials[idx] = ec_backend.get_backend().mul_chunk(t.coeff, raw)
 
     def _pump(self, state: _TaskState) -> None:
         """Start transmitting the next ready slice (edge FIFO order).

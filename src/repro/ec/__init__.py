@@ -1,14 +1,34 @@
-"""Erasure-coding substrate: GF(2^8), coding matrices, RS codes, slicing."""
+"""Erasure-coding substrate: GF(2^8), coding matrices, RS codes, slicing.
 
-from . import gf256, matrix, slicing
+The data plane is backend-dispatched (see :mod:`repro.ec.backend`):
+``naive`` reference kernels, split-nibble ``table`` kernels, ``fused``
+multi-row gather kernels (default), and a segment-``parallel`` executor.
+"""
+
+from . import backend, gf256, kernels, matrix, parallel, slicing
+from .backend import (
+    available_backends,
+    get_backend,
+    resolve,
+    set_backend,
+    use_backend,
+)
 from .rs import RepairEquation, RSCode
 from .slicing import Segment
 
 __all__ = [
+    "backend",
     "gf256",
+    "kernels",
     "matrix",
+    "parallel",
     "slicing",
     "RSCode",
     "RepairEquation",
     "Segment",
+    "available_backends",
+    "get_backend",
+    "resolve",
+    "set_backend",
+    "use_backend",
 ]

@@ -1,0 +1,242 @@
+"""Backend dispatch for the GF(2^8) data plane.
+
+Every chunk-sized GF operation in the library — encode, decode, repair
+combination, datanode slice scaling — goes through one of four
+interchangeable backends:
+
+``naive``
+    The reference kernels of :mod:`repro.ec.gf256` /
+    :mod:`repro.ec.matrix`: one 256-entry gather per (coefficient,
+    chunk).  Simple, allocation-light, and the correctness oracle for
+    everything else.
+``table``
+    Split-nibble pair-table kernels (:mod:`repro.ec.kernels`): one
+    uint16 gather covers two payload bytes.  Row-at-a-time — matrix
+    products loop over output rows.
+``fused``
+    Pair tables plus fused multi-row gather tables: one gather covers
+    two payload bytes times up to four output rows, with cache-blocked
+    segments and packed accumulators.  The default.
+``parallel``
+    The fused kernels executed over independent chunk segments by a
+    thread pool (:mod:`repro.ec.parallel`), with an opt-in
+    process/shared-memory path for very large chunks.
+
+Backends are byte-identical by construction (GF arithmetic is exact);
+``tests/ec/test_backends.py`` proves it property-style.  Select globally
+with :func:`set_backend`, per scope with :func:`use_backend`, per call
+site by passing a backend object around, or at startup with the
+``REPRO_EC_BACKEND`` environment variable.
+
+Tiny payloads take the naive path regardless of backend: below
+:data:`MIN_TABLE_BYTES` a blocked kernel's Python-level segment loop
+costs more than the single gather it saves.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+
+import numpy as np
+
+from . import gf256, kernels, matrix, parallel
+
+#: Payload bytes below which table/fused backends defer to naive
+#: kernels (the blocked loop has ~µs fixed cost; a 256-entry gather on
+#: a few KiB does not).
+MIN_TABLE_BYTES = 4096
+
+
+class NaiveBackend:
+    """Reference kernels — the seed data plane, kept as oracle."""
+
+    name = "naive"
+
+    def mul_chunk(self, coeff, chunk, out=None):
+        return gf256.mul_chunk(coeff, chunk, out=out)
+
+    def addmul_chunk(self, acc, coeff, chunk, scratch=None):
+        return gf256.addmul_chunk(acc, coeff, chunk, scratch)
+
+    def dot(self, coeffs, chunks, out=None, scratch=None):
+        return gf256.dot(coeffs, chunks, out=out, scratch=scratch)
+
+    def matmul_chunks(self, mat, chunks, out=None):
+        chunks = np.asarray(chunks, dtype=np.uint8)
+        return matrix.matvec_chunks(mat, chunks, out=out)
+
+
+class TableBackend:
+    """Split-nibble pair-table kernels, one output row at a time."""
+
+    name = "table"
+
+    def mul_chunk(self, coeff, chunk, out=None):
+        chunk = np.asarray(chunk, dtype=np.uint8)
+        if chunk.shape[-1] < MIN_TABLE_BYTES:
+            return gf256.mul_chunk(coeff, chunk, out=out)
+        return kernels.mul_chunk_blocked(coeff, chunk, out=out)
+
+    def addmul_chunk(self, acc, coeff, chunk, scratch=None):
+        if np.asarray(chunk).shape[-1] < MIN_TABLE_BYTES:
+            return gf256.addmul_chunk(acc, coeff, chunk, scratch)
+        return kernels.addmul_chunk_blocked(acc, coeff, chunk, scratch)
+
+    def dot(self, coeffs, chunks, out=None, scratch=None):
+        chunk_list = [np.asarray(c, dtype=np.uint8) for c in chunks]
+        if not chunk_list or chunk_list[0].shape[-1] < MIN_TABLE_BYTES:
+            return gf256.dot(coeffs, chunk_list, out=out, scratch=scratch)
+        return kernels.dot_blocked(coeffs, chunk_list, out=out)
+
+    def matmul_chunks(self, mat, chunks, out=None):
+        mat = np.asarray(mat, dtype=np.uint8)
+        chunk_list = _as_chunk_list(chunks)
+        length = chunk_list[0].shape[0] if chunk_list else 0
+        if length < MIN_TABLE_BYTES:
+            return matrix.matvec_chunks(mat, np.asarray(chunks), out=out)
+        if out is None:
+            out = np.empty((mat.shape[0], length), dtype=np.uint8)
+        for i in range(mat.shape[0]):
+            kernels.dot_blocked(mat[i], chunk_list, out=out[i])
+        return out
+
+
+class FusedBackend(TableBackend):
+    """Pair tables + fused multi-row gathers (the default backend)."""
+
+    name = "fused"
+
+    def matmul_chunks(self, mat, chunks, out=None):
+        mat = np.asarray(mat, dtype=np.uint8)
+        chunk_list = _as_chunk_list(chunks)
+        length = chunk_list[0].shape[0] if chunk_list else 0
+        if length < MIN_TABLE_BYTES:
+            return matrix.matvec_chunks(mat, np.asarray(chunks), out=out)
+        return kernels.fused_matmul(mat, chunk_list, out=out)
+
+
+class ParallelBackend(FusedBackend):
+    """Fused kernels over a segment thread pool.
+
+    Parameters
+    ----------
+    workers:
+        Thread count; ``None`` reads ``REPRO_EC_WORKERS`` / CPU count
+        at each call, so a backend constructed at import time still
+        honours later environment changes.
+    processes:
+        Enable the shared-memory process path for chunks of at least
+        :data:`repro.ec.parallel.MIN_PROCESS_BYTES`.
+    """
+
+    name = "parallel"
+
+    def __init__(self, workers: int | None = None, processes: bool = False):
+        self.workers = workers
+        self.processes = processes
+
+    def dot(self, coeffs, chunks, out=None, scratch=None):
+        chunk_list = [np.asarray(c, dtype=np.uint8) for c in chunks]
+        if not chunk_list or chunk_list[0].shape[-1] < MIN_TABLE_BYTES:
+            return gf256.dot(coeffs, chunk_list, out=out, scratch=scratch)
+        return parallel.parallel_dot(
+            coeffs, chunk_list, out,
+            workers=self.workers, processes=self.processes,
+        )
+
+    def matmul_chunks(self, mat, chunks, out=None):
+        mat = np.asarray(mat, dtype=np.uint8)
+        chunk_list = _as_chunk_list(chunks)
+        length = chunk_list[0].shape[0] if chunk_list else 0
+        if length < MIN_TABLE_BYTES:
+            return matrix.matvec_chunks(mat, np.asarray(chunks), out=out)
+        return parallel.parallel_matmul(
+            mat, chunk_list, out,
+            workers=self.workers, processes=self.processes,
+        )
+
+
+def _as_chunk_list(chunks) -> list[np.ndarray]:
+    if isinstance(chunks, np.ndarray) and chunks.ndim == 2:
+        return [chunks[i] for i in range(chunks.shape[0])]
+    return [np.asarray(c, dtype=np.uint8) for c in chunks]
+
+
+_REGISTRY = {
+    "naive": NaiveBackend,
+    "table": TableBackend,
+    "fused": FusedBackend,
+    "parallel": ParallelBackend,
+}
+
+_lock = threading.Lock()
+_current: "NaiveBackend | None" = None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, in documentation order."""
+    return tuple(_REGISTRY)
+
+
+def resolve(backend) -> NaiveBackend:
+    """Coerce a backend name / instance / ``None`` into an instance.
+
+    ``None`` returns the process-wide current backend.
+    """
+    if backend is None:
+        return get_backend()
+    if isinstance(backend, str):
+        cls = _REGISTRY.get(backend)
+        if cls is None:
+            raise ValueError(
+                f"unknown EC backend {backend!r}; "
+                f"choose from {', '.join(_REGISTRY)}"
+            )
+        return cls()
+    for method in ("mul_chunk", "addmul_chunk", "dot", "matmul_chunks"):
+        if not callable(getattr(backend, method, None)):
+            raise TypeError(f"backend object lacks required method {method!r}")
+    return backend
+
+
+def get_backend() -> NaiveBackend:
+    """The process-wide backend (env ``REPRO_EC_BACKEND`` or fused)."""
+    global _current
+    if _current is None:
+        with _lock:
+            if _current is None:
+                name = os.environ.get("REPRO_EC_BACKEND", "fused")
+                cls = _REGISTRY.get(name)
+                if cls is None:
+                    raise ValueError(
+                        f"REPRO_EC_BACKEND={name!r} is not one of "
+                        f"{', '.join(_REGISTRY)}"
+                    )
+                _current = cls()
+    return _current
+
+
+def set_backend(backend) -> NaiveBackend:
+    """Install the process-wide backend; returns the instance."""
+    global _current
+    instance = resolve(backend) if backend is not None else None
+    if instance is None:
+        raise ValueError("backend must not be None")
+    with _lock:
+        _current = instance
+    return instance
+
+
+@contextlib.contextmanager
+def use_backend(backend):
+    """Scoped backend override (tests, benchmarks, experiments)."""
+    global _current
+    previous = get_backend()
+    set_backend(backend)
+    try:
+        yield _current
+    finally:
+        with _lock:
+            _current = previous

@@ -197,7 +197,12 @@ def addmul_chunk(
     return acc
 
 
-def dot(coeffs, chunks, out: np.ndarray | None = None) -> np.ndarray:
+def dot(
+    coeffs,
+    chunks,
+    out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+) -> np.ndarray:
     """Linear combination ``sum_i coeffs[i] * chunks[i]`` over the field.
 
     Parameters
@@ -209,8 +214,14 @@ def dot(coeffs, chunks, out: np.ndarray | None = None) -> np.ndarray:
     out:
         Optional pre-allocated result buffer (chunk shape, dtype uint8,
         not aliasing any input chunk).  Reusing a buffer across repeated
-        combinations keeps the data plane allocation-free: one scratch
-        temporary is reused for every helper contribution either way.
+        combinations keeps the data plane allocation-free.
+    scratch:
+        Optional caller-owned temporary (chunk shape, dtype uint8) the
+        coefficient gathers land in, as :func:`addmul_chunk` accepts.
+        Without it one scratch buffer is allocated per call; callers
+        combining repeatedly (RS repair, datanode combine loops) pass
+        the same buffer every time and the steady state allocates
+        nothing.
 
     Returns
     -------
@@ -233,7 +244,10 @@ def dot(coeffs, chunks, out: np.ndarray | None = None) -> np.ndarray:
             raise ValueError("out must match the chunk shape with dtype uint8")
         acc = out
         acc[...] = 0
-    scratch = np.empty(length, dtype=np.uint8)
+    if scratch is None:
+        scratch = np.empty(length, dtype=np.uint8)
+    elif scratch.shape != length or scratch.dtype != np.uint8:
+        raise ValueError("scratch must match the chunk shape with dtype uint8")
     for coeff, chunk in zip(coeffs, chunks):
         addmul_chunk(acc, coeff, chunk, scratch)
     return acc

@@ -1,0 +1,231 @@
+"""Parallel segment execution of the blocked GF kernels.
+
+A chunk-sized GF operation decomposes into byte-range *segments* that
+are completely independent: segment ``[lo, hi)`` of every input chunk
+determines segment ``[lo, hi)`` of every output row and nothing else.
+This module exploits that to run the :mod:`repro.ec.kernels` fast paths
+over a thread pool (numpy's gather and XOR inner loops release the GIL
+on large operands), with an opt-in process/shared-memory path for very
+large chunks on hosts where thread scaling saturates.
+
+Determinism: workers write disjoint output slices computed by exact
+integer arithmetic, so the result is byte-identical to the serial
+kernels regardless of scheduling order, worker count or backend — the
+chaos-seed test in ``tests/ec`` asserts this.
+
+Segments are always even-sized (the pair kernels consume two bytes per
+gather), and the executor degrades to the serial kernel for payloads
+below :data:`MIN_PARALLEL_BYTES`, where pool dispatch would dominate.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from . import kernels
+
+#: Below this many payload bytes the serial kernel is used directly.
+MIN_PARALLEL_BYTES = 1 << 20
+
+#: Payload bytes per chunk above which the process path (when enabled)
+#: is considered worthwhile; below it threads are used even if
+#: ``processes=True`` was requested.
+MIN_PROCESS_BYTES = 64 << 20
+
+_pool: ThreadPoolExecutor | None = None
+_pool_workers = 0
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_EC_WORKERS`` env override or the CPU count."""
+    env = os.environ.get("REPRO_EC_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def _thread_pool(workers: int) -> ThreadPoolExecutor:
+    global _pool, _pool_workers
+    if _pool is None or _pool_workers < workers:
+        if _pool is not None:
+            _pool.shutdown(wait=False)
+        _pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-ec"
+        )
+        _pool_workers = workers
+    return _pool
+
+
+def segment_bounds(length: int, workers: int) -> list[tuple[int, int]]:
+    """Even-aligned byte ranges covering ``[0, length)`` for ``workers``.
+
+    Every boundary except the final one is a multiple of 2 so each
+    worker's slice presents whole byte pairs to the gather kernels.
+    """
+    workers = max(1, min(workers, max(1, length // 2)))
+    per = -(-length // workers)
+    per += per & 1  # round up to even
+    bounds = []
+    lo = 0
+    while lo < length:
+        hi = min(lo + per, length)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def parallel_matmul(
+    matrix: np.ndarray,
+    chunks,
+    out: np.ndarray | None = None,
+    *,
+    workers: int | None = None,
+    processes: bool = False,
+) -> np.ndarray:
+    """Segment-parallel :func:`repro.ec.kernels.fused_matmul`.
+
+    ``workers=None`` uses :func:`default_workers`.  ``processes=True``
+    opts chunks of at least :data:`MIN_PROCESS_BYTES` into the
+    shared-memory process path (see :func:`process_matmul`); smaller
+    payloads and hosts without working shared memory fall back to
+    threads transparently.
+    """
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    if isinstance(chunks, np.ndarray) and chunks.ndim == 2:
+        chunk_list = [chunks[i] for i in range(chunks.shape[0])]
+    else:
+        chunk_list = [np.asarray(c) for c in chunks]
+    length = chunk_list[0].shape[0] if chunk_list else 0
+    m = matrix.shape[0]
+    if out is None:
+        out = np.empty((m, length), dtype=np.uint8)
+    nworkers = workers if workers is not None else default_workers()
+    if nworkers <= 1 or length < MIN_PARALLEL_BYTES:
+        return kernels.fused_matmul(matrix, chunk_list, out)
+    if processes and length >= MIN_PROCESS_BYTES:
+        result = process_matmul(matrix, chunk_list, out, workers=nworkers)
+        if result is not None:
+            return result
+    tables = kernels.fused_tables(matrix)  # build once, share read-only
+    bounds = segment_bounds(length, nworkers)
+    if len(bounds) <= 1:
+        return kernels.fused_matmul(matrix, chunk_list, out, tables=tables)
+
+    def _run(seg: tuple[int, int]) -> None:
+        lo, hi = seg
+        kernels.fused_matmul(
+            matrix,
+            [c[lo:hi] for c in chunk_list],
+            out[:, lo:hi],
+            tables=tables,
+        )
+
+    pool = _thread_pool(nworkers)
+    list(pool.map(_run, bounds))
+    return out
+
+
+def parallel_dot(
+    coeffs,
+    chunks,
+    out: np.ndarray | None = None,
+    *,
+    workers: int | None = None,
+    processes: bool = False,
+) -> np.ndarray:
+    """Segment-parallel single-row combination (`gf256.dot` twin)."""
+    coeff_arr = np.array([int(c) & 0xFF for c in coeffs], dtype=np.uint8)
+    chunk_list = [np.asarray(c) for c in chunks]
+    if coeff_arr.size == 0 or coeff_arr.size != len(chunk_list):
+        raise ValueError("coeffs and chunks must be equal-length and non-empty")
+    length = chunk_list[0].shape[0]
+    nworkers = workers if workers is not None else default_workers()
+    if nworkers <= 1 or length < MIN_PARALLEL_BYTES:
+        return kernels.dot_blocked(coeff_arr, chunk_list, out)
+    if out is None:
+        out = np.empty(length, dtype=np.uint8)
+    res = parallel_matmul(
+        coeff_arr[None, :], chunk_list, out[None, :],
+        workers=nworkers, processes=processes,
+    )
+    return res[0]
+
+
+# --------------------------------------------------------------------- #
+# opt-in process / shared-memory path                                   #
+# --------------------------------------------------------------------- #
+
+def _process_worker(args) -> None:  # pragma: no cover - subprocess body
+    (in_name, out_name, mat_bytes, m, p, length, lo, hi) = args
+    from multiprocessing import shared_memory
+
+    matrix = np.frombuffer(mat_bytes, dtype=np.uint8).reshape(m, p)
+    shm_in = shared_memory.SharedMemory(name=in_name)
+    shm_out = shared_memory.SharedMemory(name=out_name)
+    try:
+        data = np.ndarray((p, length), dtype=np.uint8, buffer=shm_in.buf)
+        result = np.ndarray((m, length), dtype=np.uint8, buffer=shm_out.buf)
+        kernels.fused_matmul(
+            matrix, [data[i, lo:hi] for i in range(p)], result[:, lo:hi]
+        )
+    finally:
+        shm_in.close()
+        shm_out.close()
+
+
+def process_matmul(
+    matrix: np.ndarray,
+    chunk_list,
+    out: np.ndarray,
+    *,
+    workers: int,
+) -> np.ndarray | None:
+    """Shared-memory multiprocess matmul; ``None`` if unavailable.
+
+    Inputs are staged into one shared segment (a single memcpy — cheap
+    next to the GF work it unlocks), workers attach by name and fill
+    disjoint slices of the shared output.  Any OS-level failure
+    (no /dev/shm, sandboxed semaphores) is reported as ``None`` so the
+    caller can fall back to threads.
+    """
+    try:
+        import multiprocessing as mp
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - stdlib always has it
+        return None
+    m, p = matrix.shape
+    length = chunk_list[0].shape[0]
+    shm_in = shm_out = None
+    try:
+        shm_in = shared_memory.SharedMemory(create=True, size=max(1, p * length))
+        shm_out = shared_memory.SharedMemory(create=True, size=max(1, m * length))
+        staged = np.ndarray((p, length), dtype=np.uint8, buffer=shm_in.buf)
+        for i, c in enumerate(chunk_list):
+            staged[i] = c
+        mat_bytes = matrix.tobytes()
+        jobs = [
+            (shm_in.name, shm_out.name, mat_bytes, m, p, length, lo, hi)
+            for lo, hi in segment_bounds(length, workers)
+        ]
+        ctx = mp.get_context()
+        with ctx.Pool(processes=min(workers, len(jobs))) as pool:
+            pool.map(_process_worker, jobs)
+        result = np.ndarray((m, length), dtype=np.uint8, buffer=shm_out.buf)
+        np.copyto(out, result)
+        return out
+    except (OSError, ValueError):  # no shm / sandboxed semaphores
+        return None
+    finally:
+        for shm in (shm_in, shm_out):
+            if shm is not None:
+                shm.close()
+                try:
+                    shm.unlink()
+                except (FileNotFoundError, OSError):  # pragma: no cover
+                    pass

@@ -15,7 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from . import gf256, matrix
+from . import backend as ec_backend
+from . import matrix
 
 
 @dataclass(frozen=True)
@@ -36,12 +37,30 @@ class RepairEquation:
     helpers: tuple[int, ...]
     coeffs: tuple[int, ...]
 
-    def evaluate(self, chunks: dict[int, np.ndarray]) -> np.ndarray:
-        """Rebuild the lost chunk from a ``{stripe_index: chunk}`` mapping."""
+    def evaluate(
+        self,
+        chunks: dict[int, np.ndarray],
+        *,
+        out: np.ndarray | None = None,
+        scratch: np.ndarray | None = None,
+        backend=None,
+    ) -> np.ndarray:
+        """Rebuild the lost chunk from a ``{stripe_index: chunk}`` mapping.
+
+        ``out``/``scratch`` are reused caller buffers (chunk shape,
+        uint8); ``backend`` overrides the process-wide EC backend for
+        this evaluation.
+        """
         missing = [h for h in self.helpers if h not in chunks]
         if missing:
             raise KeyError(f"helper chunks missing from input: {missing}")
-        return gf256.dot(self.coeffs, [chunks[h] for h in self.helpers])
+        be = ec_backend.resolve(backend)
+        return be.dot(
+            self.coeffs,
+            [chunks[h] for h in self.helpers],
+            out=out,
+            scratch=scratch,
+        )
 
 
 class RSCode:
@@ -56,12 +75,23 @@ class RSCode:
     construction:
         Parity construction passed to
         :func:`repro.ec.matrix.systematic_generator`.
+    backend:
+        EC backend (name or instance) used for chunk-sized arithmetic.
+        ``None`` (default) resolves the process-wide backend at each
+        call, so :func:`repro.ec.backend.use_backend` scopes apply.
     """
 
     #: Max distinct (lost, helper-set) entries memoised per code instance.
     CACHE_LIMIT = 1024
 
-    def __init__(self, n: int, k: int, *, construction: str = "cauchy") -> None:
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        *,
+        construction: str = "cauchy",
+        backend=None,
+    ) -> None:
         if not (0 < k < n):
             raise ValueError(f"require 0 < k < n, got n={n} k={k}")
         if n > 255:
@@ -69,10 +99,20 @@ class RSCode:
         self.n = int(n)
         self.k = int(k)
         self.generator = matrix.systematic_generator(n, k, construction=construction)
+        if backend is not None:
+            backend = ec_backend.resolve(backend)
+        self._backend = backend
         # repair equations involve a k x k inversion; schedulers ask for
         # the same (lost, helpers) combination once per elementary
         # pipeline, so memoise (bounded FIFO eviction)
         self._equation_cache: dict[tuple[int, tuple[int, ...]], RepairEquation] = {}
+        # decode matrices are likewise memoised per surviving index set
+        self._decode_cache: dict[tuple[int, ...], np.ndarray] = {}
+
+    @property
+    def backend(self):
+        """The EC backend this code instance dispatches to."""
+        return self._backend if self._backend is not None else ec_backend.get_backend()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RSCode(n={self.n}, k={self.k})"
@@ -81,21 +121,41 @@ class RSCode:
     # whole-stripe operations                                            #
     # ------------------------------------------------------------------ #
 
-    def encode(self, data_chunks: np.ndarray) -> np.ndarray:
+    def encode(
+        self, data_chunks: np.ndarray, *, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Encode k data chunks into the full n-chunk stripe.
 
         ``data_chunks`` is a (k, L) uint8 array; returns (n, L).  Rows
-        ``0..k-1`` of the result equal the input (systematic code).
+        ``0..k-1`` of the result equal the input (systematic code); only
+        the parity rows are computed, through the active EC backend.
+        ``out`` (an (n, L) uint8 buffer) makes steady-state encoding
+        allocation-free.
         """
         data_chunks = np.asarray(data_chunks, dtype=np.uint8)
         if data_chunks.ndim != 2 or data_chunks.shape[0] != self.k:
             raise ValueError(
                 f"expected (k={self.k}, L) data array, got {data_chunks.shape}"
             )
-        return matrix.matvec_chunks(self.generator, data_chunks)
+        length = data_chunks.shape[1]
+        if out is None:
+            out = np.empty((self.n, length), dtype=np.uint8)
+        elif out.shape != (self.n, length) or out.dtype != np.uint8:
+            raise ValueError(
+                f"out must be a uint8 array of shape {(self.n, length)}"
+            )
+        np.copyto(out[: self.k], data_chunks)
+        self.backend.matmul_chunks(
+            self.generator[self.k :], out[: self.k], out=out[self.k :]
+        )
+        return out
 
     def decode(
-        self, available: dict[int, np.ndarray] | None = None, **kwargs
+        self,
+        available: dict[int, np.ndarray] | None = None,
+        *,
+        out: np.ndarray | None = None,
+        **kwargs,
     ) -> np.ndarray:
         """Reconstruct the k data chunks from any k available stripe chunks.
 
@@ -104,6 +164,9 @@ class RSCode:
         available:
             Mapping from stripe index to chunk payload with at least k
             entries.
+        out:
+            Optional (k, L) uint8 result buffer (no allocation in the
+            steady state; must not alias the input chunks).
 
         Returns
         -------
@@ -115,11 +178,15 @@ class RSCode:
             raise ValueError(
                 f"need at least k={self.k} chunks to decode, got {len(available)}"
             )
-        indices = sorted(available)[: self.k]
-        sub = self.generator[indices]
-        decode_matrix = matrix.inverse(sub)
-        chunks = np.stack([np.asarray(available[i], dtype=np.uint8) for i in indices])
-        return matrix.matvec_chunks(decode_matrix, chunks)
+        indices = tuple(sorted(available)[: self.k])
+        decode_matrix = self._decode_cache.get(indices)
+        if decode_matrix is None:
+            decode_matrix = matrix.inverse(self.generator[list(indices)])
+            if len(self._decode_cache) >= self.CACHE_LIMIT:
+                self._decode_cache.pop(next(iter(self._decode_cache)))
+            self._decode_cache[indices] = decode_matrix
+        chunks = [np.asarray(available[i], dtype=np.uint8) for i in indices]
+        return self.backend.matmul_chunks(decode_matrix, chunks, out=out)
 
     # ------------------------------------------------------------------ #
     # single-chunk repair                                                #
@@ -176,11 +243,22 @@ class RSCode:
         self._equation_cache[(lost, helpers)] = equation
         return equation
 
-    def repair(self, lost: int, available: dict[int, np.ndarray]) -> np.ndarray:
-        """Rebuild chunk ``lost`` from any k chunks in ``available``."""
+    def repair(
+        self,
+        lost: int,
+        available: dict[int, np.ndarray],
+        *,
+        out: np.ndarray | None = None,
+        scratch: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Rebuild chunk ``lost`` from any k chunks in ``available``.
+
+        ``out``/``scratch`` are optional reusable chunk-shaped uint8
+        buffers forwarded to :meth:`RepairEquation.evaluate`.
+        """
         helpers = tuple(sorted(i for i in available if i != lost)[: self.k])
         eq = self.repair_equation(lost, helpers)
-        return eq.evaluate(available)
+        return eq.evaluate(available, out=out, scratch=scratch, backend=self._backend)
 
     def verify_stripe(self, stripe: np.ndarray) -> bool:
         """True if an (n, L) stripe is a valid codeword of this code."""

@@ -187,35 +187,79 @@ def _pipeline_makespan(
         for child in children.get(stack.pop(), ()):
             order.append(child)
             stack.append(child)
+    # The recurrence touches four slice-length vectors per edge; with
+    # 32768-slice pipelines and k-deep trees that used to mean hundreds
+    # of transient megabyte arrays per makespan.  Reuse one scratch set
+    # across every edge of the sweep, and recycle each consumed child
+    # accumulator for the next node — the float operations and their
+    # order are unchanged, only the destinations are, so results stay
+    # bit-identical to the allocating form.
+    occ = np.empty_like(sizes)
+    sendable = np.empty_like(sizes)
+    arr = np.empty_like(sizes)
+    csum = np.empty_like(sizes)
+    free: list[np.ndarray] = []
     ready: dict[int, np.ndarray] = {}
     for node in reversed(order):
-        acc = np.zeros_like(sizes)  # leaves: stays zero (local data)
+        acc = free.pop() if free else np.empty_like(sizes)
+        acc[:] = 0.0  # leaves: stays zero (local data)
         for child in children.get(node, ()):
             child_in = ready.pop(child)
             # the child combines its own chunk data with what it received
-            sendable = child_in + (combine if children.get(child) else 0.0)
+            if children.get(child):
+                np.add(child_in, combine, out=sendable)
+            else:
+                np.copyto(sendable, child_in)
             rate = units.mbps_to_bytes_per_s(edge_rate[child])
-            occ = sizes / rate + params.slice_overhead_s
+            np.divide(sizes, rate, out=occ)
+            occ += params.slice_overhead_s
             # per-slice occupancy varies only on the last slice; use the
             # exact FIFO recurrence with slice-wise occupancy
-            arr = _fifo_arrivals(sendable, occ, latency=0.0)
-            acc = np.maximum(acc, arr)
+            _fifo_arrivals_into(sendable, occ, 0.0, arr, csum)
+            np.maximum(acc, arr, out=acc)
+            free.append(child_in)
         ready[node] = acc
 
-    final = ready[requester] + combine  # requester's own combine
+    final = ready[requester]
+    final += combine  # requester's own combine
     bytes_moved = float(seg_bytes) * len(pipeline.edges)
     return float(final[-1]), bytes_moved
+
+
+def _fifo_arrivals_into(
+    ready: np.ndarray,
+    occupancy: np.ndarray,
+    latency: float,
+    out: np.ndarray,
+    csum: np.ndarray,
+) -> np.ndarray:
+    """In-place FIFO recurrence: arrivals land in ``out``.
+
+    ``start[i] = max(ready[i], start[i-1] + occ[i-1])`` unrolls against
+    the prefix sums of occupancy.  ``out`` and ``csum`` are caller-owned
+    slice-length scratch; every float operation happens in the same
+    order as the allocating expression (``np.cumsum`` accumulates
+    sequentially, so its prefix values are independent of the dropped
+    final element), keeping results bit-identical.
+    """
+    csum[0] = 0.0
+    np.cumsum(occupancy[:-1], out=csum[1:])
+    np.subtract(ready, csum, out=out)
+    np.maximum.accumulate(out, out=out)
+    out += csum
+    out += occupancy
+    out += latency
+    return out
 
 
 def _fifo_arrivals(ready: np.ndarray, occupancy: np.ndarray, latency: float) -> np.ndarray:
     """Like :func:`_edge_arrival_times` but with per-slice occupancy.
 
-    ``start[i] = max(ready[i], start[i-1] + occ[i-1])`` unrolls against the
-    prefix sums of occupancy.
+    Allocating wrapper over :func:`_fifo_arrivals_into`.
     """
-    csum = np.concatenate([[0.0], np.cumsum(occupancy)])[:-1]
-    start = np.maximum.accumulate(ready - csum) + csum
-    return start + occupancy + latency
+    return _fifo_arrivals_into(
+        ready, occupancy, latency, np.empty_like(ready), np.empty_like(ready)
+    )
 
 
 def execute(

@@ -1,0 +1,281 @@
+"""Backend equivalence: every fast path is byte-identical to naive.
+
+The table / fused / parallel backends restructure GF(2^8) arithmetic
+around pair-product and packed multi-row gather tables; because field
+arithmetic is exact, every backend must agree with the
+:mod:`repro.ec.gf256` / :mod:`repro.ec.matrix` reference kernels to the
+byte on *every* input — random coefficients (including the 0 and 1 fast
+paths), odd lengths, unaligned views, and caller-provided ``out=``
+buffers.  Hypothesis drives the small-size property sweep; fixed-seed
+tests cover the blocked-kernel sizes the sweep would make slow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec import RSCode, available_backends, backend as ec_backend
+from repro.ec import gf256, kernels, matrix
+from repro.ec.backend import MIN_TABLE_BYTES
+
+pytestmark = pytest.mark.ec
+
+FAST_BACKENDS = ("table", "fused", "parallel")
+BIG = MIN_TABLE_BYTES * 5 + 3  # odd, well above the naive-fallback gate
+
+
+def _chunks(rng: np.random.Generator, k: int, length: int) -> np.ndarray:
+    return rng.integers(0, 256, size=(k, length), dtype=np.uint8)
+
+
+# --------------------------------------------------------------------- #
+# hypothesis property sweep (small sizes, exhaustive edge shapes)       #
+# --------------------------------------------------------------------- #
+
+coeff_lists = st.lists(st.integers(0, 255), min_size=1, max_size=6)
+
+
+@given(
+    coeffs=coeff_lists,
+    length=st.integers(1, 130),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_dot_blocked_matches_naive(coeffs, length, seed):
+    rng = np.random.default_rng(seed)
+    chunks = _chunks(rng, len(coeffs), length)
+    expected = gf256.dot(coeffs, chunks)
+    got = kernels.dot_blocked(coeffs, list(chunks))
+    assert np.array_equal(expected, got)
+
+
+@given(
+    m=st.integers(1, 7),
+    p=st.integers(1, 6),
+    length=st.integers(1, 130),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_fused_matmul_matches_naive(m, p, length, seed):
+    rng = np.random.default_rng(seed)
+    mat = rng.integers(0, 256, size=(m, p), dtype=np.uint8)
+    chunks = _chunks(rng, p, length)
+    expected = matrix.matvec_chunks(mat, chunks)
+    got = kernels.fused_matmul(mat, list(chunks))
+    assert np.array_equal(expected, got)
+
+
+@given(
+    coeff=st.integers(0, 255),
+    length=st.integers(1, 130),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_mul_and_addmul_blocked_match_naive(coeff, length, seed):
+    rng = np.random.default_rng(seed)
+    chunk = _chunks(rng, 1, length)[0]
+    assert np.array_equal(
+        gf256.mul_chunk(coeff, chunk), kernels.mul_chunk_blocked(coeff, chunk)
+    )
+    acc_ref = _chunks(rng, 1, length)[0]
+    acc_blk = acc_ref.copy()
+    gf256.addmul_chunk(acc_ref, coeff, chunk)
+    kernels.addmul_chunk_blocked(acc_blk, coeff, chunk)
+    assert np.array_equal(acc_ref, acc_blk)
+
+
+# --------------------------------------------------------------------- #
+# blocked-size equivalence (above the naive-fallback gate)              #
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("name", FAST_BACKENDS)
+@pytest.mark.parametrize("length", [BIG, 2 * MIN_TABLE_BYTES])
+def test_backend_dot_equivalence(name, length):
+    rng = np.random.default_rng(11)
+    k = 6
+    chunks = _chunks(rng, k, length)
+    # exercise the 0 / 1 fast paths alongside general coefficients
+    coeffs = [0, 1, 173, 1, 0, 255]
+    expected = gf256.dot(coeffs, chunks)
+    be = ec_backend.resolve(name)
+    out = np.empty(length, dtype=np.uint8)
+    scratch = np.empty(length, dtype=np.uint8)
+    got = be.dot(coeffs, chunks, out=out, scratch=scratch)
+    assert got is out
+    assert np.array_equal(expected, got)
+
+
+@pytest.mark.parametrize("name", FAST_BACKENDS)
+def test_backend_matmul_equivalence(name):
+    rng = np.random.default_rng(12)
+    mat = rng.integers(0, 256, size=(9, 6), dtype=np.uint8)
+    mat[2] = 0  # an all-zero output row
+    mat[:, 3] = 0  # an all-zero input column
+    chunks = _chunks(rng, 6, BIG)
+    expected = matrix.matvec_chunks(mat, chunks)
+    be = ec_backend.resolve(name)
+    out = np.empty((9, BIG), dtype=np.uint8)
+    got = be.matmul_chunks(mat, chunks, out=out)
+    assert got is out
+    assert np.array_equal(expected, got)
+
+
+@pytest.mark.parametrize("name", FAST_BACKENDS)
+def test_backend_unaligned_views(name):
+    """Odd-offset slices of a larger buffer (no uint16 view) still agree."""
+    rng = np.random.default_rng(13)
+    backing = rng.integers(0, 256, size=(4, BIG + 7), dtype=np.uint8)
+    chunks = [row[3 : 3 + BIG] for row in backing]  # odd start address
+    coeffs = [9, 1, 88, 250]
+    expected = gf256.dot(coeffs, chunks)
+    got = ec_backend.resolve(name).dot(coeffs, chunks)
+    assert np.array_equal(expected, got)
+
+
+@pytest.mark.parametrize("name", FAST_BACKENDS)
+def test_out_aliasing_input_rejected(name):
+    rng = np.random.default_rng(14)
+    chunks = _chunks(rng, 3, BIG)
+    be = ec_backend.resolve(name)
+    with pytest.raises(ValueError, match="alias"):
+        be.dot([5, 6, 7], chunks, out=chunks[0])
+    with pytest.raises(ValueError, match="alias"):
+        be.matmul_chunks(
+            np.full((2, 3), 7, dtype=np.uint8), chunks, out=chunks[:2]
+        )
+    with pytest.raises(ValueError, match="alias"):
+        be.mul_chunk(42, chunks[0], out=chunks[0])
+
+
+def test_zero_and_one_coefficient_fast_paths():
+    rng = np.random.default_rng(15)
+    chunks = _chunks(rng, 3, BIG)
+    for name in FAST_BACKENDS:
+        be = ec_backend.resolve(name)
+        assert not be.dot([0, 0, 0], chunks).any()
+        expected = chunks[0] ^ chunks[1] ^ chunks[2]
+        assert np.array_equal(be.dot([1, 1, 1], chunks), expected)
+        assert np.array_equal(be.mul_chunk(1, chunks[0]), chunks[0])
+        assert not be.mul_chunk(0, chunks[0]).any()
+
+
+def test_small_payloads_defer_to_naive_but_agree():
+    rng = np.random.default_rng(16)
+    chunks = _chunks(rng, 4, MIN_TABLE_BYTES // 2)
+    coeffs = [3, 0, 1, 200]
+    expected = gf256.dot(coeffs, chunks)
+    for name in FAST_BACKENDS:
+        got = ec_backend.resolve(name).dot(coeffs, chunks)
+        assert np.array_equal(expected, got)
+
+
+def test_gf256_dot_scratch_reuse():
+    """Satellite: caller-owned scratch gives identical results, no alloc."""
+    rng = np.random.default_rng(17)
+    chunks = _chunks(rng, 4, 513)
+    coeffs = [7, 9, 0, 1]
+    expected = gf256.dot(coeffs, chunks)
+    scratch = np.empty(513, dtype=np.uint8)
+    out = np.empty(513, dtype=np.uint8)
+    got = gf256.dot(coeffs, chunks, out=out, scratch=scratch)
+    assert got is out
+    assert np.array_equal(expected, got)
+    with pytest.raises(ValueError):
+        gf256.dot(coeffs, chunks, scratch=np.empty(7, dtype=np.uint8))
+
+
+# --------------------------------------------------------------------- #
+# dispatch layer                                                        #
+# --------------------------------------------------------------------- #
+
+def test_available_backends_registry():
+    assert available_backends() == ("naive", "table", "fused", "parallel")
+
+
+def test_resolve_names_and_instances():
+    be = ec_backend.resolve("table")
+    assert be.name == "table"
+    assert ec_backend.resolve(be) is be
+    with pytest.raises(ValueError, match="unknown EC backend"):
+        ec_backend.resolve("simd")
+    with pytest.raises(TypeError, match="lacks required method"):
+        ec_backend.resolve(object())
+
+
+def test_use_backend_scoping():
+    before = ec_backend.get_backend()
+    with ec_backend.use_backend("naive") as be:
+        assert be.name == "naive"
+        assert ec_backend.get_backend() is be
+    assert ec_backend.get_backend() is before
+
+
+def test_set_backend_rejects_none():
+    with pytest.raises(ValueError):
+        ec_backend.set_backend(None)
+
+
+def test_env_var_selects_default_backend(monkeypatch):
+    monkeypatch.setattr(ec_backend, "_current", None)
+    monkeypatch.setenv("REPRO_EC_BACKEND", "table")
+    try:
+        assert ec_backend.get_backend().name == "table"
+    finally:
+        ec_backend._current = None  # re-resolve lazily for later tests
+    monkeypatch.setenv("REPRO_EC_BACKEND", "warp")
+    monkeypatch.setattr(ec_backend, "_current", None)
+    with pytest.raises(ValueError, match="REPRO_EC_BACKEND"):
+        ec_backend.get_backend()
+
+
+def test_rscode_per_instance_backend_override():
+    rng = np.random.default_rng(18)
+    data = _chunks(rng, 4, BIG)
+    ref = RSCode(6, 4, backend="naive")
+    fast = RSCode(6, 4, backend="fused")
+    assert fast.backend.name == "fused"
+    assert np.array_equal(ref.encode(data), fast.encode(data))
+    with ec_backend.use_backend("table"):
+        floating = RSCode(6, 4)
+        assert floating.backend.name == "table"
+        assert np.array_equal(floating.encode(data), ref.encode(data))
+
+
+def test_rscode_decode_matrix_memoised():
+    rng = np.random.default_rng(19)
+    code = RSCode(6, 4)
+    data = _chunks(rng, 4, 512)
+    stripe = code.encode(data)
+    avail = {i: stripe[i] for i in (0, 2, 4, 5)}
+    assert np.array_equal(code.decode(avail), data)
+    assert (0, 2, 4, 5) in code._decode_cache
+    cached = code._decode_cache[(0, 2, 4, 5)]
+    assert np.array_equal(code.decode(avail), data)
+    assert code._decode_cache[(0, 2, 4, 5)] is cached
+
+
+def test_fused_table_construction_identities():
+    """Nibble/pair tables compose exactly to the full product row."""
+    for c in (0, 1, 2, 87, 173, 255):
+        row = kernels.coeff_row(c)
+        assert np.array_equal(row, gf256.MUL_TABLE[c])
+        pair = kernels.pair_table(c)
+        b = np.arange(256, dtype=np.uint16)
+        idx = (b[:, None] << 8 | b[None, :]).reshape(-1)
+        lo = gf256.MUL_TABLE[c][idx & 0xFF].astype(np.uint16)
+        hi = gf256.MUL_TABLE[c][idx >> 8].astype(np.uint16)
+        assert np.array_equal(pair[idx], lo | hi << 8)
+
+
+def test_fused_cache_bounded(monkeypatch):
+    monkeypatch.setattr(kernels, "MAX_FUSED_CACHE_BYTES", 4 * 1024 * 1024)
+    kernels.clear_table_caches()
+    rng = np.random.default_rng(20)
+    for _ in range(12):  # each (8, 6) matrix costs ~3 MiB of fused tables
+        mat = rng.integers(1, 256, size=(8, 6), dtype=np.uint8)
+        kernels.fused_tables(mat)
+    assert kernels._fused_cache_bytes <= 2 * 4 * 1024 * 1024
+    kernels.clear_table_caches()

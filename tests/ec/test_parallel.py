@@ -1,0 +1,128 @@
+"""Parallel segment executor: partitioning, determinism, fallbacks.
+
+Workers write disjoint output slices computed by exact GF arithmetic,
+so the parallel backend must be byte-identical to the serial kernels for
+every worker count and scheduling order — including under the
+chaos-style random seeds the simulator's fault tests use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ec import backend as ec_backend
+from repro.ec import gf256, matrix, parallel
+
+pytestmark = pytest.mark.ec
+
+#: Comfortably above MIN_PARALLEL_BYTES so the pool path actually runs.
+BIG = parallel.MIN_PARALLEL_BYTES * 2 + 1
+
+
+class TestSegmentBounds:
+    def test_covers_range_disjointly(self):
+        for length in (0, 1, 2, 3, 100, 101, 1 << 20):
+            for workers in (1, 2, 3, 7, 64):
+                bounds = parallel.segment_bounds(length, workers)
+                if length == 0:
+                    assert bounds == []
+                    continue
+                assert bounds[0][0] == 0
+                assert bounds[-1][1] == length
+                for (alo, ahi), (blo, bhi) in zip(bounds, bounds[1:]):
+                    assert ahi == blo
+                    assert alo < ahi
+
+    def test_interior_boundaries_even(self):
+        for length in (10, 1001, 65537):
+            for workers in (2, 3, 5):
+                bounds = parallel.segment_bounds(length, workers)
+                for _, hi in bounds[:-1]:
+                    assert hi % 2 == 0
+
+    def test_never_more_segments_than_pairs(self):
+        assert len(parallel.segment_bounds(3, 16)) <= 2
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", [0, 2023, 7_777_777])
+    def test_matmul_identical_across_worker_counts(self, seed):
+        rng = np.random.default_rng(seed)
+        mat = rng.integers(0, 256, size=(5, 4), dtype=np.uint8)
+        chunks = rng.integers(0, 256, size=(4, BIG), dtype=np.uint8)
+        expected = matrix.matvec_chunks(mat, chunks)
+        for workers in (1, 2, 3, 8):
+            got = parallel.parallel_matmul(mat, chunks, workers=workers)
+            assert np.array_equal(expected, got), f"workers={workers}"
+
+    @pytest.mark.parametrize("seed", [1, 42])
+    def test_dot_identical_across_worker_counts(self, seed):
+        rng = np.random.default_rng(seed)
+        coeffs = [int(c) for c in rng.integers(0, 256, size=5)]
+        chunks = rng.integers(0, 256, size=(5, BIG), dtype=np.uint8)
+        expected = gf256.dot(coeffs, chunks)
+        for workers in (1, 3, 8):
+            got = parallel.parallel_dot(coeffs, chunks, workers=workers)
+            assert np.array_equal(expected, got)
+
+    def test_repeated_runs_bit_identical(self):
+        rng = np.random.default_rng(99)
+        mat = rng.integers(0, 256, size=(3, 3), dtype=np.uint8)
+        chunks = rng.integers(0, 256, size=(3, BIG), dtype=np.uint8)
+        first = parallel.parallel_matmul(mat, chunks, workers=4)
+        for _ in range(3):
+            again = parallel.parallel_matmul(mat, chunks, workers=4)
+            assert np.array_equal(first, again)
+
+
+class TestFallbacks:
+    def test_small_payload_stays_serial(self):
+        rng = np.random.default_rng(5)
+        mat = rng.integers(0, 256, size=(2, 3), dtype=np.uint8)
+        chunks = rng.integers(
+            0, 256, size=(3, parallel.MIN_PARALLEL_BYTES // 4), dtype=np.uint8
+        )
+        expected = matrix.matvec_chunks(mat, chunks)
+        got = parallel.parallel_matmul(mat, chunks, workers=8)
+        assert np.array_equal(expected, got)
+
+    def test_out_buffer_is_filled(self):
+        rng = np.random.default_rng(6)
+        mat = rng.integers(0, 256, size=(2, 2), dtype=np.uint8)
+        chunks = rng.integers(0, 256, size=(2, BIG), dtype=np.uint8)
+        out = np.empty((2, BIG), dtype=np.uint8)
+        got = parallel.parallel_matmul(mat, chunks, out, workers=4)
+        assert got is out
+        assert np.array_equal(out, matrix.matvec_chunks(mat, chunks))
+
+    def test_default_workers_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EC_WORKERS", "3")
+        assert parallel.default_workers() == 3
+        monkeypatch.setenv("REPRO_EC_WORKERS", "not-a-number")
+        assert parallel.default_workers() >= 1
+        monkeypatch.delenv("REPRO_EC_WORKERS")
+        assert parallel.default_workers() >= 1
+
+    def test_parallel_backend_configured_workers(self):
+        be = ec_backend.ParallelBackend(workers=2)
+        rng = np.random.default_rng(8)
+        chunks = rng.integers(0, 256, size=(3, BIG), dtype=np.uint8)
+        coeffs = [2, 3, 4]
+        assert np.array_equal(be.dot(coeffs, chunks), gf256.dot(coeffs, chunks))
+
+
+class TestProcessPath:
+    def test_process_matmul_correct_or_unavailable(self):
+        """Shared-memory path agrees byte-for-byte where the OS allows it."""
+        rng = np.random.default_rng(9)
+        mat = rng.integers(0, 256, size=(2, 3), dtype=np.uint8)
+        length = 1 << 18
+        chunks = rng.integers(0, 256, size=(3, length), dtype=np.uint8)
+        out = np.empty((2, length), dtype=np.uint8)
+        result = parallel.process_matmul(
+            mat, [chunks[i] for i in range(3)], out, workers=2
+        )
+        if result is None:
+            pytest.skip("shared memory unavailable in this environment")
+        assert np.array_equal(result, matrix.matvec_chunks(mat, chunks))

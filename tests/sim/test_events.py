@@ -174,3 +174,99 @@ class TestCancel:
         q.cancel(victim)
         q.run()
         assert order == ["kept"]
+
+
+class TestBatchedRun:
+    """`run` coalesces same-timestamp events into one heap-pop streak;
+    these tests pin the semantics that batching must not change."""
+
+    def test_same_time_insertion_during_batch_runs_after_it(self):
+        q = EventQueue()
+        order = []
+
+        def first():
+            order.append("first")
+            # same timestamp as the batch being drained: higher seq, so
+            # it must run after every already-scheduled same-time event
+            q.schedule(0.0, lambda: order.append("late"))
+
+        q.schedule(1.0, first)
+        q.schedule(1.0, lambda: order.append("second"))
+        q.run()
+        assert order == ["first", "second", "late"]
+        assert q.now == 1.0
+
+    def test_cancel_later_batch_member_from_earlier_one(self):
+        """An action may cancel a same-timestamp event already popped
+        into the batch; the lazy flag must still suppress it."""
+        q = EventQueue()
+        order = []
+        victim = None
+
+        def canceller():
+            order.append("canceller")
+            assert q.cancel(victim) is True
+
+        q.schedule(1.0, canceller)
+        victim = q.schedule(1.0, lambda: order.append("victim"))
+        q.schedule(1.0, lambda: order.append("kept"))
+        q.run()
+        assert order == ["canceller", "kept"]
+        assert q.executed == 2
+
+    def test_run_matches_step_loop_order(self):
+        """Batched drain and per-event stepping execute identically."""
+        import random
+
+        def build(q, log):
+            rng = random.Random(1234)
+            def make(tag):
+                def action():
+                    log.append((q.now, tag))
+                    if rng.random() < 0.3:
+                        q.schedule(rng.choice([0.0, 0.5, 1.0]), make(tag + 1000))
+                return action
+            for i in range(200):
+                q.schedule(rng.choice([0.0, 1.0, 1.0, 2.0]), make(i))
+
+        q_run, log_run = EventQueue(), []
+        build(q_run, log_run)
+        q_run.run()
+        q_step, log_step = EventQueue(), []
+        build(q_step, log_step)
+        while q_step.step():
+            pass
+        assert log_run == log_step
+        assert q_run.executed == q_step.executed
+
+    def test_until_boundary_between_batches(self):
+        q = EventQueue()
+        hits = []
+        for _ in range(3):
+            q.schedule(1.0, lambda: hits.append(q.now))
+        for _ in range(3):
+            q.schedule(2.0, lambda: hits.append(q.now))
+        q.run(until=1.5)
+        assert hits == [1.0, 1.0, 1.0]
+        assert q.now == 1.5
+        q.run()
+        assert hits == [1.0, 1.0, 1.0, 2.0, 2.0, 2.0]
+
+    def test_counters_track_batch_execution(self):
+        q = EventQueue()
+        for _ in range(5):
+            q.schedule(1.0, lambda: None)
+        cancelled = q.schedule(1.0, lambda: None)
+        q.cancel(cancelled)
+        assert q.pending_count == 5
+        assert q.peak_pending == 6
+        q.run()
+        assert q.executed == 5
+        assert q.pending_count == 0
+
+    def test_max_events_enforced_within_batch(self):
+        q = EventQueue()
+        for _ in range(10):
+            q.schedule(1.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            q.run(max_events=5)
