@@ -11,6 +11,8 @@ writes ``BENCH_ec.json`` at the repository root:
   in stripe-bytes per second (the seed pytest-benchmark convention);
 * fused-vs-naive speedup summary — the numbers the regression gate in
   ``tests/test_bench_ec.py`` tracks across commits;
+* integrity-checksum overhead: CRC digest and slice-checksum rates and
+  the digest cost relative to the fused decode it guards (gated <= 10%);
 * an event-queue micro-benchmark: events/s of the batched
   ``EventQueue.run`` drain against the per-event ``step`` loop.
 
@@ -41,6 +43,7 @@ import numpy as np
 
 from benchmarks.common import REPO_ROOT, SEED, quantile, write_json_report
 from repro.ec import RSCode, available_backends, resolve
+from repro.integrity import chunk_digest, slice_checksum
 from repro.net import units
 from repro.sim.events import EventQueue
 
@@ -143,6 +146,39 @@ def _bench_rs(chunk_bytes: int, rounds: int, backends) -> dict:
             "repair_mb_per_s": RS_K * mb / t_rep,
         }
     return out
+
+
+def _bench_checksum(
+    chunk_bytes: int, rounds: int, fused_decode_mb_per_s: float
+) -> dict:
+    """CRC digest / slice-checksum rates, and their cost vs fused decode.
+
+    The integrity layer digests every stored chunk at ``put`` and every
+    rebuilt chunk at settle, so the number that matters is the digest
+    time for ONE chunk relative to the fused decode of the k chunks that
+    produced it — ``digest_cost_vs_fused_decode``.  The committed-
+    artefact gate in ``tests/test_bench_ec.py`` bounds that ratio at
+    10%: checksumming must stay a rounding error next to the GF math.
+    Timings are warm (first call primes zlib's table) like every other
+    cell in this harness.
+    """
+    rng = np.random.default_rng(SEED + 2)
+    chunk = rng.integers(0, 256, size=chunk_bytes, dtype=np.uint8)
+    slice_bytes = min(units.kib(64), chunk_bytes)
+    sl = chunk[:slice_bytes]
+    mb = chunk_bytes / 1e6
+    t_digest = _median_time(lambda: chunk_digest(chunk), rounds)
+    t_slice = _median_time(lambda: slice_checksum(sl), rounds)
+    # decode_mb_per_s counts the k helper chunks read (seed convention),
+    # so the wall time of one fused decode is k x mb / rate
+    t_decode = RS_K * mb / fused_decode_mb_per_s
+    return {
+        "chunk_bytes": chunk_bytes,
+        "slice_bytes": slice_bytes,
+        "digest_mb_per_s": mb / t_digest,
+        "slice_checksum_mb_per_s": (slice_bytes / 1e6) / t_slice,
+        "digest_cost_vs_fused_decode": t_digest / t_decode,
+    }
 
 
 def _bench_event_queue(num_events: int, per_timestamp: int, rounds: int) -> dict:
@@ -258,6 +294,9 @@ def run(smoke: bool = False, out_path=None) -> dict:
             "rounds": 3,
             "speedup": _gate_speedups(3),
         },
+        "checksum": _bench_checksum(
+            rs_bytes, rs_rounds, rs["fused"]["decode_mb_per_s"]
+        ),
         "event_queue": _bench_event_queue(ev_events, ev_per_ts, ev_rounds),
     }
     path = write_json_report("ec", report, path=out_path)
@@ -305,6 +344,12 @@ def main(argv=None) -> int:
         f"fused vs naive: dot {sp['dot_fused_vs_naive']:.1f}x, "
         f"matvec {sp['matvec_fused_vs_naive']:.1f}x, "
         f"encode {sp['encode_fused_vs_naive']:.1f}x"
+    )
+    ck = report["checksum"]
+    print(
+        f"checksum: digest {ck['digest_mb_per_s']:.0f} MB/s, "
+        f"slice crc {ck['slice_checksum_mb_per_s']:.0f} MB/s, "
+        f"cost vs fused decode {ck['digest_cost_vs_fused_decode'] * 100:.1f}%"
     )
     ev = report["event_queue"]
     print(

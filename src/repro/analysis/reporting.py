@@ -111,6 +111,8 @@ def summarize_outcomes(outcomes) -> dict:
         "bytes_received": 0,
         "bytes_retransferred": 0,
         "elapsed_seconds": 0.0,
+        "corruption_detected": 0,
+        "quarantined_chunks": 0,
     }
     for o in outcomes:
         summary["total"] += 1
@@ -122,6 +124,12 @@ def summarize_outcomes(outcomes) -> dict:
         summary["bytes_received"] += getattr(o, "bytes_received", 0)
         summary["bytes_retransferred"] += getattr(o, "bytes_retransferred", 0)
         summary["elapsed_seconds"] += getattr(o, "elapsed_seconds", 0.0)
+        summary["corruption_detected"] += int(
+            bool(getattr(o, "corruption_detected", False))
+        )
+        summary["quarantined_chunks"] += len(
+            getattr(o, "quarantined_chunks", ()) or ()
+        )
     return summary
 
 
@@ -136,7 +144,7 @@ def render_fault_report(outcomes, title: str = "repair under faults") -> str:
     outcomes = list(outcomes)
     header = (
         f"{'#':>3} | {'status':>9} | {'att':>3} {'rtr':>3} {'rpl':>3} | "
-        f"{'retx bytes':>10} | {'wall time':>11} | verdict"
+        f"{'retx bytes':>10} | {'wall time':>11} | {'intg':>4} | verdict"
     )
     lines = [title, header, "-" * len(header)]
     for i, o in enumerate(outcomes):
@@ -145,12 +153,19 @@ def render_fault_report(outcomes, title: str = "repair under faults") -> str:
         verdict = "ok" if verified else (
             getattr(o, "failure_reason", None) or "not verified"
         )
+        quarantined = getattr(o, "quarantined_chunks", ()) or ()
+        if quarantined:
+            intg = f"q{len(quarantined)}"
+        elif getattr(o, "corruption_detected", False):
+            intg = "det"
+        else:
+            intg = "-"
         lines.append(
             f"{i:>3} | {status:>9} | {getattr(o, 'attempts', 1):>3} "
             f"{getattr(o, 'retries', 0):>3} {getattr(o, 'replans', 0):>3} | "
             f"{getattr(o, 'bytes_retransferred', 0):>10} | "
             f"{_fmt_seconds(getattr(o, 'elapsed_seconds', 0.0)):>11} | "
-            f"{verdict}"
+            f"{intg:>4} | {verdict}"
         )
     s = summarize_outcomes(outcomes)
     by_status = ", ".join(
@@ -162,6 +177,11 @@ def render_fault_report(outcomes, title: str = "repair under faults") -> str:
         f"{s['retries']} retries, {s['replans']} replans, "
         f"{s['bytes_retransferred']} bytes re-transferred"
     )
+    if s["corruption_detected"] or s["quarantined_chunks"]:
+        lines.append(
+            f"integrity: corruption detected in {s['corruption_detected']} "
+            f"repair(s), {s['quarantined_chunks']} chunk(s) quarantined"
+        )
     return "\n".join(lines)
 
 
@@ -441,6 +461,30 @@ def render_recovery(report, tracer=None) -> str:
                     f"  {_fmt_seconds(e.time).strip():>10}  {e.name}  "
                     f"{e.attrs.get('direction', '')}{detail}"
                 )
+    return "\n".join(lines)
+
+
+def render_scrub(report) -> str:
+    """Render a :class:`~repro.integrity.scrubber.ScrubReport` (``repro scrub``)."""
+    span = report.finished_at - report.started_at
+    lines = [
+        "background scrub:",
+        f"  {report.chunks_scanned} chunk(s) of {report.stripes_scanned} "
+        f"stripe(s) scanned ({report.bytes_scanned / units.MIB:.1f} MiB) "
+        f"in {_fmt_seconds(span).strip()}",
+        f"  bandwidth budget {report.bandwidth_fraction:.0%} of each "
+        f"node's uplink; {report.skipped} chunk(s) skipped "
+        f"(moved / dead / already quarantined)",
+    ]
+    if report.corrupt:
+        lines.append(f"  {len(report.corrupt)} corrupt chunk(s) found:")
+        for stripe_id, chunk_index, node in report.corrupt:
+            lines.append(
+                f"    {stripe_id} chunk {chunk_index} on node {node} "
+                f"-> quarantined"
+            )
+    else:
+        lines.append("  no corruption found")
     return "\n".join(lines)
 
 

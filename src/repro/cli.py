@@ -22,6 +22,8 @@ Subcommands
                 verdicts plus the breach/recover transition log
 ``recover``     background recovery demo: kill node(s) under a foreground
                 workload and drain the repair queue on a bandwidth budget
+``scrub``       integrity demo: inject silent bit rot, walk every chunk
+                with the budgeted scrubber and repair what it quarantines
 ``bench``       ``bench report``: merge the repo's BENCH_*.json artifacts
                 into one trajectory table (markdown, or ``--json``)
 
@@ -281,6 +283,60 @@ def cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scrub(args: argparse.Namespace) -> int:
+    from .analysis import render_scrub
+    from .cluster import ClusterSystem
+    from .ec import RSCode
+    from .integrity import Scrubber
+    from .recovery import RecoveryOrchestrator
+
+    rng = np.random.default_rng(args.seed)
+    trace = make_trace(
+        args.workload, num_nodes=args.nodes, num_snapshots=60, seed=args.seed
+    )
+    system = ClusterSystem(args.nodes, RSCode(9, 6))
+    system.set_bandwidth(trace.snapshot(0))
+    log.info(
+        "writing %d stripe(s), rotting %d chunk(s), scrubbing at %.0f%% ...",
+        args.stripes, args.rot, args.budget * 100,
+    )
+    for i in range(args.stripes):
+        data = rng.integers(
+            0, 256, size=(6, args.chunk_kib * units.KIB), dtype=np.uint8
+        )
+        system.write_stripe(f"s{i}", data)
+    victims = rng.choice(args.stripes, size=min(args.rot, args.stripes),
+                         replace=False)
+    for sid_idx in victims:
+        sid = f"s{int(sid_idx)}"
+        loc = system.master.stripe(sid)
+        chunk = int(rng.integers(0, len(loc.placement)))
+        system.corrupt_chunk(
+            loc.placement[chunk], sid, chunk,
+            flips=int(rng.integers(1, 32)), seed=int(rng.integers(0, 2**31)),
+        )
+    orchestrator = RecoveryOrchestrator(system)
+    orchestrator.start()
+    scrubber = Scrubber(
+        system, bandwidth_fraction=args.budget, orchestrator=orchestrator
+    )
+    report = scrubber.run()
+    system.events.run()
+    print(render_scrub(report))
+    if orchestrator.records:
+        verified = sum(1 for r in orchestrator.records if r.verified)
+        print(
+            f"\nscrub-triggered repairs: {len(orchestrator.records)} "
+            f"stripe(s) repaired, {verified} verified"
+        )
+    residual = sum(
+        len(system.master.quarantined_chunks(f"s{i}"))
+        for i in range(args.stripes)
+    )
+    print(f"residual quarantined chunks after repair: {residual}")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import glob
     import json
@@ -484,6 +540,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the SLO-coupled throttle")
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(func=cmd_recover)
+
+    p = sub.add_parser(
+        "scrub",
+        help="integrity demo: silent bit rot found by the budgeted scrubber",
+    )
+    p.add_argument("--nodes", type=int, default=14)
+    p.add_argument("--stripes", type=int, default=12)
+    p.add_argument("--chunk-kib", type=int, default=16)
+    p.add_argument("--rot", type=int, default=3,
+                   help="chunks to silently corrupt before the scrub")
+    p.add_argument("--budget", type=float, default=0.05,
+                   help="scrub bandwidth as a fraction of each uplink")
+    p.add_argument("--workload", default="tpcds")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_scrub)
 
     p = sub.add_parser("bench", help="benchmark artifact tools")
     bench_sub = p.add_subparsers(dest="bench_command", required=True)

@@ -4,11 +4,21 @@ Each data node owns a :class:`ChunkStore` mapping ``(stripe_id,
 chunk_index)`` to the chunk payload.  Payloads are defensive copies both
 ways: the store is the node's "disk", and nothing outside the node may
 alias it.
+
+Every ``put`` also records a CRC digest of the *intended* payload
+(:func:`repro.integrity.digest.chunk_digest`), so at-rest corruption —
+bit rot flipped under the digest, or a torn write that garbled the tail
+during the store — is detectable by :meth:`ChunkStore.verify` long
+after the writer is gone.  The corruption itself enters through the
+fault hooks :meth:`corrupt` and :meth:`arm_torn_write`, driven by the
+:class:`~repro.faults.injector.FaultInjector`.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..integrity.digest import chunk_digest
 
 
 class ChunkStore:
@@ -16,13 +26,31 @@ class ChunkStore:
 
     def __init__(self) -> None:
         self._chunks: dict[tuple[str, int], np.ndarray] = {}
+        #: recorded CRC of each chunk as the writer intended it
+        self._digests: dict[tuple[str, int], int] = {}
+        #: armed torn write: (tail_fraction, rng) applied to the next put
+        self._torn: tuple[float, np.random.Generator] | None = None
 
     def put(self, stripe_id: str, chunk_index: int, payload: np.ndarray) -> None:
-        """Store a chunk (copies the payload)."""
+        """Store a chunk (copies the payload) and record its digest.
+
+        The digest always covers the payload the caller handed in; an
+        armed torn write (:meth:`arm_torn_write`) garbles the stored
+        tail *after* the digest is taken — exactly the failure a torn
+        write is: the metadata says one thing, the disk another.
+        """
         arr = np.array(payload, dtype=np.uint8, copy=True)
         if arr.ndim != 1:
             raise ValueError("chunk payload must be a 1-D byte array")
+        digest = chunk_digest(arr)
+        if self._torn is not None and len(arr):
+            tail_fraction, rng = self._torn
+            self._torn = None  # a torn write is a one-shot event
+            tail = max(1, int(len(arr) * tail_fraction))
+            garble = rng.integers(1, 256, size=tail, dtype=np.uint8)
+            np.bitwise_xor(arr[-tail:], garble, out=arr[-tail:])
         self._chunks[(stripe_id, chunk_index)] = arr
+        self._digests[(stripe_id, chunk_index)] = digest
 
     def get(self, stripe_id: str, chunk_index: int) -> np.ndarray:
         """Fetch a chunk copy; raises ``KeyError`` if absent."""
@@ -45,6 +73,11 @@ class ChunkStore:
     def delete(self, stripe_id: str, chunk_index: int) -> None:
         """Drop a chunk; raises ``KeyError`` if absent."""
         del self._chunks[(stripe_id, chunk_index)]
+        self._digests.pop((stripe_id, chunk_index), None)
+
+    def chunk_keys(self) -> list[tuple[str, int]]:
+        """Every ``(stripe_id, chunk_index)`` stored, sorted."""
+        return sorted(self._chunks)
 
     def stripe_chunks(self, stripe_id: str) -> list[int]:
         """Chunk indices of a stripe stored on this node."""
@@ -56,3 +89,58 @@ class ChunkStore:
     @property
     def bytes_stored(self) -> int:
         return sum(c.nbytes for c in self._chunks.values())
+
+    # ---- integrity ---------------------------------------------------- #
+
+    def digest(self, stripe_id: str, chunk_index: int) -> int:
+        """The digest recorded at ``put``; raises ``KeyError`` if absent."""
+        return self._digests[(stripe_id, chunk_index)]
+
+    def verify(self, stripe_id: str, chunk_index: int) -> bool:
+        """Re-digest the stored bytes and compare with the record."""
+        key = (stripe_id, chunk_index)
+        return chunk_digest(self._chunks[key]) == self._digests[key]
+
+    # ---- fault hooks (silent-corruption injection) --------------------- #
+
+    def corrupt(
+        self,
+        stripe_id: str,
+        chunk_index: int,
+        *,
+        flips: int = 8,
+        seed: int = 0,
+        fix_digest: bool = False,
+    ) -> int:
+        """Bit-rot: flip bytes of a stored chunk in place.
+
+        The recorded digest is left pointing at the original bytes, so
+        :meth:`verify` fails — unless ``fix_digest`` re-records the
+        digest over the rotten bytes, modelling rot that predates the
+        digest (or a corrupted digest store): only parity-level
+        verification can catch that variant.  Returns the number of
+        bytes flipped.
+        """
+        key = (stripe_id, chunk_index)
+        chunk = self._chunks[key]
+        if not len(chunk):
+            return 0
+        rng = np.random.default_rng(seed)
+        count = min(max(1, int(flips)), len(chunk))
+        positions = rng.choice(len(chunk), size=count, replace=False)
+        masks = rng.integers(1, 256, size=count, dtype=np.uint8)
+        chunk[positions] ^= masks
+        if fix_digest:
+            self._digests[key] = chunk_digest(chunk)
+        return count
+
+    def arm_torn_write(self, tail_fraction: float = 0.25, seed: int = 0) -> None:
+        """Arm a torn write: the *next* put garbles its stored tail.
+
+        ``tail_fraction`` of the payload (at least one byte) is XORed
+        with non-zero noise after the digest is recorded; re-arming
+        before a put replaces the pending tear.
+        """
+        if not 0.0 < tail_fraction <= 1.0:
+            raise ValueError("tail_fraction must be in (0, 1]")
+        self._torn = (float(tail_fraction), np.random.default_rng(seed))

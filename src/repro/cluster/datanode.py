@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..ec import backend as ec_backend
+from ..integrity.digest import slice_checksum
 from ..net import units
 from ..sim.events import EventQueue
 from .chunkstore import ChunkStore
@@ -89,6 +90,18 @@ class DataNode:
         #: report faults: heartbeat reports dropped until / delayed by
         self.reports_suppressed_until: float = 0.0
         self.report_delay_s: float = 0.0
+        #: wire corruption: slices starting before this time are garbled
+        #: in flight (the sender's stored data stays intact)
+        self.wire_corrupt_until: float = 0.0
+        self._wire_rng: np.random.Generator | None = None
+        # ---- integrity hooks installed by the cluster ----------------- #
+        #: called when an incoming slice fails its checksum:
+        #: (receiving_node, SliceData); the cluster requests a retransmit
+        self.on_bad_slice = None
+        #: called when this node's stored chunk fails digest verification
+        #: at assign time: (node, TransferTask); the cluster quarantines
+        #: the chunk and re-plans the repair around it
+        self.on_bad_chunk = None
 
     # ------------------------------------------------------------------ #
 
@@ -97,6 +110,16 @@ class DataNode:
         seg_len = task.stop - task.start
         if seg_len <= 0:
             return
+        if task.coeff != 0 and self.on_bad_chunk is not None:
+            # read-path digest check: refuse to stream a rotten chunk
+            # into the pipeline — the cluster quarantines it and
+            # re-plans with a different helper
+            if not (
+                self.store.has(task.stripe_id, task.chunk_index)
+                and self.store.verify(task.stripe_id, task.chunk_index)
+            ):
+                self.on_bad_chunk(self.node_id, task)
+                return
         if task.num_slices is not None:
             num = max(1, min(task.num_slices, seg_len))
         else:
@@ -139,6 +162,15 @@ class DataNode:
             raise RuntimeError(
                 f"node {self.node_id}: slice for unknown task {key}"
             )
+        if (
+            data.checksum is not None
+            and self.on_bad_slice is not None
+            and slice_checksum(data.payload) != data.checksum
+        ):
+            # corrupted in flight: drop before any bookkeeping so the
+            # retransmitted copy is not a duplicate
+            self.on_bad_slice(self.node_id, data)
+            return
         idx = self._slice_index(state, data.start)
         if data.source in state.arrived[idx]:
             raise RuntimeError(
@@ -233,6 +265,11 @@ class DataNode:
         start_tx = max(state.ready_at[idx], state.edge_free, self.stalled_until)
         state.edge_free = start_tx + occupancy
         arrival = state.edge_free
+        # checksum covers the payload as sent; wire corruption happens
+        # after, on a copy, so the retained partial stays clean for
+        # retransmission
+        checksum = slice_checksum(payload)
+        payload = self._maybe_corrupt(payload, start_tx)
         msg = SliceData(
             stripe_id=t.stripe_id,
             pipeline_id=t.pipeline_id,
@@ -241,6 +278,7 @@ class DataNode:
             stop=hi,
             payload=payload,
             repair_id=t.repair_id,
+            checksum=checksum,
         )
         dest = t.destination
         state.in_flight = True
@@ -260,6 +298,71 @@ class DataNode:
             self._pump(s)
 
         self.events.schedule_at(arrival, _complete)
+
+    def _maybe_corrupt(self, payload: np.ndarray, start_tx: float) -> np.ndarray:
+        """Apply armed wire corruption to a *copy* of an outgoing payload."""
+        if (
+            start_tx >= self.wire_corrupt_until
+            or self._wire_rng is None
+            or not len(payload)
+        ):
+            return payload
+        rng = self._wire_rng
+        garbled = payload.copy()
+        count = min(int(rng.integers(1, 9)), len(garbled))
+        positions = rng.choice(len(garbled), size=count, replace=False)
+        masks = rng.integers(1, 256, size=count, dtype=np.uint8)
+        garbled[positions] ^= masks
+        return garbled
+
+    def retransmit(self, key: tuple[str, int], start: int, stop: int) -> bool:
+        """Resend one slice whose first copy failed its checksum downstream.
+
+        The retransmit rides the same edge FIFO (extends ``edge_free``)
+        at the task's planned rate but outside the one-in-flight pump
+        cycle: downstream progress on later slices is already gated by
+        the receiver, which will not fold anything until this slice
+        lands.  Returns False when the task is gone or cancelled —
+        the caller falls back to the watchdog path.
+        """
+        state = self._tasks.get(key)
+        if state is None or state.cancelled:
+            return False
+        idx = self._slice_index(state, start)
+        payload = state.partials[idx]
+        if payload is None or len(payload) != stop - start:
+            return False
+        t = state.task
+        rate_mbps = t.rate_mbps
+        if self.rate_cap_mbps is not None:
+            rate_mbps = min(rate_mbps, self.rate_cap_mbps)
+        rate = units.mbps_to_bytes_per_s(rate_mbps)
+        occupancy = (stop - start) / rate + self.slice_overhead_s
+        start_tx = max(self.events.now, state.edge_free, self.stalled_until)
+        state.edge_free = start_tx + occupancy
+        arrival = state.edge_free
+        checksum = slice_checksum(payload)
+        payload = self._maybe_corrupt(payload, start_tx)
+        msg = SliceData(
+            stripe_id=t.stripe_id,
+            pipeline_id=t.pipeline_id,
+            source=self.node_id,
+            start=start,
+            stop=stop,
+            payload=payload,
+            repair_id=t.repair_id,
+            checksum=checksum,
+        )
+        dest = t.destination
+        self.bytes_sent += stop - start
+        self.uplink_busy_s += occupancy
+        if self.on_transfer is not None:
+            self.on_transfer(
+                self.node_id, dest, start, stop, start_tx, arrival,
+                t.repair_id or t.stripe_id, t.pipeline_id,
+            )
+        self.events.schedule_at(arrival, lambda m=msg, d=dest: self.deliver(d, m))
+        return True
 
     def pending_tasks(self) -> int:
         """Tasks not yet fully sent (diagnostic)."""

@@ -91,6 +91,9 @@ class Master:
         self._dead: set[int] = set()
         #: node -> simulation time of its last bandwidth report (lease basis)
         self._last_report: dict[int, float] = {}
+        #: (stripe_id, chunk_index) of chunks proven corrupt; excluded
+        #: from planning until a repair relocates (rewrites) the chunk
+        self._quarantined: set[tuple[str, int]] = set()
 
     # ---- node liveness / leases --------------------------------------- #
 
@@ -201,6 +204,38 @@ class Master:
         if old_node != new_node:
             self._node_stripes.get(old_node, set()).discard(stripe_id)
             self._node_stripes.setdefault(new_node, set()).add(stripe_id)
+        # a relocated chunk was just rewritten from verified data
+        self._quarantined.discard((stripe_id, chunk_index))
+
+    # ---- quarantine (integrity) ---------------------------------------- #
+
+    def quarantine_chunk(self, stripe_id: str, chunk_index: int) -> None:
+        """Mark a chunk corrupt: no plan may use it until it is rebuilt.
+
+        The stored payload is *not* deleted — quarantine is a metadata
+        verdict, and concurrent repairs already streaming the chunk are
+        aborted/re-planned by the system, not surprised by a vanishing
+        buffer.  :meth:`relocate_chunk` (the repair writing a fresh copy)
+        clears the mark.
+        """
+        loc = self.stripe(stripe_id)
+        if not 0 <= chunk_index < len(loc.placement):
+            raise ValueError(
+                f"{stripe_id} has no chunk {chunk_index}"
+            )
+        self._quarantined.add((stripe_id, chunk_index))
+
+    def clear_quarantine(self, stripe_id: str, chunk_index: int) -> None:
+        self._quarantined.discard((stripe_id, chunk_index))
+
+    def is_quarantined(self, stripe_id: str, chunk_index: int) -> bool:
+        return (stripe_id, chunk_index) in self._quarantined
+
+    def quarantined_chunks(self, stripe_id: str) -> tuple[int, ...]:
+        """Quarantined chunk indices of one stripe, sorted."""
+        return tuple(
+            sorted(ci for sid, ci in self._quarantined if sid == stripe_id)
+        )
 
     def on_bandwidth_report(
         self, report: BandwidthReport, now: float | None = None
@@ -248,7 +283,8 @@ class Master:
         """Repair context for a stripe/failure pair from current bandwidth.
 
         Helpers exclude the failed node, every node the master has
-        declared dead, and any explicitly ``exclude``-d ids.  Raises
+        declared dead, nodes whose chunk of this stripe is quarantined
+        as corrupt, and any explicitly ``exclude``-d ids.  Raises
         :class:`RepairImpossibleError` when fewer than k helpers survive
         — the caller's only correct moves are the multi-chunk path or an
         explicit failure verdict.
@@ -268,7 +304,11 @@ class Master:
             raise DeadNodeError(f"requester {requester} is dead")
         dropped = self._dead.union(exclude)
         helpers = tuple(
-            n for n in loc.placement if n != failed_node and n not in dropped
+            n
+            for n in loc.placement
+            if n != failed_node
+            and n not in dropped
+            and not self.is_quarantined(stripe_id, loc.chunk_on(n))
         )
         if len(helpers) < self.code.k:
             raise RepairImpossibleError(

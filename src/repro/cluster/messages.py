@@ -72,6 +72,10 @@ class SliceData:
     stop: int
     payload: np.ndarray = field(repr=False)
     repair_id: str = ""
+    #: CRC of the payload as the sender computed it (None = unchecked
+    #: legacy sender); the receiving hop re-checksums and requests a
+    #: retransmit on mismatch instead of folding a poisoned slice
+    checksum: int | None = None
 
 
 @dataclass(frozen=True)

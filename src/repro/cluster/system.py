@@ -26,7 +26,13 @@ Beyond the paper's single-chunk scenario the prototype also supports:
   :meth:`set_rate_cap`, :meth:`stall_node`, :meth:`suppress_reports`,
   :meth:`delay_reports`);
 * **full-node repair** — rebuilding every chunk of a dead node through
-  the batch planner in :mod:`repro.core.fullnode`.
+  the batch planner in :mod:`repro.core.fullnode`;
+* **end-to-end integrity** — per-chunk digests and per-slice wire
+  checksums (:mod:`repro.integrity`), silent-corruption fault hooks
+  (:meth:`corrupt_chunk`, :meth:`arm_torn_write`, :meth:`corrupt_wire`),
+  post-repair verification against surplus parity with leave-one-out
+  localization and quarantine of poisoned chunks, and checksum-failed
+  slice retransmission (see ``docs/INTEGRITY.md``).
 """
 
 from __future__ import annotations
@@ -39,6 +45,8 @@ import numpy as np
 from ..core.fullnode import StripeRepairSpec, plan_full_node_repair
 from ..ec.rs import RSCode
 from ..faults import COMPLETED, DEGRADED, ESCALATED, FAILED
+from ..integrity.digest import slice_checksum
+from ..integrity.verify import audit_stripe
 from ..net import units
 from ..net.bandwidth import BandwidthSnapshot, RepairContext
 from ..obs import NULL_FLEET, NULL_METRICS, NULL_TRACER
@@ -73,6 +81,13 @@ class RepairOutcome:
     bytes_retransferred:
         Payload bytes received at the requester whose byte ranges never
         completed in their attempt and had to be repaired again.
+    corruption_detected:
+        Silent corruption was caught somewhere in this repair — a
+        helper chunk failing its digest, a wire slice failing its
+        checksum, a torn write caught on readback, or a post-repair
+        parity verification failure.
+    quarantined_chunks:
+        Stripe chunk indices this repair proved corrupt and quarantined.
     """
 
     plan: RepairPlan | None
@@ -86,6 +101,8 @@ class RepairOutcome:
     replans: int = 0
     bytes_retransferred: int = 0
     failure_reason: str | None = None
+    corruption_detected: bool = False
+    quarantined_chunks: tuple = ()
 
 
 @dataclass
@@ -131,6 +148,15 @@ class _Assembly:
     max_attempts: int = 3
     backoff_base_s: float = 0.02
     watchdog: bool = False
+    # ---- integrity state ---------------------------------------------- #
+    corruption_detected: bool = False
+    #: stripe chunk indices this repair proved corrupt and quarantined
+    quarantined: list = field(default_factory=list)
+    #: post-repair parity verification verdict (None = not verifiable)
+    integrity_ok: bool | None = None
+    #: attempt number the completed-buffer verification last ran for
+    #: (guards against re-verifying on _finish_assembly re-entry)
+    integrity_attempt: int = -1
     # ---- non-blocking dispatch (orchestrator path) -------------------- #
     #: terminal callback fired exactly once with the assembly itself
     on_done: object = None
@@ -191,6 +217,7 @@ class ClusterSystem:
         metrics=None,
         fleet=None,
         slo=None,
+        integrity_verify: bool = True,
     ) -> None:
         if num_nodes < code.n + 1:
             raise ValueError(
@@ -228,8 +255,13 @@ class ClusterSystem:
             )
             for i in range(num_nodes)
         ]
+        #: post-repair parity verification of rebuilt chunks (the wire
+        #: checksums and read-path digest checks are always on)
+        self.integrity_verify = integrity_verify
         for node in self.nodes:
             node.deliver = self._deliver
+            node.on_bad_slice = self._on_bad_slice
+            node.on_bad_chunk = self._on_bad_chunk
             if self.tracer.enabled or self.metrics.enabled:
                 node.on_transfer = self._note_transfer
         #: (wire id, pipeline id) -> open pipeline span (tracer enabled only)
@@ -380,6 +412,64 @@ class ClusterSystem:
         """Delay the node's heartbeat reports by a fixed lag (late reports)."""
         self.nodes[node].report_delay_s = delay_s
 
+    def corrupt_chunk(
+        self,
+        node: int,
+        stripe_id: str | None = None,
+        chunk_index: int | None = None,
+        *,
+        flips: int = 8,
+        seed: int = 0,
+        fix_digest: bool = False,
+    ) -> bool:
+        """Bit rot: flip bytes of a chunk stored on ``node``.
+
+        With ``stripe_id``/``chunk_index`` unset, the victim is picked
+        deterministically (seeded) among the chunks the node stores.
+        No-op on a dead node (its unreachable store doubles as the
+        ground-truth oracle in tests — rot there would be unobservable
+        anyway).  Returns whether anything was corrupted.
+        """
+        if not self._alive[node]:
+            return False
+        store = self.nodes[node].store
+        if stripe_id is None or chunk_index is None:
+            keys = store.chunk_keys()
+            if stripe_id is not None:
+                keys = [k for k in keys if k[0] == stripe_id]
+            if not keys:
+                return False
+            rng = np.random.default_rng(seed)
+            stripe_id, chunk_index = keys[int(rng.integers(0, len(keys)))]
+        elif not store.has(stripe_id, chunk_index):
+            return False
+        flipped = store.corrupt(
+            stripe_id, chunk_index, flips=flips, seed=seed, fix_digest=fix_digest
+        )
+        log.debug(
+            "bit rot: %d bytes of %s chunk %d on node %d (fix_digest=%s)",
+            flipped, stripe_id, chunk_index, node, fix_digest,
+        )
+        return flipped > 0
+
+    def arm_torn_write(
+        self, node: int, tail_fraction: float = 0.25, seed: int = 0
+    ) -> None:
+        """Torn write: the node's next chunk store lands with a garbled
+        tail (its digest records what the writer intended)."""
+        self.nodes[node].store.arm_torn_write(tail_fraction, seed)
+
+    def corrupt_wire(self, node: int, duration_s: float, seed: int = 0) -> None:
+        """Wire corruption: slices ``node`` sends while the window is
+        open are garbled in flight (stored data stays intact); receivers
+        catch them via the per-slice checksum and request retransmits."""
+        n = self.nodes[node]
+        n.wire_corrupt_until = max(
+            n.wire_corrupt_until, self.events.now + duration_s
+        )
+        if n._wire_rng is None:
+            n._wire_rng = np.random.default_rng(seed)
+
     def enable_heartbeats(
         self, period_s: float = 0.05, *, lease_missed: int = 3
     ) -> None:
@@ -410,6 +500,302 @@ class ClusterSystem:
         if not self._alive[node]:
             raise RuntimeError(f"chunk {chunk_index} lives on failed node {node}")
         return self.nodes[node].store.get(stripe_id, chunk_index)
+
+    # ---- integrity ---------------------------------------------------- #
+
+    def quarantine_chunk(
+        self,
+        stripe_id: str,
+        chunk_index: int,
+        node: int | None = None,
+        *,
+        kind: str = "verify",
+    ) -> bool:
+        """Mark a chunk corrupt: excluded from every plan until rebuilt.
+
+        The stored payload is *not* deleted (quarantine is a metadata
+        verdict; repairs already streaming the chunk are aborted and
+        re-planned, never surprised by a vanishing buffer).  A repair
+        that relocates the chunk clears the mark.  ``kind`` labels the
+        detection path for metrics (``read``/``wire``/``verify``/
+        ``scrub``).  Returns False when already quarantined.
+        """
+        if self.master.is_quarantined(stripe_id, chunk_index):
+            return False
+        self.master.quarantine_chunk(stripe_id, chunk_index)
+        if node is None:
+            node = self.master.stripe(stripe_id).node_of(chunk_index)
+        log.debug(
+            "quarantined %s chunk %d on node %d (%s)",
+            stripe_id, chunk_index, node, kind,
+        )
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "repro_integrity_quarantined_total",
+                "Chunks quarantined as corrupt, by detection path.",
+                kind=kind,
+            ).inc()
+            self.metrics.counter(
+                "repro_integrity_corruption_detected_total",
+                "Silent-corruption detections, by detection path.",
+                kind=kind,
+            ).inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                None, "integrity.quarantine",
+                stripe=stripe_id, chunk=chunk_index, node=node, kind=kind,
+            )
+        return True
+
+    def unavailable_nodes(self, stripe_id: str) -> tuple[int, ...]:
+        """Placement nodes whose chunk cannot serve reads or repairs:
+        dead, or holding a quarantined (corrupt) copy.  The recovery
+        orchestrator's durability-exposure basis."""
+        loc = self.master.stripe(stripe_id)
+        return tuple(
+            n
+            for i, n in enumerate(loc.placement)
+            if not self._alive[n] or self.master.is_quarantined(stripe_id, i)
+        )
+
+    def _on_bad_chunk(self, node: int, task: TransferTask) -> None:
+        """A helper's stored chunk failed its digest at assign time."""
+        self.quarantine_chunk(task.stripe_id, task.chunk_index, node, kind="read")
+        rid = task.repair_id or task.stripe_id
+        asm = self._wire_assembly.get(rid)
+        if (
+            asm is None
+            or not asm.watchdog
+            or asm.complete
+            or asm.failed
+            or asm.escalate
+        ):
+            return
+        asm.corruption_detected = True
+        if task.chunk_index not in asm.quarantined:
+            asm.quarantined.append(task.chunk_index)
+        if self.tracer.enabled:
+            self.tracer.event(
+                asm.attempt_span or asm.span,
+                "integrity.bad_chunk",
+                node=node,
+                chunk=task.chunk_index,
+            )
+        self._abort_attempt(
+            asm,
+            f"helper chunk {task.chunk_index} failed digest verification "
+            f"on node {node}",
+        )
+
+    def _on_bad_slice(self, dest: int, data: SliceData) -> None:
+        """An in-flight slice failed its checksum at the receiving hop."""
+        rid = data.repair_id or data.stripe_id
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "repro_integrity_corruption_detected_total",
+                "Silent-corruption detections, by detection path.",
+                kind="wire",
+            ).inc()
+        span = self._pipeline_spans.get((rid, data.pipeline_id))
+        if self.tracer.enabled:
+            self.tracer.event(
+                span, "integrity.wire_corruption",
+                src=data.source, dst=dest, lo=data.start, hi=data.stop,
+            )
+        log.debug(
+            "wire corruption caught: %d->%d [%d, %d) of %s",
+            data.source, dest, data.start, data.stop, rid,
+        )
+        asm = self._wire_assembly.get(rid)
+        if asm is not None:
+            asm.corruption_detected = True
+        if rid in self._retired or not self._alive[data.source]:
+            return  # stale epoch / dead sender: the watchdog path owns it
+        if self.nodes[data.source].retransmit(
+            (rid, data.pipeline_id), data.start, data.stop
+        ):
+            if self.metrics.enabled:
+                self.metrics.counter(
+                    "repro_integrity_retransmits_total",
+                    "Slices re-sent after a checksum failure downstream.",
+                ).inc()
+            if self.tracer.enabled:
+                self.tracer.event(
+                    span, "integrity.retransmit",
+                    src=data.source, lo=data.start, hi=data.stop,
+                )
+        # a refused retransmit leaves the range incomplete; the progress
+        # watchdog aborts and re-plans the remainder
+
+    def _integrity_audit(self, stripe_id: str, lost_chunk: int, rebuilt):
+        """Digest-scan the stripe's stored chunks, then parity-audit.
+
+        Returns ``(AuditReport, holders)`` with ``holders`` mapping each
+        scanned chunk index to its node.  Only live, non-quarantined
+        holders participate; the leave-one-out localization therefore
+        runs within *stored* chunks only — with a rotten helper both the
+        helper and the rebuilt value are off-codeword, so mixing the
+        rebuilt chunk into the candidate set could never localize.
+        """
+        loc = self.master.stripe(stripe_id)
+        stored: dict[int, np.ndarray] = {}
+        digest_bad: list[int] = []
+        holders: dict[int, int] = {}
+        for ci, node in enumerate(loc.placement):
+            if ci == lost_chunk:
+                continue
+            if not self._alive[node] or self.master.is_quarantined(stripe_id, ci):
+                continue
+            store = self.nodes[node].store
+            if not store.has(stripe_id, ci):
+                continue
+            holders[ci] = node
+            if store.verify(stripe_id, ci):
+                stored[ci] = store.get(stripe_id, ci)
+            else:
+                digest_bad.append(ci)
+        report = audit_stripe(
+            self.code, lost_chunk, rebuilt, stored,
+            digest_bad=tuple(digest_bad),
+        )
+        return report, holders
+
+    def _verify_completed(self, asm: _Assembly) -> bool:
+        """Post-repair verification of a completed watchdog assembly.
+
+        True — the assembly is terminal (verified clean, healed from
+        surplus parity, or explicitly failed); False — the rebuilt bytes
+        were poisoned, the culprit is quarantined, and a fresh attempt
+        has been scheduled over the remaining helpers.
+        """
+        if not self.integrity_verify or asm.lost_chunk < 0:
+            return True
+        report, holders = self._integrity_audit(
+            asm.stripe_id, asm.lost_chunk, asm.buffer
+        )
+        tracer = self.tracer
+        m = self.metrics
+
+        def note(result: str) -> None:
+            if m.enabled:
+                m.counter(
+                    "repro_integrity_verifications_total",
+                    "Post-repair stripe verifications by result.",
+                    result=result,
+                ).inc()
+            if tracer.enabled:
+                tracer.event(
+                    asm.attempt_span or asm.span,
+                    "integrity.verify",
+                    result=result,
+                    culprits=list(report.culprits),
+                    checked=report.checked,
+                )
+
+        if report.ok:
+            asm.integrity_ok = True
+            note("ok")
+            return True
+        if report.ok is None:
+            # too few clean chunks survive to check anything
+            asm.integrity_ok = None
+            note("unverifiable")
+            return True
+        for ci in report.culprits:
+            self.quarantine_chunk(
+                asm.stripe_id, ci, holders.get(ci), kind="verify"
+            )
+            if ci not in asm.quarantined:
+                asm.quarantined.append(ci)
+        asm.corruption_detected = True
+        if report.rebuilt_ok:
+            # rot exists at rest but the culprit never fed this repair:
+            # the rebuilt value checks out against the clean chunks
+            asm.integrity_ok = True
+            note("corrupt-helper")
+            return True
+        if report.culprits and asm.attempt < asm.max_attempts:
+            # the rebuilt bytes are poisoned: scrub everything and
+            # repair again with the quarantined culprit excluded
+            note("retry")
+            log.debug(
+                "%s: rebuilt chunk failed verification (culprits %s); "
+                "re-repairing", asm.repair_id, list(report.culprits),
+            )
+            if asm.timer is not None:
+                self.events.cancel(asm.timer)
+                asm.timer = None
+            asm.retries += 1
+            asm.bytes_retransferred += asm.done_bytes
+            asm.buffer[:] = 0
+            asm.completed = []
+            asm.done_bytes = 0
+            asm.expected = {}
+            asm.outstanding = {}
+            asm.slice_arrivals = {}
+            self._retire_attempt(asm)
+            if tracer.enabled and asm.attempt_span:
+                tracer.event(
+                    asm.attempt_span, "attempt.abort",
+                    reason="rebuilt chunk failed integrity verification",
+                )
+            self._end_attempt_span(asm, aborted=True)
+            delay = asm.backoff_base_s * (2 ** (asm.attempt - 1))
+            self.events.schedule(delay, lambda a=asm: self._start_attempt(a))
+            return False
+        if report.predicted is not None:
+            # attempts exhausted (or no culprit among stored chunks) but
+            # the surplus parity pins the true value: heal in place
+            asm.buffer[:] = report.predicted
+            asm.integrity_ok = True
+            asm.degraded = True
+            if m.enabled:
+                m.counter(
+                    "repro_integrity_healed_total",
+                    "Rebuilt chunks healed from surplus parity after "
+                    "failing verification.",
+                ).inc()
+            if tracer.enabled:
+                tracer.event(
+                    asm.attempt_span or asm.span, "integrity.healed",
+                    stripe=asm.stripe_id, chunk=asm.lost_chunk,
+                )
+            note("healed")
+            return True
+        asm.failure_reason = (
+            "rebuilt chunk failed integrity verification and the "
+            "corruption could not be localized"
+        )
+        note("failed")
+        return True
+
+    def _audit_multi_chunk(
+        self, stripe_id: str, lost: int, buffer
+    ) -> tuple[bool, tuple[int, ...], bool]:
+        """Detection-only audit for multi-chunk settle paths.
+
+        Returns ``(store_ok, quarantined, detected)``: whether the
+        rebuilt bytes may be persisted, which chunks were quarantined,
+        and whether corruption was detected at all.  No healing or
+        re-repair here — the multi paths surface an explicit failed
+        outcome and let their caller re-dispatch.
+        """
+        if not self.integrity_verify:
+            return True, (), False
+        report, holders = self._integrity_audit(stripe_id, lost, buffer)
+        if report.ok is not False:
+            return True, (), False
+        for ci in report.culprits:
+            self.quarantine_chunk(stripe_id, ci, holders.get(ci), kind="verify")
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "repro_integrity_verifications_total",
+                "Post-repair stripe verifications by result.",
+                result="ok" if report.rebuilt_ok else "failed",
+            ).inc()
+        if report.rebuilt_ok:
+            return True, report.culprits, True
+        return False, report.culprits, True
 
     # ---- repair ------------------------------------------------------- #
 
@@ -452,8 +838,16 @@ class ClusterSystem:
         raises ``RuntimeError``; ``"outcome"`` returns a
         :class:`RepairOutcome` with ``status="failed"`` — never a
         silently corrupt chunk.
+
+        A *live* ``failed_node`` is accepted when its chunk is
+        quarantined as corrupt (a scrub-repair): the rotten copy is
+        excluded from helpers, the chunk is rebuilt on the requester,
+        and relocation clears the quarantine.
         """
-        if self._alive[failed_node]:
+        lost0 = self.master.stripe(stripe_id).chunk_on(failed_node)
+        if self._alive[failed_node] and not self.master.is_quarantined(
+            stripe_id, lost0
+        ):
             raise ValueError(f"node {failed_node} has not failed")
         if not self._alive[requester]:
             raise ValueError("requester node is down")
@@ -532,11 +926,14 @@ class ClusterSystem:
         """
         loc = self.master.stripe(stripe_id)
         node = loc.node_of(chunk_index)
-        if self._alive[node]:
+        if self._alive[node] and not self.master.is_quarantined(
+            stripe_id, chunk_index
+        ):
             payload = self.nodes[node].store.get(stripe_id, chunk_index)
             snap = self.master.snapshot()
             rate = min(snap.uplink[node], snap.downlink[reader])
             return payload, units.transfer_seconds(len(payload), rate)
+        # node down, or its copy quarantined as corrupt: rebuild on the fly
         outcome = self.repair(stripe_id, node, reader, store=False)
         return outcome.rebuilt, outcome.elapsed_seconds
 
@@ -572,15 +969,42 @@ class ClusterSystem:
             if not asm.complete:
                 raise RuntimeError(f"multi-failure repair of chunk on {f} stalled")
             lost = loc.chunk_on(f)
+            store_ok, quarantined, detected = self._audit_multi_chunk(
+                stripe_id, lost, asm.buffer
+            )
+            if not store_ok:
+                outcomes[f] = RepairOutcome(
+                    plan=plans[f],
+                    rebuilt=None,
+                    elapsed_seconds=asm.last_arrival - starts[f],
+                    bytes_received=asm.received,
+                    verified=False,
+                    status=FAILED,
+                    failure_reason="rebuilt chunk failed integrity verification",
+                    corruption_detected=True,
+                    quarantined_chunks=quarantined,
+                )
+                continue
             self.nodes[requester_for[f]].store.put(stripe_id, lost, asm.buffer)
             self.master.relocate_chunk(stripe_id, lost, requester_for[f])
-            original = self.nodes[f].store.get(stripe_id, lost)
+            fstore = self.nodes[f].store
+            verified = fstore.has(stripe_id, lost) and bool(
+                np.array_equal(asm.buffer, fstore.get(stripe_id, lost))
+            )
+            if not verified and not (
+                fstore.has(stripe_id, lost) and fstore.verify(stripe_id, lost)
+            ):
+                # the oracle copy is itself rotten (scrub-repair) or gone;
+                # the parity audit is the only ground truth left
+                verified = store_ok
             outcomes[f] = RepairOutcome(
                 plan=plans[f],
                 rebuilt=asm.buffer,
                 elapsed_seconds=asm.last_arrival - starts[f],
                 bytes_received=asm.received,
-                verified=bool(np.array_equal(asm.buffer, original)),
+                verified=verified,
+                corruption_detected=detected,
+                quarantined_chunks=quarantined,
             )
         return outcomes
 
@@ -620,7 +1044,11 @@ class ClusterSystem:
         for sid in stripe_ids:
             loc = self.master.stripe(sid)
             helpers = tuple(
-                n for n in loc.placement if n != failed_node and self._alive[n]
+                n
+                for n in loc.placement
+                if n != failed_node
+                and self._alive[n]
+                and not self.master.is_quarantined(sid, loc.chunk_on(n))
             )
             specs.append(
                 StripeRepairSpec(
@@ -667,15 +1095,44 @@ class ClusterSystem:
                     continue
                 loc = self.master.stripe(sid)
                 lost = loc.chunk_on(failed_node)
+                store_ok, quarantined, detected = self._audit_multi_chunk(
+                    sid, lost, asm.buffer
+                )
+                if not store_ok:
+                    outcomes[sid] = RepairOutcome(
+                        plan=node_plan.plans[sid],
+                        rebuilt=None,
+                        elapsed_seconds=asm.last_arrival - starts[sid],
+                        bytes_received=asm.received,
+                        verified=False,
+                        status=FAILED,
+                        failure_reason=(
+                            "rebuilt chunk failed integrity verification"
+                        ),
+                        corruption_detected=True,
+                        quarantined_chunks=quarantined,
+                    )
+                    continue
                 self.nodes[requester_for[sid]].store.put(sid, lost, asm.buffer)
                 self.master.relocate_chunk(sid, lost, requester_for[sid])
-                original = self.nodes[failed_node].store.get(sid, lost)
+                fstore = self.nodes[failed_node].store
+                verified = fstore.has(sid, lost) and bool(
+                    np.array_equal(asm.buffer, fstore.get(sid, lost))
+                )
+                if not verified and not (
+                    fstore.has(sid, lost) and fstore.verify(sid, lost)
+                ):
+                    # rot-then-crash: the dead node's copy is not ground
+                    # truth; fall back to the parity audit's verdict
+                    verified = store_ok
                 outcomes[sid] = RepairOutcome(
                     plan=node_plan.plans[sid],
                     rebuilt=asm.buffer,
                     elapsed_seconds=asm.last_arrival - starts[sid],
                     bytes_received=asm.received,
-                    verified=bool(np.array_equal(asm.buffer, original)),
+                    verified=verified,
+                    corruption_detected=detected,
+                    quarantined_chunks=quarantined,
                 )
         return outcomes
 
@@ -700,7 +1157,11 @@ class ClusterSystem:
         """
         loc = self.master.stripe(stripe_id)
         failed_nodes = tuple(failed_nodes)
-        if any(self._alive[f] for f in failed_nodes):
+        if any(
+            self._alive[f]
+            and not self.master.is_quarantined(stripe_id, loc.chunk_on(f))
+            for f in failed_nodes
+        ):
             raise ValueError("all listed nodes must have failed")
         if len(failed_nodes) > self.code.n - self.code.k:
             raise ValueError(
@@ -709,7 +1170,9 @@ class ClusterSystem:
             )
         helpers = tuple(
             n for n in loc.placement
-            if n not in failed_nodes and self._alive[n]
+            if n not in failed_nodes
+            and self._alive[n]
+            and not self.master.is_quarantined(stripe_id, loc.chunk_on(n))
         )
         if len(helpers) < self.code.k:
             raise ValueError("not enough surviving helpers to decode")
@@ -768,9 +1231,13 @@ class ClusterSystem:
 
         Returns the repair id (unique per call, so concurrent repairs of
         the same chunk — e.g. a degraded read racing the orchestrator —
-        never collide).
+        never collide).  As with :meth:`repair`, a live ``failed_node``
+        whose chunk is quarantined dispatches a scrub-repair.
         """
-        if self._alive[failed_node]:
+        lost0 = self.master.stripe(stripe_id).chunk_on(failed_node)
+        if self._alive[failed_node] and not self.master.is_quarantined(
+            stripe_id, lost0
+        ):
             raise ValueError(f"node {failed_node} has not failed")
         if not self._alive[requester]:
             raise ValueError("requester node is down")
@@ -816,7 +1283,7 @@ class ClusterSystem:
 
     def _settle_outcome(self, asm: _Assembly) -> RepairOutcome:
         """Terminal outcome of a finished, non-escalated watchdog repair."""
-        if not asm.complete:
+        if not asm.complete or asm.failed:
             reason = asm.failure_reason or "repair did not complete"
             return RepairOutcome(
                 plan=asm.plan,
@@ -830,6 +1297,8 @@ class ClusterSystem:
                 replans=asm.replans,
                 bytes_retransferred=asm.bytes_retransferred,
                 failure_reason=reason,
+                corruption_detected=asm.corruption_detected,
+                quarantined_chunks=tuple(sorted(asm.quarantined)),
             )
         if asm.lost_chunk >= 0:
             lost_chunk = asm.lost_chunk
@@ -838,24 +1307,53 @@ class ClusterSystem:
             lost_chunk = loc.chunk_on(asm.failed_node)
         rebuilt = asm.buffer
         if asm.store:
-            self.nodes[asm.requester].store.put(
-                asm.stripe_id, lost_chunk, rebuilt
-            )
+            store = self.nodes[asm.requester].store
+            store.put(asm.stripe_id, lost_chunk, rebuilt)
+            if not store.verify(asm.stripe_id, lost_chunk):
+                # a torn write garbled the persisted copy; the digest
+                # caught it on readback — rewrite from the in-memory
+                # buffer (the tear is one-shot)
+                asm.corruption_detected = True
+                log.debug(
+                    "%s: torn write caught on readback at node %d",
+                    asm.repair_id, asm.requester,
+                )
+                if self.metrics.enabled:
+                    self.metrics.counter(
+                        "repro_integrity_corruption_detected_total",
+                        "Silent-corruption detections, by detection path.",
+                        kind="torn-write",
+                    ).inc()
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        asm.span, "integrity.torn_write", node=asm.requester
+                    )
+                store.put(asm.stripe_id, lost_chunk, rebuilt)
             self.master.relocate_chunk(asm.stripe_id, lost_chunk, asm.requester)
-        original = self.nodes[asm.failed_node].store.get(
-            asm.stripe_id, lost_chunk
-        )
+        failed_store = self.nodes[asm.failed_node].store
+        if failed_store.has(asm.stripe_id, lost_chunk):
+            original = failed_store.get(asm.stripe_id, lost_chunk)
+            verified = bool(np.array_equal(rebuilt, original))
+        else:
+            verified = False
+        if not verified and asm.integrity_ok is True:
+            # the "original" on the failed/quarantined node was itself
+            # rotten (or gone): parity verification over the clean
+            # stored chunks proved the rebuilt value correct
+            verified = True
         return RepairOutcome(
             plan=asm.plan,
             rebuilt=rebuilt,
             elapsed_seconds=asm.last_arrival - asm.start_time,
             bytes_received=asm.received,
-            verified=bool(np.array_equal(rebuilt, original)),
+            verified=verified,
             attempts=asm.attempt,
             status=DEGRADED if asm.degraded else COMPLETED,
             retries=asm.retries,
             replans=asm.replans,
             bytes_retransferred=asm.bytes_retransferred,
+            corruption_detected=asm.corruption_detected,
+            quarantined_chunks=tuple(sorted(asm.quarantined)),
         )
 
     def _complete_async(self, asm: _Assembly, callback) -> None:
@@ -876,6 +1374,8 @@ class ClusterSystem:
                     "second chunk lost mid-repair; "
                     "multi-chunk repair required"
                 ),
+                corruption_detected=asm.corruption_detected,
+                quarantined_chunks=tuple(sorted(asm.quarantined)),
             )
         else:
             outcome = self._settle_outcome(asm)
@@ -926,16 +1426,44 @@ class ClusterSystem:
 
         def settle_chunk(f: int, asm: _Assembly) -> None:
             lost = loc.chunk_on(f)
-            self.nodes[requester_for[f]].store.put(stripe_id, lost, asm.buffer)
-            self.master.relocate_chunk(stripe_id, lost, requester_for[f])
-            original = self.nodes[f].store.get(stripe_id, lost)
-            outcomes[f] = RepairOutcome(
-                plan=plans[f],
-                rebuilt=asm.buffer,
-                elapsed_seconds=asm.last_arrival - starts[f],
-                bytes_received=asm.received,
-                verified=bool(np.array_equal(asm.buffer, original)),
+            store_ok, quarantined, detected = self._audit_multi_chunk(
+                stripe_id, lost, asm.buffer
             )
+            if not store_ok:
+                outcomes[f] = RepairOutcome(
+                    plan=plans[f],
+                    rebuilt=None,
+                    elapsed_seconds=asm.last_arrival - starts[f],
+                    bytes_received=asm.received,
+                    verified=False,
+                    status=FAILED,
+                    failure_reason="rebuilt chunk failed integrity verification",
+                    corruption_detected=True,
+                    quarantined_chunks=quarantined,
+                )
+            else:
+                self.nodes[requester_for[f]].store.put(
+                    stripe_id, lost, asm.buffer
+                )
+                self.master.relocate_chunk(stripe_id, lost, requester_for[f])
+                fstore = self.nodes[f].store
+                verified = fstore.has(stripe_id, lost) and bool(
+                    np.array_equal(asm.buffer, fstore.get(stripe_id, lost))
+                )
+                if not verified and not (
+                    fstore.has(stripe_id, lost)
+                    and fstore.verify(stripe_id, lost)
+                ):
+                    verified = store_ok
+                outcomes[f] = RepairOutcome(
+                    plan=plans[f],
+                    rebuilt=asm.buffer,
+                    elapsed_seconds=asm.last_arrival - starts[f],
+                    bytes_received=asm.received,
+                    verified=verified,
+                    corruption_detected=detected,
+                    quarantined_chunks=quarantined,
+                )
             self._pop_assembly(asm.repair_id)
             self._retired.add(asm.wire_id)
             remaining.discard(f)
@@ -1220,6 +1748,18 @@ class ClusterSystem:
 
     def _finish_assembly(self, asm: _Assembly, *, retire: bool) -> None:
         """Terminal bookkeeping: stop the watchdog (and maybe the wire)."""
+        if (
+            asm.watchdog
+            and asm.complete
+            and not asm.failed
+            and not asm.escalate
+            and asm.integrity_attempt != asm.attempt
+        ):
+            # verify the rebuilt bytes before declaring success; a
+            # poisoned buffer quarantines its culprit and re-repairs
+            asm.integrity_attempt = asm.attempt
+            if not self._verify_completed(asm):
+                return  # a fresh attempt is scheduled; not terminal yet
         if asm.timer is not None:
             self.events.cancel(asm.timer)
             asm.timer = None
@@ -1581,7 +2121,9 @@ class ClusterSystem:
             )
 
     def _assign_if_alive(self, node: int, task: TransferTask) -> None:
-        if self._alive[node]:
+        # a same-batch assign may race an abort (e.g. a bad-chunk
+        # quarantine at assign time): never execute tasks of a retired wire
+        if self._alive[node] and (task.repair_id or task.stripe_id) not in self._retired:
             self.nodes[node].assign(task)
 
     def _begin_assembly(
@@ -1687,6 +2229,14 @@ class ClusterSystem:
                 f"unexpected slice from {data.source} for pipeline "
                 f"{data.pipeline_id}"
             )
+        if (
+            data.checksum is not None
+            and slice_checksum(data.payload) != data.checksum
+        ):
+            # last-hop corruption caught at the requester: request a
+            # retransmit instead of folding a poisoned slice
+            self._on_bad_slice(destination, data)
+            return
         arrivals = asm.slice_arrivals.setdefault(data.pipeline_id, {})
         got = arrivals.setdefault((data.start, data.stop), set())
         if data.source in got:

@@ -2,20 +2,25 @@
 
 The subsystem that lets the cluster prototype be tested *against* the
 failures it exists to repair: deterministic, seedable fault schedules
-(crashes, stragglers, stalls, lost/late bandwidth reports) armed into
-the simulation event queue, plus the status vocabulary for repair
+(crashes, stragglers, stalls, lost/late bandwidth reports, and the
+silent-corruption family — bit rot, torn writes, wire corruption) armed
+into the simulation event queue, plus the status vocabulary for repair
 outcomes under faults.  See ``docs/FAULTS.md`` for the fault model and
-the degradation ladder.
+the degradation ladder, and ``docs/INTEGRITY.md`` for how silent
+corruption is detected and repaired.
 """
 
 from .events import (
     FAULT_TYPES,
+    BitRot,
     Crash,
     Fault,
     LateReport,
     ReportLoss,
     Stall,
     Straggler,
+    TornWrite,
+    WireCorruption,
 )
 from .injector import FaultInjector, InjectionLog
 
@@ -28,7 +33,10 @@ DEGRADED = "degraded"
 #: through the multi-chunk path.
 ESCALATED = "escalated"
 #: Explicit failure verdict: the chunk could not be rebuilt (e.g. fewer
-#: than k live helpers).  Never silent corruption.
+#: than k live helpers), or corruption was detected that verification
+#: could not localize and heal.  Corruption may exist in the system —
+#: the contract is that it is detected and surfaced, never silently
+#: reported as success (see ``docs/INTEGRITY.md``).
 FAILED = "failed"
 
 #: Every terminal repair status, in severity order.
@@ -36,12 +44,15 @@ REPAIR_STATUSES = (COMPLETED, DEGRADED, ESCALATED, FAILED)
 
 __all__ = [
     "FAULT_TYPES",
+    "BitRot",
     "Crash",
     "Fault",
     "LateReport",
     "ReportLoss",
     "Stall",
     "Straggler",
+    "TornWrite",
+    "WireCorruption",
     "FaultInjector",
     "InjectionLog",
     "COMPLETED",

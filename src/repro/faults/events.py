@@ -6,15 +6,25 @@ simulation time (seconds on the cluster's event queue).  The
 system exposing the matching hook methods (duck-typed, so the faults
 layer never imports the cluster layer):
 
-===============  =====================================================
-fault            required system hook
-===============  =====================================================
+=======================  =============================================
+fault                    required system hook
+=======================  =============================================
 :class:`Crash`           ``fail_node(node)``
 :class:`Straggler`       ``set_rate_cap(node, rate_cap_mbps)``
 :class:`Stall`           ``stall_node(node, duration_s)``
 :class:`ReportLoss`      ``suppress_reports(node, duration_s)``
 :class:`LateReport`      ``delay_reports(node, delay_s)``
-===============  =====================================================
+:class:`BitRot`          ``corrupt_chunk(node, stripe_id, chunk_index,
+                         flips=, seed=, fix_digest=)``
+:class:`TornWrite`       ``arm_torn_write(node, tail_fraction=, seed=)``
+:class:`WireCorruption`  ``corrupt_wire(node, duration_s, seed=)``
+=======================  =============================================
+
+The last three are *silent-corruption* faults: nothing crashes, nothing
+slows down — bytes simply change under the system, at rest or on the
+wire.  They exist to exercise the :mod:`repro.integrity` subsystem
+(digests, wire checksums, post-repair verification, scrubbing); see
+``docs/INTEGRITY.md``.
 """
 
 from __future__ import annotations
@@ -88,8 +98,90 @@ class LateReport:
     delay_s: float
 
 
+@dataclass(frozen=True)
+class BitRot:
+    """Bytes of a stored chunk flip silently at ``time``.
+
+    ``stripe_id``/``chunk_index`` select the victim chunk; leaving them
+    ``None`` lets the system pick deterministically (seeded) among the
+    chunks the node stores at fire time.  The stored digest normally
+    keeps pointing at the original bytes, so digest verification catches
+    the rot; ``fix_digest`` re-records the digest over the rotten bytes,
+    modelling rot that predates the digest — only parity-level
+    verification can catch that variant.
+    """
+
+    node: int
+    time: float
+    stripe_id: str | None = None
+    chunk_index: int | None = None
+    flips: int = 8
+    seed: int = 0
+    fix_digest: bool = False
+
+    def __post_init__(self) -> None:
+        if self.flips < 1:
+            raise ValueError("bit rot must flip at least one byte")
+
+
+@dataclass(frozen=True)
+class TornWrite:
+    """The node's *next* chunk write lands with a garbled tail.
+
+    Models a write interrupted mid-flush: the digest records what the
+    writer intended, the stored bytes end in noise.  One-shot — only the
+    first put after ``time`` is affected.
+    """
+
+    node: int
+    time: float
+    tail_fraction: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.tail_fraction <= 1.0:
+            raise ValueError("tail_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class WireCorruption:
+    """Every slice the node sends for ``duration_s`` is corrupted in flight.
+
+    Models a flaky NIC/link: payloads arrive with flipped bytes while
+    the sender's stored data stays intact.  Receivers catch the damage
+    via the per-slice checksum and request retransmits.
+    """
+
+    node: int
+    time: float
+    duration_s: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("wire corruption duration must be positive")
+
+
 #: Every concrete fault type, in a stable order (used by the random
 #: schedule generator; append only).
-FAULT_TYPES = (Crash, Straggler, Stall, ReportLoss, LateReport)
+FAULT_TYPES = (
+    Crash,
+    Straggler,
+    Stall,
+    ReportLoss,
+    LateReport,
+    BitRot,
+    TornWrite,
+    WireCorruption,
+)
 
-Fault = Crash | Straggler | Stall | ReportLoss | LateReport
+Fault = (
+    Crash
+    | Straggler
+    | Stall
+    | ReportLoss
+    | LateReport
+    | BitRot
+    | TornWrite
+    | WireCorruption
+)

@@ -19,7 +19,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .events import Crash, Fault, LateReport, ReportLoss, Stall, Straggler
+from .events import (
+    BitRot,
+    Crash,
+    Fault,
+    LateReport,
+    ReportLoss,
+    Stall,
+    Straggler,
+    TornWrite,
+    WireCorruption,
+)
 
 
 @dataclass
@@ -70,6 +80,7 @@ class FaultInjector:
         rate_cap_range: tuple[float, float] = (5.0, 100.0),
         stall_range_s: tuple[float, float] | None = None,
         protected: tuple[int, ...] = (),
+        corruption: bool = False,
     ) -> "FaultInjector":
         """A deterministic random fault schedule.
 
@@ -92,6 +103,12 @@ class FaultInjector:
         protected:
             Node ids never targeted (e.g. the requester when the test
             requires the repair destination to survive).
+        corruption:
+            Also draw silent-corruption faults (bit rot, torn writes,
+            wire corruption).  Off by default so schedules generated
+            before the integrity subsystem existed replay bit-for-bit:
+            with ``corruption=False`` the rng consumes exactly the same
+            draws as always.
         """
         rng = np.random.default_rng(seed)
         pool = [n for n in nodes if n not in protected]
@@ -104,12 +121,13 @@ class FaultInjector:
             stall_range_s = (horizon_s / 20, horizon_s / 4)
         inj = cls()
         crashes = 0
+        kinds = 8 if corruption else 5
         for i in range(count):
             node = int(pool[i])
             t = float(rng.uniform(0.0, horizon_s))
-            kind = int(rng.integers(0, 5))
+            kind = int(rng.integers(0, kinds))
             if kind == 0 and crashes >= max_crashes:
-                kind = 1 + int(rng.integers(0, 4))
+                kind = 1 + int(rng.integers(0, kinds - 1))
             if kind == 0:
                 crashes += 1
                 inj.add(Crash(node=node, time=t))
@@ -122,9 +140,37 @@ class FaultInjector:
             elif kind == 3:
                 dur = float(rng.uniform(horizon_s / 10, horizon_s))
                 inj.add(ReportLoss(node=node, time=t, duration_s=dur))
-            else:
+            elif kind == 4:
                 delay = float(rng.uniform(horizon_s / 50, horizon_s / 5))
                 inj.add(LateReport(node=node, time=t, delay_s=delay))
+            elif kind == 5:
+                inj.add(
+                    BitRot(
+                        node=node,
+                        time=t,
+                        flips=int(rng.integers(1, 32)),
+                        seed=int(rng.integers(0, 2**31)),
+                    )
+                )
+            elif kind == 6:
+                inj.add(
+                    TornWrite(
+                        node=node,
+                        time=t,
+                        tail_fraction=float(rng.uniform(0.05, 0.5)),
+                        seed=int(rng.integers(0, 2**31)),
+                    )
+                )
+            else:
+                dur = float(rng.uniform(horizon_s / 10, horizon_s / 2))
+                inj.add(
+                    WireCorruption(
+                        node=node,
+                        time=t,
+                        duration_s=dur,
+                        seed=int(rng.integers(0, 2**31)),
+                    )
+                )
         return inj
 
     # ---- arming ------------------------------------------------------- #
@@ -158,6 +204,21 @@ class FaultInjector:
             system.suppress_reports(fault.node, fault.duration_s)
         elif isinstance(fault, LateReport):
             system.delay_reports(fault.node, fault.delay_s)
+        elif isinstance(fault, BitRot):
+            system.corrupt_chunk(
+                fault.node,
+                fault.stripe_id,
+                fault.chunk_index,
+                flips=fault.flips,
+                seed=fault.seed,
+                fix_digest=fault.fix_digest,
+            )
+        elif isinstance(fault, TornWrite):
+            system.arm_torn_write(
+                fault.node, tail_fraction=fault.tail_fraction, seed=fault.seed
+            )
+        elif isinstance(fault, WireCorruption):
+            system.corrupt_wire(fault.node, fault.duration_s, seed=fault.seed)
         else:  # pragma: no cover - new fault types must be wired here
             raise TypeError(f"unknown fault type {type(fault).__name__}")
         self.log.fired.append(fault)

@@ -1,0 +1,42 @@
+"""End-to-end data integrity: digests, verification, scrubbing.
+
+The subsystem that closes the gap the fault layer left open: *silent*
+corruption.  In a pipelined repair a single bit-rotted helper slice
+poisons every downstream partial sum, so aggregation topologies make
+undetected corruption strictly worse than star repair — detection,
+localization and healing are prerequisites for running FullRepair in a
+production-shaped cluster (see ``docs/INTEGRITY.md``).
+
+Layers
+------
+* :mod:`repro.integrity.digest` — per-chunk CRC digests (stored by
+  :class:`~repro.cluster.chunkstore.ChunkStore`) and per-slice wire
+  checksums, zero-dependency ``zlib.crc32`` over 2 MiB blocks.
+* :mod:`repro.integrity.verify` — codeword-consistency verification of
+  a repaired stripe against surplus parity, plus leave-one-out
+  localization of the poisoned chunk.
+* :mod:`repro.integrity.scrubber` — a budgeted background scrubber
+  that walks stripes at a configurable bandwidth fraction, verifies
+  digests, and feeds detected rot into the recovery orchestrator.
+"""
+
+from .digest import DIGEST_BLOCK_BYTES, chunk_digest, slice_checksum
+from .verify import (
+    AuditReport,
+    audit_stripe,
+    check_consistency,
+    localize_corruption,
+)
+from .scrubber import ScrubReport, Scrubber
+
+__all__ = [
+    "DIGEST_BLOCK_BYTES",
+    "chunk_digest",
+    "slice_checksum",
+    "AuditReport",
+    "audit_stripe",
+    "check_consistency",
+    "localize_corruption",
+    "ScrubReport",
+    "Scrubber",
+]

@@ -1,0 +1,184 @@
+"""Codeword-consistency verification and corruption localization.
+
+A systematic (n, k) RS stripe carries ``n - k`` chunks of surplus
+parity.  Any k known chunk values determine the whole codeword, so a
+set of more than k values can be *checked*: decode from k of them,
+re-encode, and compare the prediction against every value held.  A
+mismatch proves at least one value is off the codeword — the signature
+of silent corruption that per-chunk digests alone cannot prove (a
+digest only says the bytes changed since ``put``; parity says the
+bytes disagree with the rest of the stripe).
+
+With at least two chunks of surplus among the values held, a *single*
+corrupt value can also be localized by leave-one-out re-decode: remove
+one candidate, re-check the rest; only removing the culprit restores
+consistency.  (Removing an innocent chunk leaves the corrupt one in the
+set, and with surplus remaining the check still trips.)
+
+:func:`audit_stripe` packages the policy the cluster uses after every
+repair: digest scan first (cheap, localizes rot whose digest no longer
+matches), then parity consistency over the digest-clean values, then
+leave-one-out localization — returning the culprits to quarantine and
+the predicted true value of the rebuilt chunk when the surplus pins it
+down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ec.rs import RSCode
+
+
+def check_consistency(
+    code: RSCode, values: dict[int, np.ndarray]
+) -> tuple[bool, np.ndarray]:
+    """Do ``values`` (stripe index -> chunk) lie on one codeword?
+
+    Decodes from the k lowest-indexed values, re-encodes the full
+    stripe, and compares the prediction against every value held.
+    Returns ``(consistent, predicted)`` where ``predicted`` is the
+    (n, L) codeword implied by the decode set.  Requires at least k
+    values; with exactly k the check is vacuous (always consistent).
+    """
+    if len(values) < code.k:
+        raise ValueError(
+            f"need at least k={code.k} chunks to check consistency, "
+            f"got {len(values)}"
+        )
+    data = code.decode(values)
+    predicted = code.encode(data)
+    decode_set = set(sorted(values)[: code.k])
+    ok = all(
+        np.array_equal(predicted[i], values[i])
+        for i in values
+        if i not in decode_set
+    )
+    return ok, predicted
+
+
+def localize_corruption(
+    code: RSCode, values: dict[int, np.ndarray]
+) -> tuple[int, ...]:
+    """Leave-one-out localization of a single corrupt chunk.
+
+    Returns the stripe indices whose removal makes the remaining values
+    consistent.  Exactly one index means the corruption is localized;
+    several mean the surplus is too thin to pin it down (every removal
+    that drops the value count to k is vacuously consistent); none
+    means no single-chunk removal explains the inconsistency (multiple
+    corrupt chunks).
+    """
+    culprits = []
+    for candidate in sorted(values):
+        rest = {i: v for i, v in values.items() if i != candidate}
+        if len(rest) < code.k:
+            continue
+        ok, _ = check_consistency(code, rest)
+        if ok:
+            culprits.append(candidate)
+    return tuple(culprits)
+
+
+@dataclass
+class AuditReport:
+    """Verdict of one post-repair stripe audit.
+
+    Attributes
+    ----------
+    ok:
+        ``True`` — every digest matched and the stripe (stored values
+        plus the rebuilt chunk) is a consistent codeword.  ``False`` —
+        corruption was detected.  ``None`` — too few clean chunks
+        survive to verify anything (unverifiable, not clean).
+    culprits:
+        Stripe indices proven corrupt: digest mismatches plus any
+        parity-localized chunk.  Empty when the corruption could not be
+        localized (see ``localized``).
+    localized:
+        False only when parity proved corruption exists but
+        leave-one-out could not pin it to a single stored chunk.
+    rebuilt_ok:
+        Whether the rebuilt value itself matches the codeword implied
+        by the clean stored chunks (``None`` when undetermined).
+    predicted:
+        The surplus-parity prediction of the rebuilt chunk's true
+        value, when the clean stored chunks pin it down — the healing
+        value for a wrong decode.
+    checked:
+        Number of stored chunks whose digests were scanned.
+    """
+
+    ok: bool | None
+    culprits: tuple[int, ...] = ()
+    localized: bool = True
+    rebuilt_ok: bool | None = None
+    predicted: np.ndarray | None = field(default=None, repr=False)
+    checked: int = 0
+
+
+def audit_stripe(
+    code: RSCode,
+    lost_index: int,
+    rebuilt: np.ndarray,
+    stored: dict[int, np.ndarray],
+    digest_bad: tuple[int, ...] = (),
+) -> AuditReport:
+    """Audit a repaired stripe: digest verdicts + parity consistency.
+
+    Parameters
+    ----------
+    code:
+        The stripe's RS code.
+    lost_index:
+        Stripe index of the chunk that was rebuilt.
+    rebuilt:
+        The repair's output for ``lost_index``.
+    stored:
+        Stripe index -> payload of every *digest-clean* stored chunk
+        available for checking (live, non-quarantined holders).
+    digest_bad:
+        Stripe indices whose stored digest failed verification — they
+        are culprits a priori and must not appear in ``stored``.
+    """
+    culprits = tuple(sorted(digest_bad))
+    if len(stored) < code.k:
+        # not enough clean data to re-encode: digests are the only verdict
+        return AuditReport(
+            ok=False if culprits else None,
+            culprits=culprits,
+            checked=len(stored) + len(digest_bad),
+        )
+    stored_ok, predicted = check_consistency(code, stored)
+    if stored_ok:
+        # clean stored chunks agree on one codeword; it pins the lost value
+        rebuilt_ok = bool(np.array_equal(predicted[lost_index], rebuilt))
+        return AuditReport(
+            ok=(not culprits) and rebuilt_ok,
+            culprits=culprits,
+            rebuilt_ok=rebuilt_ok,
+            predicted=predicted[lost_index],
+            checked=len(stored) + len(digest_bad),
+        )
+    # stored chunks are inconsistent *despite* clean digests (rot that
+    # kept its digest, e.g. a deliberately silent flip): leave-one-out
+    located = localize_corruption(code, stored)
+    if len(located) == 1:
+        clean = {i: v for i, v in stored.items() if i != located[0]}
+        _, predicted = check_consistency(code, clean)
+        rebuilt_ok = bool(np.array_equal(predicted[lost_index], rebuilt))
+        return AuditReport(
+            ok=False,
+            culprits=tuple(sorted((*culprits, *located))),
+            rebuilt_ok=rebuilt_ok,
+            predicted=predicted[lost_index],
+            checked=len(stored) + len(digest_bad),
+        )
+    return AuditReport(
+        ok=False,
+        culprits=culprits,
+        localized=False,
+        checked=len(stored) + len(digest_bad),
+    )

@@ -208,6 +208,42 @@ class RecoveryOrchestrator:
         """
         return self._enqueue_for(node)
 
+    def enqueue_stripe(self, stripe_id: str) -> bool:
+        """Queue one stripe for repair (the scrubber's intake path).
+
+        Exposure counts dead *and* quarantined chunks
+        (:meth:`~repro.cluster.system.ClusterSystem.unavailable_nodes`),
+        so a stripe whose only damage is quarantined rot is admitted and
+        repaired like any crash — a *scrub-repair*.  Returns False when
+        the stripe is already queued, in flight, dead-lettered, or
+        healthy.
+        """
+        if (
+            stripe_id in self._inflight
+            or stripe_id in self.queue
+            or stripe_id in self.dead_letters
+        ):
+            return False
+        exposure = self._exposure(stripe_id)
+        if exposure <= 0:
+            return False
+        self.queue.push(stripe_id, self._events.now, exposure)
+        if self._metrics.enabled:
+            self._metrics.counter(
+                "repro_recovery_enqueued_total",
+                "Stripes entering the repair queue.",
+            ).inc()
+        if self._tracer.enabled:
+            self._tracer.event(
+                self._span,
+                "recovery.scrub_enqueue",
+                stripe=stripe_id,
+                exposure=exposure,
+            )
+        if self._started:
+            self._ensure_tick(delay=0.0)
+        return True
+
     def report(self):
         """Snapshot of the run for rendering (lazy import avoids cycles)."""
         from .scenario import build_report
@@ -253,8 +289,9 @@ class RecoveryOrchestrator:
         return added
 
     def _exposure(self, stripe_id: str) -> int:
-        loc = self.system.master.stripe(stripe_id)
-        return sum(1 for n in loc.placement if not self.system.is_alive(n))
+        # Dead nodes and quarantined (corrupt-but-live) chunks both erode
+        # the stripe's erasure budget, so both count as exposure.
+        return len(self.system.unavailable_nodes(stripe_id))
 
     # ---- control loop -------------------------------------------------- #
 
@@ -347,10 +384,12 @@ class RecoveryOrchestrator:
             self._dispatch(ticket, lost, share, now)
 
     def _lost_nodes(self, stripe_id: str) -> tuple[int, ...]:
-        loc = self.system.master.stripe(stripe_id)
-        return tuple(
-            n for n in loc.placement if not self.system.is_alive(n)
-        )
+        """Placement nodes whose chunk needs rebuilding.
+
+        Includes live nodes whose chunk is quarantined, so scrub
+        findings dispatch through the same repair path as crashes.
+        """
+        return self.system.unavailable_nodes(stripe_id)
 
     def _pick_requesters(
         self, stripe_id: str, lost: tuple[int, ...]

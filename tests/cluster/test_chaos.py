@@ -149,6 +149,93 @@ def test_chaos_outcomes_are_mostly_recoverable():
     assert recovered >= 30
 
 
+# ---- silent corruption in the fault mix -------------------------------- #
+
+
+def run_one_corrupted(seed, tracer=None, metrics=None):
+    """`run_one` with bit rot, torn writes and wire corruption enabled."""
+    sys_, data = make_system(seed, tracer=tracer, metrics=metrics)
+    sys_.fail_node(FAILED_NODE)
+    injector = FaultInjector.random_schedule(
+        seed,
+        nodes=range(NUM_NODES),
+        horizon_s=0.05,
+        max_faults=4,
+        max_crashes=2,
+        protected=(REQUESTER,),
+        corruption=True,
+    )
+    sys_.enable_heartbeats(period_s=0.01)
+    out = sys_.repair(
+        "s1", FAILED_NODE, requester=REQUESTER,
+        injector=injector, on_failure="outcome", store=False,
+    )
+    return sys_, data, injector, out
+
+
+@pytest.mark.integrity
+@pytest.mark.parametrize("seed", range(ITERATIONS))
+def test_corruption_schedule_never_silently_corrupts(seed):
+    """The chaos invariant survives an adversary that flips bits: every
+    schedule still ends byte-exact or explicitly failed, and whatever
+    was quarantined along the way was both detected and recorded."""
+    sys_, data, injector, out = run_one_corrupted(seed)
+    assert out.status in REPAIR_STATUSES
+    if out.status == FAILED:
+        assert out.failure_reason
+        assert out.rebuilt is None and not out.verified
+    else:
+        assert out.verified
+        assert np.array_equal(out.rebuilt, data[FAILED_NODE])
+    if out.quarantined_chunks:
+        assert out.corruption_detected
+        for ci in out.quarantined_chunks:
+            assert sys_.master.is_quarantined("s1", ci)
+
+
+@pytest.mark.integrity
+def test_corruption_schedule_reproduces_identical_outcome():
+    _, _, inj_a, out_a = run_one_corrupted(17)
+    _, _, inj_b, out_b = run_one_corrupted(17)
+    assert inj_a.faults == inj_b.faults
+    assert (
+        out_a.status, out_a.attempts, out_a.retries, out_a.replans,
+        out_a.elapsed_seconds, out_a.bytes_received,
+        out_a.corruption_detected, out_a.quarantined_chunks,
+    ) == (
+        out_b.status, out_b.attempts, out_b.retries, out_b.replans,
+        out_b.elapsed_seconds, out_b.bytes_received,
+        out_b.corruption_detected, out_b.quarantined_chunks,
+    )
+
+
+@pytest.mark.integrity
+def test_corruption_chaos_exercises_detection():
+    """The new fault kinds must actually fire *during* repairs and be
+    caught — otherwise the seeds above are testing dead schedules.  A
+    tight horizon packs the faults into the repair's lifetime."""
+    detected = quarantined = 0
+    for seed in range(60):
+        sys_, data, = make_system(seed)
+        sys_.fail_node(FAILED_NODE)
+        injector = FaultInjector.random_schedule(
+            seed, nodes=range(NUM_NODES), horizon_s=0.004, max_faults=4,
+            max_crashes=1, protected=(REQUESTER,), corruption=True,
+        )
+        sys_.enable_heartbeats(period_s=0.01)
+        out = sys_.repair(
+            "s1", FAILED_NODE, requester=REQUESTER,
+            injector=injector, on_failure="outcome", store=False,
+        )
+        if out.status != FAILED:
+            assert out.verified
+            assert np.array_equal(out.rebuilt, data[FAILED_NODE])
+        detected += bool(out.corruption_detected)
+        quarantined += bool(out.quarantined_chunks)
+    assert detected >= 8
+    assert quarantined >= 4
+
+
 # ---- orchestrated recovery under chaos --------------------------------- #
 
 ORCH_ITERATIONS = max(1, ITERATIONS // 8)

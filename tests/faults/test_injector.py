@@ -9,12 +9,15 @@ from repro.faults import (
     FAILED,
     FAULT_TYPES,
     REPAIR_STATUSES,
+    BitRot,
     Crash,
     FaultInjector,
     LateReport,
     ReportLoss,
     Stall,
     Straggler,
+    TornWrite,
+    WireCorruption,
 )
 from repro.sim.events import EventQueue
 
@@ -59,7 +62,10 @@ class TestFaultEvents:
             c.node = 3
 
     def test_fault_types_registry_covers_all(self):
-        assert set(FAULT_TYPES) == {Crash, Straggler, Stall, ReportLoss, LateReport}
+        assert set(FAULT_TYPES) == {
+            Crash, Straggler, Stall, ReportLoss, LateReport,
+            BitRot, TornWrite, WireCorruption,
+        }
 
     def test_status_constants(self):
         assert REPAIR_STATUSES == (COMPLETED, DEGRADED, ESCALATED, FAILED)

@@ -1,0 +1,41 @@
+"""Shared builders for the integrity test suite.
+
+Every test runs against an RS(9, 6) stripe: with 8 surviving stored
+chunks that is k + 2 values, enough surplus for the leave-one-out
+localization the post-repair audit relies on.
+"""
+
+import numpy as np
+
+from repro.cluster import ClusterSystem
+from repro.ec import RSCode
+from repro.net import BandwidthSnapshot
+
+NUM_NODES = 14
+CHUNK = 16 * 1024
+N, K = 9, 6
+
+
+def build_system(seed=1, tracer=None, metrics=None, **kw):
+    """A 14-node RS(9, 6) cluster with one stripe on nodes 0..8.
+
+    Returns ``(system, chunks, loc)`` where ``chunks`` maps stripe
+    index -> the original payload (the byte-identity ground truth).
+    """
+    sys_ = ClusterSystem(
+        NUM_NODES, RSCode(N, K), slice_bytes=4096,
+        tracer=tracer, metrics=metrics, **kw,
+    )
+    rng = np.random.default_rng(seed)
+    sys_.set_bandwidth(
+        BandwidthSnapshot(
+            uplink=rng.uniform(300.0, 1000.0, NUM_NODES),
+            downlink=rng.uniform(300.0, 1000.0, NUM_NODES),
+        )
+    )
+    data = rng.integers(0, 256, (K, CHUNK), dtype=np.uint8)
+    loc = sys_.write_stripe("s0", data, placement=tuple(range(N)))
+    chunks = {
+        i: sys_.nodes[loc.placement[i]].store.get("s0", i) for i in range(N)
+    }
+    return sys_, chunks, loc

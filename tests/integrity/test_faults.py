@@ -1,0 +1,186 @@
+"""Silent-corruption faults: store hooks, dataclasses, and the injector."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.chunkstore import ChunkStore
+from repro.faults import (
+    BitRot,
+    Crash,
+    FaultInjector,
+    TornWrite,
+    WireCorruption,
+)
+
+from .conftest import build_system
+
+pytestmark = pytest.mark.integrity
+
+
+class TestChunkStoreDigests:
+    def _store(self, nbytes=4096, seed=0):
+        store = ChunkStore()
+        rng = np.random.default_rng(seed)
+        payload = rng.integers(0, 256, nbytes, dtype=np.uint8)
+        store.put("s", 0, payload)
+        return store, payload
+
+    def test_put_records_digest_and_verify_passes(self):
+        store, _ = self._store()
+        assert store.verify("s", 0)
+        assert store.digest("s", 0) == store.digest("s", 0)
+
+    def test_corrupt_breaks_verify_but_not_digest_record(self):
+        store, _ = self._store()
+        recorded = store.digest("s", 0)
+        flipped = store.corrupt("s", 0, flips=8, seed=3)
+        assert flipped == 8
+        assert not store.verify("s", 0)
+        assert store.digest("s", 0) == recorded  # record still the intent
+
+    def test_corrupt_with_fix_digest_hides_from_verify(self):
+        store, payload = self._store()
+        store.corrupt("s", 0, flips=8, seed=3, fix_digest=True)
+        assert store.verify("s", 0)  # digest agrees with the rotten bytes
+        assert not np.array_equal(store.get("s", 0), payload)
+
+    def test_corrupt_is_deterministic_per_seed(self):
+        a, _ = self._store()
+        b, _ = self._store()
+        a.corrupt("s", 0, flips=16, seed=9)
+        b.corrupt("s", 0, flips=16, seed=9)
+        assert np.array_equal(a.get("s", 0), b.get("s", 0))
+
+    def test_torn_write_garbles_tail_after_digest(self):
+        store = ChunkStore()
+        rng = np.random.default_rng(1)
+        payload = rng.integers(0, 256, 4096, dtype=np.uint8)
+        store.arm_torn_write(tail_fraction=0.25, seed=5)
+        store.put("s", 0, payload)
+        stored = store.get("s", 0)
+        assert not store.verify("s", 0)  # digest covers the intent
+        assert np.array_equal(stored[:3072], payload[:3072])  # head intact
+        assert not np.array_equal(stored[3072:], payload[3072:])
+
+    def test_torn_write_is_one_shot(self):
+        store = ChunkStore()
+        rng = np.random.default_rng(2)
+        store.arm_torn_write(seed=5)
+        store.put("s", 0, rng.integers(0, 256, 1024, dtype=np.uint8))
+        store.put("s", 1, rng.integers(0, 256, 1024, dtype=np.uint8))
+        assert not store.verify("s", 0)
+        assert store.verify("s", 1)  # the tear was consumed
+
+    def test_arm_torn_write_validates_fraction(self):
+        store = ChunkStore()
+        with pytest.raises(ValueError):
+            store.arm_torn_write(tail_fraction=0.0)
+        with pytest.raises(ValueError):
+            store.arm_torn_write(tail_fraction=1.5)
+
+    def test_delete_drops_digest(self):
+        store, _ = self._store()
+        store.delete("s", 0)
+        with pytest.raises(KeyError):
+            store.digest("s", 0)
+
+    def test_chunk_keys_sorted(self):
+        store = ChunkStore()
+        rng = np.random.default_rng(3)
+        for sid, ci in (("b", 1), ("a", 2), ("a", 0)):
+            store.put(sid, ci, rng.integers(0, 256, 64, dtype=np.uint8))
+        assert store.chunk_keys() == [("a", 0), ("a", 2), ("b", 1)]
+
+
+class TestFaultDataclasses:
+    def test_bitrot_validates_flips(self):
+        with pytest.raises(ValueError):
+            BitRot(node=0, time=0.0, flips=0)
+
+    def test_torn_write_validates_fraction(self):
+        with pytest.raises(ValueError):
+            TornWrite(node=0, time=0.0, tail_fraction=0.0)
+
+    def test_wire_corruption_validates_duration(self):
+        with pytest.raises(ValueError):
+            WireCorruption(node=0, time=0.0, duration_s=0.0)
+
+
+class TestSystemHooks:
+    def test_corrupt_chunk_picks_deterministic_victim(self):
+        sys_a, _, _ = build_system()
+        sys_b, _, _ = build_system()
+        assert sys_a.corrupt_chunk(3, seed=17)
+        assert sys_b.corrupt_chunk(3, seed=17)
+        assert np.array_equal(
+            sys_a.nodes[3].store.get("s0", 3), sys_b.nodes[3].store.get("s0", 3)
+        )
+
+    def test_corrupt_chunk_noop_on_dead_node(self):
+        sys_, chunks, _ = build_system()
+        sys_.fail_node(3)
+        assert not sys_.corrupt_chunk(3)
+        # the dead node's store stays pristine: it is the test oracle
+        assert np.array_equal(sys_.nodes[3].store.get("s0", 3), chunks[3])
+
+    def test_corrupt_chunk_noop_on_empty_node(self):
+        sys_, _, _ = build_system()
+        assert not sys_.corrupt_chunk(13)  # holds no chunk
+
+    def test_injector_applies_corruption_faults(self):
+        sys_, chunks, _ = build_system()
+        injector = FaultInjector(
+            [
+                BitRot(node=2, time=0.0, stripe_id="s0", chunk_index=2,
+                       flips=4, seed=1),
+                TornWrite(node=9, time=0.0, seed=2),
+                WireCorruption(node=5, time=0.0, duration_s=0.001, seed=3),
+            ]
+        )
+        injector.arm(sys_)
+        sys_.events.run()
+        assert len(injector.log.fired) == 3
+        assert not sys_.nodes[2].store.verify("s0", 2)
+        assert sys_.nodes[5].wire_corrupt_until > 0.0
+
+
+class TestRandomSchedule:
+    def test_legacy_schedules_never_draw_corruption(self):
+        corruption_types = (BitRot, TornWrite, WireCorruption)
+        for seed in range(50):
+            inj = FaultInjector.random_schedule(
+                seed, nodes=range(10), horizon_s=0.05, max_faults=5
+            )
+            assert not any(
+                isinstance(f, corruption_types) for f in inj.faults
+            )
+
+    def test_corruption_flag_adds_new_kinds_somewhere(self):
+        corruption_types = (BitRot, TornWrite, WireCorruption)
+        drawn = [
+            f
+            for seed in range(50)
+            for f in FaultInjector.random_schedule(
+                seed, nodes=range(10), horizon_s=0.05, max_faults=5,
+                corruption=True,
+            ).faults
+            if isinstance(f, corruption_types)
+        ]
+        assert {type(f) for f in drawn} == set(corruption_types)
+
+    def test_corruption_schedule_deterministic(self):
+        a = FaultInjector.random_schedule(
+            23, nodes=range(10), horizon_s=0.05, corruption=True
+        )
+        b = FaultInjector.random_schedule(
+            23, nodes=range(10), horizon_s=0.05, corruption=True
+        )
+        assert a.faults == b.faults
+
+    def test_crash_cap_respected_with_corruption(self):
+        for seed in range(30):
+            inj = FaultInjector.random_schedule(
+                seed, nodes=range(10), horizon_s=0.05, max_faults=6,
+                max_crashes=1, corruption=True,
+            )
+            assert sum(isinstance(f, Crash) for f in inj.faults) <= 1

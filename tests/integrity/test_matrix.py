@@ -1,0 +1,122 @@
+"""The corruption fault matrix.
+
+{bit rot, torn write, wire corruption} x {hub, helper, requester} x
+{before plan, mid-pipeline}: every cell must terminate with a verified,
+byte-identical repair, and detection/quarantine must fire exactly where
+the fault is actually observable:
+
+* **bit rot** on a stored chunk (hub or leaf helper) is caught either at
+  assign time (digest check before the chunk enters a plan) or by the
+  post-repair parity audit (rot landing after the slices were read), and
+  the chunk is quarantined; the requester stores nothing, so rot
+  targeting it is a no-op.
+* **torn write** only fires on a ``put`` — the requester's settle store
+  is the only write in a repair, caught by digest read-back and
+  re-written; helpers never write, so arming them is a no-op.
+* **wire corruption** garbles slices in flight: any *sender* (hub or
+  leaf helper) trips the per-slice checksum at the next hop and
+  retransmits; the requester sends nothing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import FAILED
+
+from .conftest import build_system
+
+pytestmark = pytest.mark.integrity
+
+REQUESTER = 9
+MID_T = 0.0005  # after dispatch+assign, before the pipelines drain
+
+FAULTS = ("bitrot", "torn", "wire")
+ROLES = ("hub", "helper", "requester")
+TIMINGS = ("before", "mid")
+
+
+def pick_nodes(sys_, loc, victim):
+    """(hub, leaf helper) of the repair FullRepair will plan.
+
+    Planning is deterministic, so the plan computed here is the plan
+    attempt 1 will execute.  The hub is the relay feeding the
+    requester; the leaf is any helper sending into the hub.
+    """
+    plan = sys_.master.schedule_repair("s0", victim, REQUESTER)
+    edges = plan.pipelines[0].edges
+    hub = next(e.child for e in edges if e.parent == REQUESTER)
+    leaf = next(e.child for e in edges if e.parent == hub and e.child != hub)
+    return hub, leaf
+
+
+def inject(sys_, fault, node):
+    if fault == "bitrot":
+        sys_.corrupt_chunk(node, flips=8, seed=5)
+    elif fault == "torn":
+        sys_.arm_torn_write(node, tail_fraction=0.3, seed=5)
+    else:
+        sys_.corrupt_wire(node, duration_s=0.002, seed=5)
+
+
+def expectations(fault, role):
+    """(detected, quarantined) for a cell, from what is observable."""
+    if role == "requester":
+        return fault == "torn", False
+    return fault in ("bitrot", "wire"), fault == "bitrot"
+
+
+@pytest.mark.parametrize("timing", TIMINGS)
+@pytest.mark.parametrize("role", ROLES)
+@pytest.mark.parametrize("fault", FAULTS)
+def test_matrix_cell(fault, role, timing):
+    sys_, chunks, loc = build_system(seed=3)
+    victim = loc.placement[0]
+    sys_.fail_node(victim)
+    hub, leaf = pick_nodes(sys_, loc, victim)
+    node = {"hub": hub, "helper": leaf, "requester": REQUESTER}[role]
+    if timing == "before":
+        inject(sys_, fault, node)
+    else:
+        sys_.events.schedule_at(
+            MID_T, lambda: inject(sys_, fault, node)
+        )
+    out = sys_.repair("s0", victim, REQUESTER, on_failure="outcome")
+
+    # every cell heals: terminal, verified, byte-identical
+    assert out.status != FAILED, out.failure_reason
+    assert out.verified
+    assert np.array_equal(out.rebuilt, chunks[0])
+    stored = sys_.nodes[REQUESTER].store
+    assert stored.verify("s0", 0)
+    assert np.array_equal(stored.get("s0", 0), chunks[0])
+
+    detected, quarantined = expectations(fault, role)
+    assert out.corruption_detected == detected, (fault, role, timing)
+    if quarantined:
+        lost_chunk = loc.chunk_on(node)
+        assert lost_chunk in out.quarantined_chunks
+        assert sys_.master.is_quarantined("s0", lost_chunk)
+    elif fault != "bitrot":
+        assert out.quarantined_chunks == ()
+
+
+def test_matrix_cells_are_reproducible():
+    def run(fault, role, timing):
+        sys_, _, loc = build_system(seed=3)
+        victim = loc.placement[0]
+        sys_.fail_node(victim)
+        hub, leaf = pick_nodes(sys_, loc, victim)
+        node = {"hub": hub, "helper": leaf, "requester": REQUESTER}[role]
+        if timing == "before":
+            inject(sys_, fault, node)
+        else:
+            sys_.events.schedule_at(MID_T, lambda: inject(sys_, fault, node))
+        out = sys_.repair("s0", victim, REQUESTER, on_failure="outcome")
+        return (
+            out.status, out.attempts, out.retries, out.elapsed_seconds,
+            out.bytes_received, out.corruption_detected,
+            out.quarantined_chunks,
+        )
+
+    for cell in (("bitrot", "hub", "before"), ("wire", "helper", "mid")):
+        assert run(*cell) == run(*cell)

@@ -1,0 +1,177 @@
+"""Background scrubber: full detection, budget pacing, heal loop."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSystem
+from repro.ec import RSCode
+from repro.integrity import Scrubber
+from repro.net import BandwidthSnapshot
+from repro.obs import MetricsRegistry, Tracer
+from repro.recovery import RecoveryConfig, RecoveryOrchestrator
+
+NUM_NODES = 14
+CHUNK = 8 * 1024
+N, K = 9, 6
+
+pytestmark = pytest.mark.integrity
+
+
+def build_fleet(num_stripes=6, *, seed=11, tracer=None, metrics=None):
+    sys_ = ClusterSystem(
+        NUM_NODES, RSCode(N, K), slice_bytes=4096,
+        tracer=tracer, metrics=metrics,
+    )
+    rng = np.random.default_rng(seed)
+    sys_.set_bandwidth(
+        BandwidthSnapshot(
+            uplink=rng.uniform(300.0, 1000.0, NUM_NODES),
+            downlink=rng.uniform(300.0, 1000.0, NUM_NODES),
+        )
+    )
+    payloads = {}
+    for s in range(num_stripes):
+        data = rng.integers(0, 256, (K, CHUNK), dtype=np.uint8)
+        placement = tuple(rng.permutation(NUM_NODES)[:N].tolist())
+        sid = f"s{s}"
+        sys_.write_stripe(sid, data, placement=placement)
+        payloads[sid] = {
+            i: sys_.nodes[placement[i]].store.get(sid, i).copy()
+            for i in range(N)
+        }
+    return sys_, payloads
+
+
+def rot_chunks(sys_, count, *, seed=5):
+    """Silently rot `count` distinct stored chunks; return their keys."""
+    rng = np.random.default_rng(seed)
+    keys = sorted(
+        (node, sid, ci)
+        for node in range(NUM_NODES)
+        for sid, ci in sys_.nodes[node].store.chunk_keys()
+    )
+    rotted = []
+    for idx in rng.permutation(len(keys))[:count]:
+        node, sid, ci = keys[idx]
+        sys_.nodes[node].store.corrupt(sid, ci, flips=4, seed=int(idx))
+        rotted.append((sid, ci, node))
+    return sorted(rotted)
+
+
+class TestDetection:
+    def test_scrub_finds_every_rotted_chunk(self):
+        sys_, _ = build_fleet()
+        rotted = rot_chunks(sys_, 5)
+        report = Scrubber(sys_, bandwidth_fraction=0.05).run()
+        assert sorted(report.corrupt) == rotted
+        for sid, ci, _node in rotted:
+            assert sys_.master.is_quarantined(sid, ci)
+
+    def test_clean_fleet_scrubs_clean(self):
+        sys_, _ = build_fleet()
+        report = Scrubber(sys_).run()
+        assert report.corrupt == []
+        assert report.chunks_scanned == 6 * N
+        assert report.bytes_scanned == 6 * N * CHUNK
+
+    def test_dead_node_chunks_are_skipped(self):
+        sys_, _ = build_fleet()
+        dead = 3
+        held = len(sys_.nodes[dead].store.chunk_keys())
+        sys_.fail_node(dead)
+        report = Scrubber(sys_).run()
+        assert report.skipped == held
+        assert report.chunks_scanned == 6 * N - held
+
+    def test_scrub_metrics(self):
+        metrics = MetricsRegistry()
+        sys_, _ = build_fleet(metrics=metrics)
+        rot_chunks(sys_, 3)
+        Scrubber(sys_).run()
+        assert (
+            metrics.get(
+                "repro_integrity_scrub_chunks_total", result="corrupt"
+            ).value
+            == 3
+        )
+        assert (
+            metrics.get(
+                "repro_integrity_scrub_chunks_total", result="ok"
+            ).value
+            == 6 * N - 3
+        )
+        assert metrics.total("repro_integrity_scrub_bytes_total") == (
+            6 * N * CHUNK
+        )
+
+
+class TestBudget:
+    def test_half_budget_takes_twice_as_long(self):
+        def elapsed(fraction):
+            sys_, _ = build_fleet()
+            return Scrubber(sys_, bandwidth_fraction=fraction).run().elapsed_s
+
+        slow, fast = elapsed(0.02), elapsed(0.04)
+        assert slow == pytest.approx(2.0 * fast, rel=1e-6)
+
+    def test_bandwidth_fraction_validated(self):
+        sys_, _ = build_fleet()
+        with pytest.raises(ValueError):
+            Scrubber(sys_, bandwidth_fraction=0.0)
+        with pytest.raises(ValueError):
+            Scrubber(sys_, bandwidth_fraction=1.5)
+
+    def test_scrub_is_deterministic(self):
+        def run():
+            sys_, _ = build_fleet()
+            rot_chunks(sys_, 4)
+            r = Scrubber(sys_, bandwidth_fraction=0.03).run()
+            return (r.elapsed_s, r.chunks_scanned, sorted(r.corrupt))
+
+        assert run() == run()
+
+
+class TestHealLoop:
+    def test_scrub_feeds_orchestrator_and_fleet_heals(self):
+        tracer, metrics = Tracer(), MetricsRegistry()
+        sys_, payloads = build_fleet(tracer=tracer, metrics=metrics)
+        rotted = rot_chunks(sys_, 4)
+        orch = RecoveryOrchestrator(sys_, RecoveryConfig(budget_fraction=0.6))
+        orch.start()
+        scrubber = Scrubber(
+            sys_, bandwidth_fraction=0.05, orchestrator=orch
+        )
+        scrubber.start()
+        sys_.events.run()
+        report = scrubber.report
+        assert sorted(report.corrupt) == rotted
+
+        repaired = {r.stripe_id: r for r in orch.records}
+        for sid, ci, node in rotted:
+            rec = repaired[sid]
+            assert rec.status == "completed" and rec.verified
+            # the rotten copy was replaced with the true bytes and the
+            # quarantine mark lifted
+            assert not sys_.master.is_quarantined(sid, ci)
+            loc = sys_.master.stripe(sid)
+            holder = loc.placement[ci]
+            assert sys_.nodes[holder].store.verify(sid, ci)
+            assert np.array_equal(
+                sys_.nodes[holder].store.get(sid, ci), payloads[sid][ci]
+            )
+        assert metrics.total("repro_recovery_enqueued_total") == len(
+            {sid for sid, _, _ in rotted}
+        )
+        assert "recovery.scrub_enqueue" in set(tracer.event_names())
+
+    def test_enqueue_dedupes_stripes(self):
+        sys_, _ = build_fleet()
+        orch = RecoveryOrchestrator(sys_)
+        sys_.quarantine_chunk("s2", 1, kind="scrub")
+        assert orch.enqueue_stripe("s2")
+        assert not orch.enqueue_stripe("s2")  # already queued
+
+    def test_enqueue_rejects_healthy_stripe(self):
+        sys_, _ = build_fleet()
+        orch = RecoveryOrchestrator(sys_)
+        assert not orch.enqueue_stripe("s0")

@@ -1,0 +1,88 @@
+"""Wire corruption: per-slice checksums, hop-local detection, retransmit."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FAILED
+from repro.obs import MetricsRegistry, Tracer
+
+from .conftest import build_system
+
+pytestmark = pytest.mark.integrity
+
+
+def repair_with_wire_corruption(duration_s, *, node_pick=2, seed=1):
+    tracer, metrics = Tracer(), MetricsRegistry()
+    sys_, chunks, loc = build_system(seed=seed, tracer=tracer, metrics=metrics)
+    victim = loc.placement[0]
+    helper = loc.placement[node_pick]
+    requester = 9
+    sys_.fail_node(victim)
+    sys_.corrupt_wire(helper, duration_s=duration_s, seed=4)
+    out = sys_.repair(
+        "s0", victim, requester, store=False, on_failure="outcome"
+    )
+    return sys_, chunks, out, tracer, metrics
+
+
+class TestWireCorruption:
+    def test_transient_corruption_is_retransmitted(self):
+        sys_, chunks, out, tracer, metrics = repair_with_wire_corruption(0.002)
+        assert out.status != FAILED
+        assert out.verified
+        assert out.corruption_detected
+        assert np.array_equal(out.rebuilt, chunks[0])
+        assert metrics.total("repro_integrity_retransmits_total") >= 1
+        names = set(tracer.event_names())
+        assert "integrity.wire_corruption" in names
+        assert "integrity.retransmit" in names
+
+    def test_detection_metric_labelled_wire(self):
+        _, _, _, _, metrics = repair_with_wire_corruption(0.002)
+        assert (
+            metrics.get(
+                "repro_integrity_corruption_detected_total", kind="wire"
+            ).value
+            >= 1
+        )
+
+    def test_permanent_corruption_fails_explicitly(self):
+        # a hop that garbles every slice forever can never deliver; the
+        # watchdog must exhaust its attempts with a reason, not hang and
+        # not hand over corrupt bytes
+        sys_, chunks, out, _, _ = repair_with_wire_corruption(1e9)
+        assert out.status == FAILED
+        assert out.failure_reason
+        assert out.rebuilt is None
+        assert out.corruption_detected
+
+    def test_corruption_window_expiry_unblocks(self):
+        # the window covers the first attempt only; a retry after it
+        # expires sails through
+        sys_, chunks, out, _, _ = repair_with_wire_corruption(0.01)
+        assert out.status != FAILED
+        assert np.array_equal(out.rebuilt, chunks[0])
+
+    def test_clean_repair_reports_no_corruption(self):
+        sys_, chunks, loc = build_system()
+        sys_.fail_node(loc.placement[0])
+        out = sys_.repair("s0", loc.placement[0], 9, store=False)
+        assert out.verified and not out.corruption_detected
+        assert out.quarantined_chunks == ()
+
+    def test_wire_corruption_outcome_deterministic(self):
+        a = repair_with_wire_corruption(0.002)[2]
+        b = repair_with_wire_corruption(0.002)[2]
+        assert (
+            a.status, a.attempts, a.retries, a.elapsed_seconds,
+            a.bytes_received,
+        ) == (
+            b.status, b.attempts, b.retries, b.elapsed_seconds,
+            b.bytes_received,
+        )
+
+    def test_sender_store_stays_clean(self):
+        # corruption happens to the copy in flight, never the store
+        sys_, chunks, out, _, _ = repair_with_wire_corruption(0.002)
+        assert sys_.nodes[2].store.verify("s0", 2)
+        assert np.array_equal(sys_.nodes[2].store.get("s0", 2), chunks[2])

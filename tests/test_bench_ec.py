@@ -31,6 +31,10 @@ GATED_RATIOS = (
     "matvec_fused_vs_naive",
 )
 
+#: Ceiling for the integrity layer's per-chunk digest cost relative to
+#: the fused decode it verifies (committed artefact, 8 MiB chunks).
+DIGEST_COST_CEILING = 0.10
+
 
 @pytest.fixture(scope="module")
 def smoke_report(tmp_path_factory):
@@ -98,6 +102,17 @@ class TestSchema:
         assert ev["step_loop_events_per_s"] > 0
         assert ev["batch_speedup"] > 0
 
+    def test_checksum_section(self, smoke_report):
+        report, _ = smoke_report
+        ck = report["checksum"]
+        assert ck["chunk_bytes"] > 0
+        assert 0 < ck["slice_bytes"] <= ck["chunk_bytes"]
+        assert ck["digest_mb_per_s"] > 0
+        assert ck["slice_checksum_mb_per_s"] > 0
+        # loose smoke sanity: even on a slow host the digest must not
+        # rival the decode it guards
+        assert ck["digest_cost_vs_fused_decode"] < 1.0
+
 
 class TestCommittedArtifact:
     def test_committed_artifact_matches_schema(self):
@@ -111,6 +126,20 @@ class TestCommittedArtifact:
         # over the seed kernels and encode clears 2 GB/s in GF work units
         assert report["speedup"]["matvec_fused_vs_naive"] >= 10.0
         assert report["kernels"]["chunk_8192kib"]["fused"]["matvec_mb_per_s"] >= 2000.0
+
+    def test_committed_digest_overhead_bounded(self):
+        """Verifying a rebuilt chunk must cost <= 10% of its fused decode.
+
+        The ratio is measured on the same host in the same run (both
+        sides of the division share the machine's speed), so it is
+        stable across hosts the way the fused-vs-naive ratios are.
+        """
+        report = json.loads((REPO_ROOT / "BENCH_ec.json").read_text())
+        cost = report["checksum"]["digest_cost_vs_fused_decode"]
+        assert 0 < cost <= DIGEST_COST_CEILING, (
+            f"per-chunk digest costs {cost:.1%} of a fused decode "
+            f"(ceiling {DIGEST_COST_CEILING:.0%})"
+        )
 
     def test_regression_gate_vs_committed_ratios(self, smoke_report):
         """>20% drop in any gated fused-vs-naive kernel ratio fails tier-1.
