@@ -1,0 +1,341 @@
+"""Engine-scale benchmark: events/sec at million-event recovery scale.
+
+The ROADMAP's fleet-lifetime campaigns need the event engine to
+sustain millions of events per run, so this harness measures the
+engine the way those campaigns will use it: a large orchestrated
+recovery (node kills under foreground load, SLO-coupled throttle)
+driven entirely through ``run_recovery_scenario`` with small slices,
+so per-event dispatch — not erasure-coding arithmetic — dominates.
+
+Three tiers of measurement land in ``BENCH_sim.json``:
+
+* ``gate`` — a smoke-scale scenario timed with the profiler *disabled*
+  (best of ``GATE_PASSES`` setup-subtracted passes, GC off).  The
+  tier-1 test compares a fresh measurement against the committed
+  number and fails on a >20% events/sec regression.  The section also
+  carries the disabled-profiler overhead bound: the hooks are checked
+  once per ``run()`` call (never per event), so the implied overhead —
+  measured empty-``run()`` dispatch cost x run calls over the pass
+  wall — must stay <=3%, same contract as ``BENCH_obs.json``.
+* ``profiled`` — the same scenario with the :class:`EngineProfiler`
+  and :class:`RunMonitor` attached: events/sec under profiling, the
+  hot action sites, and the heartbeat/flamegraph artefacts
+  (``benchmarks/out/sim_engine.speedscope.json`` etc.).
+* ``million_event`` (full runs only) — the ~1M-event campaign itself,
+  disabled and profiled, proving the scale target end to end.
+
+``optimization`` records the profiler-driven fix this harness paid for
+on its first outing (see ``OPTIMIZATION_RECORD``).
+
+Run directly (``python -m benchmarks.bench_sim_engine``), or with
+``--smoke`` for the fast schema/gate tier used by the tests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import statistics
+import sys
+from time import perf_counter
+
+from benchmarks.common import OUT_DIR, REPO_ROOT, SEED, write_json_report
+
+from repro.net import units
+from repro.obs import collapsed_stacks, speedscope_json
+from repro.recovery import run_recovery_scenario
+from repro.sim.events import EventQueue
+
+SCHEMA_VERSION = 1
+
+#: Ceiling for the *disabled* profiler/monitor overhead (percent of the
+#: gate pass wall), mirroring the ``BENCH_obs.json`` no-op contract.
+MAX_DISABLED_OVERHEAD_PERCENT = 3.0
+
+#: Disabled gate passes; the gate statistic is the *best* pass, which a
+#: genuine code regression shifts down with the rest while transient
+#: host noise (CI neighbours, thermal throttling) cannot inflate.
+GATE_PASSES = 5
+
+#: Smoke-scale scenario: ~20k events in ~2s.  Both the committed
+#: artefact and the tier-1 test measure THIS protocol, so the
+#: comparison is like-for-like.
+GATE_SCENARIO = dict(
+    num_stripes=48,
+    chunk_bytes=64 * units.KIB,
+    slice_bytes=4 * units.KIB,
+    foreground_reads=200,
+    kills=((0, 0.001), (3, 0.004)),
+    seed=SEED,
+)
+
+#: Full-scale campaign: ~1.05M events (calibrated at ~2.5k engine
+#: events per 128-slice stripe across the repair pipeline + foreground).
+MILLION_SCENARIO = dict(
+    num_stripes=420,
+    chunk_bytes=128 * units.KIB,
+    slice_bytes=1 * units.KIB,
+    foreground_reads=400,
+    kills=((0, 0.001), (3, 0.004)),
+    seed=SEED,
+)
+
+#: The first profiler-driven engine optimization, measured on the gate
+#: protocol (disabled median of 3 / profiled tick cost) before and
+#: after the change on the same host.  The profiled gate run surfaced
+#: ``RecoveryOrchestrator._tick`` as the dominant control-plane site at
+#: 1.68 ms/call: every SLO evaluation re-merged the fleet rolling
+#: window three times per rule (count + quantile + mean round-trips),
+#: and ``_publish_gauges`` re-resolved five registry handles per tick.
+#: Fix: revision-keyed merged-digest cache on ``RollingWindow``, a
+#: single shared ``window_digest`` per SLO measurement, and cached
+#: gauge handles.  ``after.tick_mean_us_this_run`` is re-measured live
+#: by every full run so drift in the claim is visible in the diff.
+OPTIMIZATION_RECORD = {
+    "name": "slo-window-digest-cache",
+    "surfaced_by": "profiled gate run: RecoveryOrchestrator._tick #2 site",
+    "change": (
+        "RollingWindow merged-digest cache (rev+epoch keyed) + "
+        "SLOEngine._measure single window_digest + orchestrator gauge-"
+        "handle caching"
+    ),
+    # measured pre-harness with GC left on, so before/after compare to
+    # each other — not to gate.events_per_s, which disables GC
+    "protocol": "gate scenario; disabled median of 3 (GC on), profiled tick cost",
+    "before": {
+        "disabled_events_per_s_median": 13013.0,
+        "tick_mean_us": 1678.6,
+        "tick_total_ms": 335.7,
+        "tick_calls": 200,
+    },
+    "after": {
+        "disabled_events_per_s_median": 13940.0,
+        "tick_mean_us": 278.8,
+        "tick_total_ms": 55.8,
+        "tick_calls": 200,
+    },
+    "tick_speedup": 6.0,
+}
+
+
+def _setup_wall(cfg: dict) -> tuple[int, float]:
+    """(events, wall) of a run stopped almost immediately.
+
+    ``run_recovery_scenario`` builds the cluster and writes every
+    stripe (EC encodes, digests) before the engine runs; subtracting
+    this setup-only pass isolates the engine's own events/sec.
+    """
+    t0 = perf_counter()
+    scenario = run_recovery_scenario(**cfg, until=5e-4)
+    return scenario.system.events.executed, perf_counter() - t0
+
+
+def _disabled_passes(cfg: dict, passes: int) -> dict:
+    """Setup-subtracted disabled-engine passes (GC off while timed)."""
+    null_events, null_wall = _setup_wall(cfg)
+    rates, walls, events = [], [], 0
+    for _ in range(passes):
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = perf_counter()
+            scenario = run_recovery_scenario(**cfg)
+            wall = perf_counter() - t0
+        finally:
+            gc.enable()
+        events = scenario.system.events.executed
+        engine_wall = max(wall - null_wall, 1e-9)
+        walls.append(engine_wall)
+        rates.append((events - null_events) / engine_wall)
+    report = scenario.report
+    return {
+        "events": events,
+        "sim_seconds": scenario.system.events.now,
+        "repaired": report.repaired,
+        "peak_pending": scenario.system.events.peak_pending,
+        "setup_wall_s": null_wall,
+        "engine_wall_s": statistics.median(walls),
+        "passes_events_per_s": [round(r, 1) for r in rates],
+        "events_per_s": round(max(rates), 1),
+        "events_per_s_median": round(statistics.median(rates), 1),
+    }
+
+
+def _empty_run_dispatch_ns(iterations: int = 20_000) -> float:
+    """Cost of one ``run()`` call on an empty queue.
+
+    An upper bound on what the self-observability hooks add to a
+    disabled run: the hook check, budget sampling and try/finally all
+    live at ``run()`` entry/exit (the per-event compare existed before
+    the hooks), so the whole empty-call cost bounds the added share.
+    """
+    q = EventQueue()
+    run = q.run
+    t0 = perf_counter()
+    for _ in range(iterations):
+        run()
+    return (perf_counter() - t0) / iterations * 1e9
+
+
+def _disabled_overhead(gate: dict) -> dict:
+    dispatch_ns = _empty_run_dispatch_ns()
+    # the scenario drives everything through one events.run() call
+    run_calls = 1
+    wall_ns = gate["engine_wall_s"] * 1e9
+    implied = dispatch_ns * run_calls / wall_ns * 100.0
+    return {
+        "empty_run_dispatch_ns": round(dispatch_ns, 1),
+        "run_calls_per_scenario": run_calls,
+        "per_event_added_cost": "none (hooks checked once per run call)",
+        "implied_overhead_percent": implied,
+        "max_overhead_percent": MAX_DISABLED_OVERHEAD_PERCENT,
+        "pass": implied <= MAX_DISABLED_OVERHEAD_PERCENT,
+    }
+
+
+def _profiled_pass(cfg: dict, *, heartbeat_s: float,
+                   artefact_prefix: str | None) -> dict:
+    """One profiled+monitored pass; optionally writes the artefacts."""
+    scenario = run_recovery_scenario(
+        **cfg, profile=True, heartbeat_s=heartbeat_s
+    )
+    profiler, monitor = scenario.profiler, scenario.monitor
+    wall_s = profiler.run_wall_ns / 1e9
+    out = {
+        "events": profiler.events,
+        "engine_wall_s": wall_s,
+        "events_per_s": round(profiler.events / wall_s, 1) if wall_s else 0.0,
+        "mean_batch_size": round(profiler.mean_batch_size, 2),
+        "heartbeats": len(monitor.heartbeats),
+        "hot_sites": [s.to_dict() for s in profiler.hot_sites(5)],
+        "fanout": {
+            hook: sum(hist.values())
+            for hook, hist in sorted(profiler.fanout.items())
+        },
+    }
+    if artefact_prefix is not None:
+        OUT_DIR.mkdir(exist_ok=True)
+        speedscope_path = OUT_DIR / f"{artefact_prefix}.speedscope.json"
+        speedscope_path.write_text(
+            json.dumps(speedscope_json(profiler, name=artefact_prefix),
+                       sort_keys=True) + "\n"
+        )
+        (OUT_DIR / f"{artefact_prefix}.collapsed.txt").write_text(
+            collapsed_stacks(profiler)
+        )
+        (OUT_DIR / f"{artefact_prefix}_heartbeats.jsonl").write_text(
+            monitor.heartbeats_jsonl()
+        )
+        out["artefacts"] = [
+            str(speedscope_path.relative_to(REPO_ROOT)),
+            str((OUT_DIR / f"{artefact_prefix}.collapsed.txt")
+                .relative_to(REPO_ROOT)),
+            str((OUT_DIR / f"{artefact_prefix}_heartbeats.jsonl")
+                .relative_to(REPO_ROOT)),
+        ]
+    return out
+
+
+def run(smoke: bool = False, out_path=None) -> dict:
+    """Run the harness; returns (and writes) the report dict."""
+    gate = _disabled_passes(GATE_SCENARIO, GATE_PASSES)
+    gate["disabled_overhead"] = _disabled_overhead(gate)
+    profiled = _profiled_pass(
+        GATE_SCENARIO, heartbeat_s=0.2, artefact_prefix="sim_engine"
+    )
+    profiled["vs_disabled"] = (
+        round(profiled["events_per_s"] / gate["events_per_s_median"], 3)
+        if gate["events_per_s_median"]
+        else 0.0
+    )
+
+    optimization = json.loads(json.dumps(OPTIMIZATION_RECORD))
+    tick = [
+        s for s in profiled["hot_sites"]
+        if s["site"].endswith("RecoveryOrchestrator._tick")
+    ]
+    if tick:
+        optimization["after"]["tick_mean_us_this_run"] = round(
+            tick[0]["mean_us"], 1
+        )
+
+    report = {
+        "benchmark": "sim",
+        "schema_version": SCHEMA_VERSION,
+        "config": {
+            "smoke": smoke,
+            "seed": SEED,
+            "gate_passes": GATE_PASSES,
+            "gate_scenario": _jsonable_cfg(GATE_SCENARIO),
+            "million_scenario": _jsonable_cfg(MILLION_SCENARIO),
+        },
+        "gate": gate,
+        "profiled": profiled,
+        "optimization": optimization,
+    }
+
+    if not smoke:
+        disabled = _disabled_passes(MILLION_SCENARIO, passes=1)
+        big = _profiled_pass(
+            MILLION_SCENARIO, heartbeat_s=1.0,
+            artefact_prefix="sim_engine_million",
+        )
+        big["vs_disabled"] = (
+            round(big["events_per_s"] / disabled["events_per_s"], 3)
+            if disabled["events_per_s"]
+            else 0.0
+        )
+        report["million_event"] = {"disabled": disabled, "profiled": big}
+
+    path = write_json_report("sim", report, path=out_path)
+    print(f"report written to {path}")
+    return report
+
+
+def _jsonable_cfg(cfg: dict) -> dict:
+    return {
+        k: list(map(list, v)) if isinstance(v, tuple) else v
+        for k, v in cfg.items()
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fast schema/gate tier; writes BENCH_sim.smoke.json so the "
+             "full-run artefact survives",
+    )
+    args = parser.parse_args(argv)
+    out_path = REPO_ROOT / "BENCH_sim.smoke.json" if args.smoke else None
+    report = run(smoke=args.smoke, out_path=out_path)
+    ok = report["gate"]["disabled_overhead"]["pass"]
+    if not smoke_scale_sane(report):
+        ok = False
+    print(
+        f"gate: {report['gate']['events_per_s']:.0f} events/s best "
+        f"({report['gate']['events_per_s_median']:.0f} median), "
+        f"disabled overhead "
+        f"{report['gate']['disabled_overhead']['implied_overhead_percent']:.2g}% "
+        f"(ceiling {MAX_DISABLED_OVERHEAD_PERCENT:.0f}%) "
+        f"-> {'PASS' if ok else 'FAIL'}"
+    )
+    return 0 if ok else 1
+
+
+def smoke_scale_sane(report: dict) -> bool:
+    """Loose structural sanity the harness itself asserts on every run."""
+    gate = report["gate"]
+    if gate["events"] < 10_000:
+        return False
+    if report["profiled"]["events"] < 10_000:
+        return False
+    million = report.get("million_event")
+    if million is not None and million["disabled"]["events"] < 900_000:
+        return False
+    return True
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -488,6 +488,72 @@ def render_scrub(report) -> str:
     return "\n".join(lines)
 
 
+def render_profile(profiler, monitor=None, *, top: int = 12) -> str:
+    """Render an engine-profile summary (``repro prof``).
+
+    ``profiler`` is a :class:`~repro.obs.EngineProfiler` after a run;
+    ``monitor`` optionally adds the heartbeat tail.  Self time is what
+    the profiler attributed to the action callbacks themselves; the
+    run-wall line includes the engine's own heap/bookkeeping share.
+    """
+    lines = ["engine profile:"]
+    if profiler.events == 0:
+        lines.append("  no events executed under the profiler")
+        return "\n".join(lines)
+    wall_s = profiler.run_wall_ns / 1e9
+    self_s = profiler.total_self_ns / 1e9
+    rate = profiler.events / wall_s if wall_s > 0 else 0.0
+    lines.append(
+        f"  {profiler.events:,} event(s) in {profiler.batches:,} batch(es) "
+        f"(mean batch {profiler.mean_batch_size:.1f}) — "
+        f"{rate:,.0f} events/s"
+    )
+    lines.append(
+        f"  run wall {_fmt_seconds(wall_s).strip()}, action self time "
+        f"{_fmt_seconds(self_s).strip()} "
+        f"({self_s / wall_s:.0%} of wall)" if wall_s > 0 else
+        f"  action self time {_fmt_seconds(self_s).strip()}"
+    )
+    alloc_col = profiler.track_alloc
+    header = f"{'action site':<52} | {'events':>9} | {'self':>11} | {'mean':>9}"
+    if alloc_col:
+        header += f" | {'alloc':>9}"
+    lines += ["", header, "-" * len(header)]
+    for s in profiler.hot_sites(top):
+        site = s.site
+        if len(site) > 52:
+            site = "…" + site[-51:]
+        row = (
+            f"{site:<52} | {s.events:>9,} | "
+            f"{_fmt_seconds(s.self_ns / 1e9):>11} | "
+            f"{s.mean_us:>7.1f}us"
+        )
+        if alloc_col:
+            row += f" | {s.alloc_bytes / 1024:>7.0f}Ki"
+        lines.append(row)
+    if len(profiler.sites) > top:
+        lines.append(f"  ... {len(profiler.sites) - top} more site(s)")
+    if profiler.fanout:
+        lines.append("")
+        for hook, hist in sorted(profiler.fanout.items()):
+            total = sum(hist.values())
+            mean = sum(k * v for k, v in hist.items()) / total
+            lines.append(
+                f"  fan-out {hook}: {total} dispatch(es), "
+                f"mean {mean:.1f} listener(s), max {max(hist)}"
+            )
+    if monitor is not None and monitor.heartbeats:
+        last = monitor.heartbeats[-1]
+        lines += [
+            "",
+            f"  {len(monitor.heartbeats)} heartbeat(s); last: "
+            f"sim {_fmt_seconds(last['sim_s']).strip()}, "
+            f"{last['events']:,} events, "
+            f"{last['cum_events_per_s']:,.0f} events/s cumulative",
+        ]
+    return "\n".join(lines)
+
+
 def _flatten_numeric(obj, prefix: str = "", depth: int = 4) -> dict[str, float]:
     """Dotted-path view of every numeric leaf in a nested report dict."""
     out: dict[str, float] = {}

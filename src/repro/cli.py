@@ -22,6 +22,9 @@ Subcommands
                 verdicts plus the breach/recover transition log
 ``recover``     background recovery demo: kill node(s) under a foreground
                 workload and drain the repair queue on a bandwidth budget
+``prof``        profile the event engine itself over an orchestrated
+                recovery: hot action sites, heartbeats, flamegraph /
+                speedscope / Perfetto-counter exports
 ``scrub``       integrity demo: inject silent bit rot, walk every chunk
                 with the budgeted scrubber and repair what it quarantines
 ``bench``       ``bench report``: merge the repo's BENCH_*.json artifacts
@@ -283,6 +286,56 @@ def cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_prof(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import render_profile
+    from .obs import chrome_trace, collapsed_stacks, speedscope_json
+    from .recovery import run_recovery_scenario
+
+    kills = tuple(
+        (node, 0.001 + i * args.stagger_s) for i, node in enumerate(args.kill)
+    )
+    log.info(
+        "profiling the engine over a %d-stripe recovery "
+        "(chunk %d KiB, slice %d KiB) ...",
+        args.stripes, args.chunk_kib, args.slice_kib,
+    )
+    scenario = run_recovery_scenario(
+        num_stripes=args.stripes,
+        chunk_bytes=args.chunk_kib * units.KIB,
+        slice_bytes=args.slice_kib * units.KIB,
+        workload=args.workload,
+        seed=args.seed,
+        kills=kills,
+        foreground_reads=args.reads,
+        profile=True,
+        track_alloc=args.alloc,
+        heartbeat_s=args.interval,
+        progress=args.progress,
+    )
+    profiler, monitor = scenario.profiler, scenario.monitor
+    print(render_profile(profiler, monitor, top=args.top))
+    if args.speedscope:
+        with open(args.speedscope, "w") as fh:
+            json.dump(speedscope_json(profiler), fh, sort_keys=True)
+        log.info("speedscope profile written to %s", args.speedscope)
+    if args.collapsed:
+        with open(args.collapsed, "w") as fh:
+            fh.write(collapsed_stacks(profiler))
+        log.info("collapsed stacks written to %s", args.collapsed)
+    if args.heartbeats:
+        with open(args.heartbeats, "w") as fh:
+            fh.write(monitor.heartbeats_jsonl())
+        log.info("heartbeat JSONL written to %s", args.heartbeats)
+    if args.chrome:
+        doc = chrome_trace(scenario.tracer, profiler=profiler, monitor=monitor)
+        with open(args.chrome, "w") as fh:
+            json.dump(doc, fh, sort_keys=True)
+        log.info("chrome trace written to %s", args.chrome)
+    return 0
+
+
 def cmd_scrub(args: argparse.Namespace) -> int:
     from .analysis import render_scrub
     from .cluster import ClusterSystem
@@ -540,6 +593,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the SLO-coupled throttle")
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(func=cmd_recover)
+
+    p = sub.add_parser(
+        "prof",
+        help="profile the event engine over an orchestrated recovery",
+    )
+    p.add_argument("--kill", type=int, nargs="+", default=[0])
+    p.add_argument("--stagger-s", type=float, default=0.003)
+    p.add_argument("--stripes", type=int, default=48)
+    p.add_argument("--chunk-kib", type=int, default=64)
+    p.add_argument("--slice-kib", type=int, default=4,
+                   help="slice size; smaller = more events per repair")
+    p.add_argument("--workload", default="tpcds")
+    p.add_argument("--reads", type=int, default=200)
+    p.add_argument("--top", type=int, default=12,
+                   help="hot action sites to print")
+    p.add_argument("--alloc", action="store_true",
+                   help="attribute allocations too (tracemalloc; slower)")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="heartbeat period (wall seconds)")
+    p.add_argument("--progress", action="store_true",
+                   help="live progress line on stderr")
+    p.add_argument("--speedscope", metavar="PATH",
+                   help="write a speedscope JSON profile")
+    p.add_argument("--collapsed", metavar="PATH",
+                   help="write collapsed stacks for flamegraph.pl")
+    p.add_argument("--heartbeats", metavar="PATH",
+                   help="write heartbeat snapshots as JSONL")
+    p.add_argument("--chrome", metavar="PATH",
+                   help="write a Perfetto trace with engine counter tracks")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_prof)
 
     p = sub.add_parser(
         "scrub",

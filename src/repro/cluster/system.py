@@ -376,7 +376,11 @@ class ClusterSystem:
                         reason="second chunk lost mid-repair",
                     )
                 self._finish_assembly(asm, retire=True)
-        for listener in list(self._failure_listeners):
+        listeners = list(self._failure_listeners)
+        profiler = self.events.profiler
+        if profiler is not None:
+            profiler.record_fanout("failure_listeners", len(listeners))
+        for listener in listeners:
             listener(node)
 
     def add_failure_listener(self, callback) -> None:

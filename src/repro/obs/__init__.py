@@ -19,6 +19,10 @@ The measurement substrate for the whole repair path (see
 * :mod:`repro.obs.slo` — declarative SLO rules (``p99
   repro_repair_seconds < 0.5``) evaluated over the rolling windows,
   emitting ``slo.breach`` / ``slo.recover`` transitions;
+* :mod:`repro.obs.prof` — engine self-observability: an opt-in
+  :class:`EngineProfiler` attributing event wall-time/allocations to
+  action sites plus a :class:`RunMonitor` heartbeating long runs
+  (flamegraph/speedscope exporters live in :mod:`repro.obs.export`);
 * :mod:`repro.obs.demo` — a canned traced repair with an injected hub
   crash (import it directly; it pulls in the cluster prototype).
 
@@ -48,6 +52,7 @@ from .fleet import (
 )
 from .metrics import (
     DEFAULT_BUCKETS,
+    exponential_buckets,
     Counter,
     Gauge,
     Histogram,
@@ -58,14 +63,18 @@ from .metrics import (
     NULL_METRICS,
     NullMetricsRegistry,
 )
+from .prof import EngineProfiler, RunMonitor, SiteStats, site_of
 from .slo import SLOEngine, SLORule, SLOStatus, parse_rule, parse_rules
 from .trace import NULL_SPAN, NULL_TRACER, NullTracer, Span, SpanEvent, Tracer
 from .export import (
     chrome_trace,
     chrome_trace_json,
+    collapsed_stacks,
     prometheus_text,
     span_to_dict,
     spans_to_jsonl,
+    speedscope_json,
+    speedscope_json_str,
 )
 
 __all__ = [
@@ -73,6 +82,7 @@ __all__ = [
     "CONSTRAINTS",
     "DEFAULT_BUCKETS",
     "Counter",
+    "EngineProfiler",
     "ExecModel",
     "FleetAggregator",
     "Gauge",
@@ -93,20 +103,27 @@ __all__ = [
     "PipelineDiagnosis",
     "RepairAttribution",
     "RollingWindow",
+    "RunMonitor",
     "SLOEngine",
     "SLORule",
     "SLOStatus",
+    "SiteStats",
     "Span",
     "SpanEvent",
     "TDigest",
     "Tracer",
     "attribute_repair",
     "attribute_repairs",
+    "exponential_buckets",
     "parse_rule",
     "parse_rules",
+    "site_of",
     "chrome_trace",
     "chrome_trace_json",
+    "collapsed_stacks",
     "prometheus_text",
     "span_to_dict",
     "spans_to_jsonl",
+    "speedscope_json",
+    "speedscope_json_str",
 ]

@@ -148,13 +148,55 @@ def _meta(name: str, pid: int, tid: int | None, label: str) -> dict:
     return ev
 
 
-#: pid assignments: control plane vs data-node lanes.
+#: pid assignments: control plane vs data-node lanes vs engine counters.
 _PID_CONTROL = 1
 _PID_NODES = 2
+_PID_ENGINE = 3
 
 
-def chrome_trace(tracer: Tracer) -> dict:
-    """The whole trace as a Chrome/Perfetto ``trace_event`` document."""
+def _engine_counter_events(profiler, monitor) -> list[dict]:
+    """Perfetto counter tracks ("C" phase) for the engine itself.
+
+    Queue pressure (pending depth) and batch width come from the
+    profiler's decimated per-batch samples; events/sec comes from the
+    monitor's heartbeats.  All are keyed to simulated time so they line
+    up under the repair/transfer lanes.
+    """
+    out: list[dict] = []
+    if profiler is not None:
+        for sim_t, ran, pending in profiler.batch_samples:
+            ts = sim_t * _TS_SCALE
+            out.append(
+                {"name": "engine pending", "ph": "C", "ts": ts,
+                 "pid": _PID_ENGINE, "tid": 0, "args": {"pending": pending}}
+            )
+            out.append(
+                {"name": "engine batch", "ph": "C", "ts": ts,
+                 "pid": _PID_ENGINE, "tid": 0, "args": {"events": ran}}
+            )
+    if monitor is not None:
+        for beat in monitor.heartbeats:
+            out.append(
+                {
+                    "name": "engine events/sec",
+                    "ph": "C",
+                    "ts": beat["sim_s"] * _TS_SCALE,
+                    "pid": _PID_ENGINE,
+                    "tid": 0,
+                    "args": {"events_per_s": round(beat["events_per_s"], 1)},
+                }
+            )
+    return out
+
+
+def chrome_trace(tracer: Tracer, *, profiler=None, monitor=None) -> dict:
+    """The whole trace as a Chrome/Perfetto ``trace_event`` document.
+
+    Passing an :class:`~repro.obs.prof.EngineProfiler` and/or
+    :class:`~repro.obs.prof.RunMonitor` adds engine counter tracks
+    (pending depth, per-batch event count, events/sec) as a third
+    process alongside the control and data-node lanes.
+    """
     control: list[Span] = []      # repair spans (+ anything un-grouped)
     attempts: list[Span] = []
     pipelines: list[Span] = []
@@ -221,12 +263,76 @@ def chrome_trace(tracer: Tracer) -> dict:
             )
             events.extend(_lane_events(lane, _PID_NODES, node_tid))
 
+    engine = _engine_counter_events(profiler, monitor)
+    if engine:
+        meta.append(_meta("process_name", _PID_ENGINE, None, "event engine"))
+        events.extend(engine)
+
     events.sort(key=lambda e: e["ts"])  # stable: per-lane order preserved
     return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 
 
-def chrome_trace_json(tracer: Tracer) -> str:
-    return json.dumps(chrome_trace(tracer), indent=1, sort_keys=True)
+def chrome_trace_json(tracer: Tracer, *, profiler=None, monitor=None) -> str:
+    return json.dumps(
+        chrome_trace(tracer, profiler=profiler, monitor=monitor),
+        indent=1,
+        sort_keys=True,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Engine profiles: collapsed stacks + speedscope                        #
+# --------------------------------------------------------------------- #
+
+def collapsed_stacks(profiler) -> str:
+    """The profiler's site attribution in collapsed-stack format.
+
+    One ``module;qualname <weight>`` line per action site, weighted by
+    attributed self time in integer microseconds — the input format of
+    ``flamegraph.pl`` and every "paste collapsed stacks" flamegraph
+    viewer.  Sites are ordered hottest-first for human skimming (the
+    format itself is order-insensitive).
+    """
+    lines = [
+        f"{s.module};{s.qualname} {max(1, s.self_ns // 1000)}"
+        for s in profiler.hot_sites(len(profiler.sites))
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def speedscope_json(profiler, name: str = "repro engine") -> dict:
+    """The profiler's site attribution as a speedscope document.
+
+    A ``sampled``-type profile whose "samples" are one-frame stacks
+    (``module:qualname``) weighted by attributed self nanoseconds —
+    load the JSON at https://www.speedscope.app and the Sandwich view
+    ranks action sites by self time.  Valid (empty) on an unused
+    profiler.
+    """
+    sites = profiler.hot_sites(len(profiler.sites))
+    frames = [{"name": s.site, "file": s.module} for s in sites]
+    weights = [s.self_ns for s in sites]
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "name": name,
+        "exporter": "repro.obs.prof",
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": name,
+                "unit": "nanoseconds",
+                "startValue": 0,
+                "endValue": sum(weights),
+                "samples": [[i] for i in range(len(frames))],
+                "weights": weights,
+            }
+        ],
+    }
+
+
+def speedscope_json_str(profiler, name: str = "repro engine") -> str:
+    return json.dumps(speedscope_json(profiler, name), sort_keys=True)
 
 
 # --------------------------------------------------------------------- #

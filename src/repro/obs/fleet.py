@@ -152,7 +152,8 @@ class RollingWindow:
     fixed at ``buckets`` sketches.
     """
 
-    __slots__ = ("bucket_s", "buckets", "delta", "_ring", "_epochs")
+    __slots__ = ("bucket_s", "buckets", "delta", "_ring", "_epochs",
+                 "_rev", "_cache", "_cache_rev", "_cache_epoch")
 
     def __init__(self, window_s: float = 60.0, buckets: int = 12, delta: int = 64):
         if window_s <= 0 or buckets < 1:
@@ -162,6 +163,14 @@ class RollingWindow:
         self.delta = delta
         self._ring: list[TDigest | None] = [None] * buckets
         self._epochs = [-1] * buckets
+        #: revision counter bumped on every mutation; together with the
+        #: query-time epoch it keys the merged-digest cache below, so
+        #: repeated queries against an unchanged window (the SLO engine
+        #: evaluates every orchestrator tick) skip the full re-merge
+        self._rev = 0
+        self._cache: TDigest | None = None
+        self._cache_rev = -1
+        self._cache_epoch = -1
 
     @property
     def window_s(self) -> float:
@@ -178,15 +187,30 @@ class RollingWindow:
             digest = self._ring[slot] = TDigest(self.delta)
             self._epochs[slot] = epoch
         digest.add(value)
+        self._rev += 1
 
     def digest(self, now: float) -> TDigest:
-        """Merged sketch over the live buckets ending at ``now``."""
-        out = TDigest(self.delta)
+        """Merged sketch over the live buckets ending at ``now``.
+
+        Treat the result as read-only: unchanged windows return a
+        cached sketch (same revision, same current epoch — a new epoch
+        can age buckets out of the window, so it invalidates too).
+        """
         _, cur = self._slot(now)
+        if (
+            self._cache is not None
+            and self._cache_rev == self._rev
+            and self._cache_epoch == cur
+        ):
+            return self._cache
+        out = TDigest(self.delta)
         for slot in range(self.buckets):
             d = self._ring[slot]
             if d is not None and cur - self._epochs[slot] < self.buckets:
                 out.merge(d)
+        self._cache = out
+        self._cache_rev = self._rev
+        self._cache_epoch = cur
         return out
 
     def count(self, now: float) -> float:
@@ -280,18 +304,36 @@ class FleetAggregator:
         self, metric: str, now: float | None, windowed: bool, labels: dict
     ) -> TDigest:
         series_map = self._metrics.get(metric, {})
-        out = TDigest(self.delta)
         if labels:
             keys = [self._labelkey(labels)]
         else:
             keys = list(series_map)  # aggregate across every label set
         t = self._now(now)
+        parts: list[TDigest] = []
         for key in keys:
             series = series_map.get(key)
             if series is None:
                 continue
-            out.merge(series.window.digest(t) if windowed else series.total)
+            parts.append(series.window.digest(t) if windowed else series.total)
+        if len(parts) == 1:
+            # single-series metrics (the common SLO case) skip the merge
+            # copy entirely; treat the shared sketch as read-only
+            return parts[0]
+        out = TDigest(self.delta)
+        for part in parts:
+            out.merge(part)
         return out
+
+    def window_digest(
+        self, metric: str, now: float | None = None, **labels
+    ) -> TDigest:
+        """The merged windowed sketch itself (read-only, may be cached).
+
+        One call answers count/quantile/mean together — the SLO engine
+        uses this instead of three separate query round-trips that each
+        re-merged the window.
+        """
+        return self._digest(metric, now, True, labels)
 
     def quantile(
         self,
@@ -369,6 +411,7 @@ class FleetAggregator:
                         target = mine.window._ring[my_slot] = TDigest(self.delta)
                         mine.window._epochs[my_slot] = my_epoch
                     target.merge(digest)
+                    mine.window._rev += 1  # invalidate the digest cache
         self.overflowed += other.overflowed
 
 

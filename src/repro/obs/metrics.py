@@ -24,6 +24,22 @@ DEFAULT_BUCKETS = (
 )
 
 
+def exponential_buckets(start: float, factor: float, count: int) -> tuple:
+    """``count`` geometric histogram bounds: start, start*factor, ...
+
+    The Prometheus client idiom, used here for count-like quantities
+    (engine batch sizes, queue depths) whose natural scale is
+    logarithmic rather than the latency-flavoured default bounds.
+    """
+    if start <= 0:
+        raise ValueError(f"start must be positive (got {start})")
+    if factor <= 1:
+        raise ValueError(f"factor must be > 1 (got {factor})")
+    if count < 1:
+        raise ValueError(f"count must be >= 1 (got {count})")
+    return tuple(start * factor**i for i in range(count))
+
+
 class Counter:
     """Monotonically increasing value."""
 

@@ -154,27 +154,27 @@ class SLOEngine:
     # ---- evaluation ----------------------------------------------------- #
 
     def _measure(self, rule: SLORule, now: float | None) -> tuple[float | None, float]:
-        f = self.fleet
-        n = f.count(rule.metric, now, windowed=True)
+        # one windowed digest answers count and value together — the
+        # engine runs every orchestrator tick, and re-merging the window
+        # per aggregate dominated the control loop before this
+        d = self.fleet.window_digest(rule.metric, now)
+        n = d.count
         if rule.agg in _QUANTILES:
-            return (
-                f.quantile(rule.metric, _QUANTILES[rule.agg], now) if n else None,
-                n,
-            )
+            return (d.quantile(_QUANTILES[rule.agg]) if n else None, n)
         if rule.agg == "mean":
-            return (f.mean(rule.metric, now) if n else None, n)
+            return (d.mean if n else None, n)
         if rule.agg == "min":
-            return (f.quantile(rule.metric, 0.0, now) if n else None, n)
+            return (d.quantile(0.0) if n else None, n)
         if rule.agg == "max":
-            return (f.quantile(rule.metric, 1.0, now) if n else None, n)
+            return (d.quantile(1.0) if n else None, n)
         if rule.agg == "count":
             return (n, n)
         if rule.agg == "rate":
-            return (f.rate_per_s(rule.metric, now), n)
+            return (n / self.fleet.window_s, n)
         if rule.agg == "burn_rate":
             if not n:
                 return (None, n)
-            bad = f.mean(rule.metric, now)  # 0/1 indicators -> failure ratio
+            bad = d.mean  # 0/1 indicators -> failure ratio
             return (bad / rule.budget, n)
         raise AssertionError(f"unknown agg {rule.agg!r}")
 

@@ -20,7 +20,14 @@ from ..cluster.system import ClusterSystem
 from ..ec.rs import RSCode
 from ..faults import FAILED
 from ..net import units
-from ..obs import FleetAggregator, MetricsRegistry, SLOEngine, Tracer
+from ..obs import (
+    EngineProfiler,
+    FleetAggregator,
+    MetricsRegistry,
+    RunMonitor,
+    SLOEngine,
+    Tracer,
+)
 from ..obs.slo import parse_rules
 from ..workloads import make_trace
 from .foreground import ForegroundTraffic
@@ -107,6 +114,10 @@ class RecoveryScenario:
     report: RecoveryReport
     #: original (k, chunk_bytes) data arrays per stripe, for verification
     payloads: dict[str, np.ndarray] = field(repr=False, default_factory=dict)
+    #: engine self-observability hooks (None unless ``profile=True`` /
+    #: ``heartbeat_s`` was passed to :func:`run_recovery_scenario`)
+    profiler: EngineProfiler | None = None
+    monitor: RunMonitor | None = None
 
 
 def run_recovery_scenario(
@@ -116,6 +127,7 @@ def run_recovery_scenario(
     k: int = 4,
     num_stripes: int = 24,
     chunk_bytes: int = 16 * units.KIB,
+    slice_bytes: int = 64 * units.KIB,
     workload: str = "tpcds",
     seed: int = 7,
     kills: tuple[tuple[int, float], ...] = ((0, 0.001),),
@@ -129,6 +141,11 @@ def run_recovery_scenario(
     fleet_window_s: float = 0.1,
     replay_trace: bool = False,
     until: float | None = None,
+    profile: bool = False,
+    track_alloc: bool = False,
+    heartbeat_s: float | None = None,
+    heartbeat_stream=None,
+    progress: bool = False,
 ) -> RecoveryScenario:
     """Kill node(s) under a foreground workload and recover on a budget.
 
@@ -138,6 +155,14 @@ def run_recovery_scenario(
     single-chunk transfer time (``None`` disables the throttle
     coupling).  With ``replay_trace`` the workload trace keeps
     mutating cluster bandwidth during recovery, MLF-style.
+
+    ``profile=True`` attaches an :class:`~repro.obs.EngineProfiler` to
+    the event queue (``track_alloc`` adds tracemalloc allocation
+    attribution); ``heartbeat_s`` attaches a
+    :class:`~repro.obs.RunMonitor` emitting heartbeat snapshots at that
+    wall-clock period (to ``heartbeat_stream`` as JSONL when given,
+    plus a stderr progress line with ``progress=True``).  Both ride
+    back on the returned scenario.
     """
     tracer = Tracer()
     metrics = MetricsRegistry()
@@ -147,11 +172,27 @@ def run_recovery_scenario(
     system = ClusterSystem(
         num_nodes,
         RSCode(n, k),
+        slice_bytes=slice_bytes,
         tracer=tracer,
         metrics=metrics,
         fleet=fleet,
     )
     system.set_bandwidth(snapshot)
+
+    profiler = None
+    if profile:
+        profiler = EngineProfiler(track_alloc=track_alloc)
+        profiler.install(system.events)
+    monitor = None
+    if heartbeat_s is not None or progress or heartbeat_stream is not None:
+        monitor = RunMonitor(
+            interval_s=heartbeat_s if heartbeat_s is not None else 1.0,
+            stream=heartbeat_stream,
+            progress=progress,
+            profiler=profiler,
+            until=until,
+        )
+        monitor.install(system.events)
 
     slo = None
     if slo_latency_multiple is not None:
@@ -212,6 +253,11 @@ def run_recovery_scenario(
         # would otherwise go unobserved)
         slo.evaluate(system.events.now)
 
+    if monitor is not None:
+        monitor.uninstall()
+    if profiler is not None:
+        profiler.uninstall()
+
     return RecoveryScenario(
         system=system,
         orchestrator=orchestrator,
@@ -222,4 +268,6 @@ def run_recovery_scenario(
         slo=slo,
         report=build_report(orchestrator, foreground),
         payloads=payloads,
+        profiler=profiler,
+        monitor=monitor,
     )

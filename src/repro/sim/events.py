@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter_ns
 from typing import Callable
 
 
@@ -55,6 +56,13 @@ class EventQueue:
         self._pending: dict[int, _Entry] = {}
         self._executed = 0
         self._peak_pending = 0
+        self._budget: int | None = None
+        #: opt-in engine self-observability hooks (:mod:`repro.obs.prof`).
+        #: ``run`` checks them once at entry and dispatches to a separate
+        #: instrumented loop, so the disabled hot path pays nothing per
+        #: event.
+        self.profiler = None
+        self.monitor = None
 
     @property
     def now(self) -> float:
@@ -75,6 +83,26 @@ class EventQueue:
     def peak_pending(self) -> int:
         """High-water mark of the pending-event count (queue depth)."""
         return self._peak_pending
+
+    @property
+    def event_budget(self) -> int | None:
+        """Events remaining in the persistent budget (``None`` = unarmed)."""
+        return self._budget
+
+    def set_event_budget(self, remaining: int | None) -> None:
+        """Arm (or clear, with ``None``) a persistent event budget.
+
+        Both :meth:`step` and :meth:`run` draw down the same budget:
+        each executed event decrements it, and an execution attempted
+        with zero budget raises ``RuntimeError`` while leaving the
+        event still queued — top the budget back up and the run can
+        resume exactly where it stopped.  ``run`` samples the budget at
+        entry, so re-arming from inside an action takes effect at the
+        next ``run``/``step`` call.
+        """
+        if remaining is not None and remaining < 0:
+            raise ValueError(f"event budget must be >= 0 (got {remaining})")
+        self._budget = remaining
 
     def schedule(self, delay: float, action: Callable[[], None]) -> _Entry:
         """Schedule ``action`` to run ``delay`` seconds from now.
@@ -129,15 +157,38 @@ class EventQueue:
         return event_id in self._pending
 
     def step(self) -> bool:
-        """Run the next pending event.  Returns False when the queue is empty."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
+        """Run the next pending event.  Returns False when the queue is empty.
+
+        Honours (and draws down) the persistent budget armed via
+        :meth:`set_event_budget`; an exhausted budget raises without
+        consuming the event.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
             if entry.cancelled:
+                heapq.heappop(heap)
                 continue
+            budget = self._budget
+            if budget is not None:
+                if budget <= 0:
+                    raise RuntimeError(
+                        "event budget exhausted (0 remaining); "
+                        "set_event_budget() to continue"
+                    )
+                self._budget = budget - 1
+            heapq.heappop(heap)
             self._pending.pop(entry.seq, None)
             self._now = entry.time
             self._executed += 1
-            entry.action()
+            profiler = self.profiler
+            if profiler is not None:
+                profiler.run_action(entry.action)
+                profiler.record_batch(entry.time, 1, len(self._pending))
+            else:
+                entry.action()
+            if self.monitor is not None:
+                self.monitor.after_batch(self)
             return True
         return False
 
@@ -161,38 +212,142 @@ class EventQueue:
             Stop once simulation time would pass this value (events beyond
             it stay queued).
         max_events:
-            Safety valve against runaway simulations.
+            Safety valve against runaway simulations: exactly this many
+            events may execute; attempting one more raises, with the
+            overflowing event (and the rest of its batch) left queued.
         """
+        if self.profiler is not None or self.monitor is not None:
+            return self._run_instrumented(until=until, max_events=max_events)
         heap = self._heap
         pending_pop = self._pending.pop
         heappop = heapq.heappop
+        limit = max_events
+        if self._budget is not None and self._budget < limit:
+            limit = self._budget
         executed = 0
         batch: list[_Entry] = []
-        while heap:
-            head = heap[0]
-            if head.cancelled:
-                # drop stale entries without re-wrapping them in a batch
-                heappop(heap)
-                continue
-            when = head.time
-            if until is not None and when > until:
-                self._now = until
-                break
-            batch.clear()
-            while heap and heap[0].time == when:
-                entry = heappop(heap)
-                if not entry.cancelled:
-                    batch.append(entry)
-            self._now = when
-            for entry in batch:
-                if entry.cancelled:
-                    continue  # cancelled by an earlier action in this batch
-                pending_pop(entry.seq, None)
-                self._executed += 1
-                entry.action()
-                executed += 1
-                if executed > max_events:
-                    raise RuntimeError(
-                        f"exceeded {max_events} events; runaway simulation?"
-                    )
+        try:
+            while heap:
+                head = heap[0]
+                if head.cancelled:
+                    # drop stale entries without re-wrapping them in a batch
+                    heappop(heap)
+                    continue
+                when = head.time
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                batch.clear()
+                while heap and heap[0].time == when:
+                    entry = heappop(heap)
+                    if not entry.cancelled:
+                        batch.append(entry)
+                self._now = when
+                for entry in batch:
+                    if entry.cancelled:
+                        continue  # cancelled by an earlier action in this batch
+                    if executed >= limit:
+                        self._requeue_unexecuted(batch)
+                        raise RuntimeError(
+                            self._limit_message(limit, max_events)
+                        )
+                    pending_pop(entry.seq, None)
+                    self._executed += 1
+                    entry.action()
+                    executed += 1
+        finally:
+            if self._budget is not None:
+                self._budget = max(0, self._budget - executed)
+        return self._now
+
+    def _requeue_unexecuted(self, batch: list[_Entry]) -> None:
+        """Push a batch's not-yet-run entries back on the heap.
+
+        Executed entries were already removed from ``_pending`` (and
+        cancelled ones never joined it), so membership there identifies
+        exactly the events an aborted batch still owes — re-queueing
+        them keeps the queue consistent, which lets a budget-exhausted
+        run resume after :meth:`set_event_budget` tops it back up.
+        """
+        for entry in batch:
+            if not entry.cancelled and entry.seq in self._pending:
+                heapq.heappush(self._heap, entry)
+
+    def _limit_message(self, limit: int, max_events: int) -> str:
+        if limit < max_events:
+            return (
+                f"event budget exhausted after {limit} events; "
+                "set_event_budget() to continue"
+            )
+        return f"exceeded {max_events} events; runaway simulation?"
+
+    def _run_instrumented(
+        self, *, until: float | None, max_events: int
+    ) -> float:
+        """The :meth:`run` loop with profiler/monitor hooks live.
+
+        A structural twin of the fast loop (same batching, ordering and
+        budget semantics) that additionally times each action, records
+        per-batch samples and lets the monitor emit heartbeats.  Kept
+        separate so the common, un-instrumented path never pays for the
+        hooks.
+        """
+        heap = self._heap
+        pending = self._pending
+        pending_pop = pending.pop
+        heappop = heapq.heappop
+        profiler = self.profiler
+        monitor = self.monitor
+        run_action = profiler.run_action if profiler is not None else None
+        limit = max_events
+        if self._budget is not None and self._budget < limit:
+            limit = self._budget
+        executed = 0
+        batch: list[_Entry] = []
+        wall0 = perf_counter_ns()
+        try:
+            while heap:
+                head = heap[0]
+                if head.cancelled:
+                    heappop(heap)
+                    continue
+                when = head.time
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                batch.clear()
+                while heap and heap[0].time == when:
+                    entry = heappop(heap)
+                    if not entry.cancelled:
+                        batch.append(entry)
+                self._now = when
+                ran = 0
+                for entry in batch:
+                    if entry.cancelled:
+                        continue
+                    if executed >= limit:
+                        self._requeue_unexecuted(batch)
+                        raise RuntimeError(
+                            self._limit_message(limit, max_events)
+                        )
+                    pending_pop(entry.seq, None)
+                    self._executed += 1
+                    if run_action is not None:
+                        run_action(entry.action)
+                    else:
+                        entry.action()
+                    executed += 1
+                    ran += 1
+                if ran:
+                    if profiler is not None:
+                        profiler.record_batch(when, ran, len(pending))
+                    if monitor is not None:
+                        monitor.after_batch(self)
+        finally:
+            if profiler is not None:
+                profiler.run_wall_ns += perf_counter_ns() - wall0
+            if monitor is not None:
+                monitor.after_run(self)
+            if self._budget is not None:
+                self._budget = max(0, self._budget - executed)
         return self._now

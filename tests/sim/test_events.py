@@ -270,3 +270,104 @@ class TestBatchedRun:
             q.schedule(1.0, lambda: None)
         with pytest.raises(RuntimeError):
             q.run(max_events=5)
+
+
+class TestMaxEventsExact:
+    """``max_events=N`` runs exactly N events — the historical guard
+    fired only after executing N+1 (off-by-one)."""
+
+    def test_exactly_max_events_execute_before_raise(self):
+        q = EventQueue()
+        hits = []
+        for i in range(10):
+            q.schedule(0.001 * i, lambda i=i: hits.append(i))
+        with pytest.raises(RuntimeError, match="runaway"):
+            q.run(max_events=5)
+        assert hits == [0, 1, 2, 3, 4]
+        assert q.executed == 5
+
+    def test_exact_budget_drains_without_raising(self):
+        q = EventQueue()
+        for i in range(5):
+            q.schedule(0.001 * i, lambda: None)
+        q.run(max_events=5)  # exactly enough: no raise
+        assert q.executed == 5
+
+    def test_overflow_event_stays_queued_and_resumable(self):
+        q = EventQueue()
+        hits = []
+        for i in range(8):
+            q.schedule(1.0, lambda i=i: hits.append(i))  # one batch
+        with pytest.raises(RuntimeError):
+            q.run(max_events=3)
+        assert hits == [0, 1, 2]
+        assert q.pending_count == 5
+        q.run()  # the aborted batch's remainder is still consistent
+        assert hits == list(range(8))
+        assert q.pending_count == 0
+
+
+class TestEventBudget:
+    """The persistent budget shared (and drawn down) by run() and step()."""
+
+    def test_run_honours_and_draws_down_budget(self):
+        q = EventQueue()
+        hits = []
+        for i in range(10):
+            q.schedule(0.001 * i, lambda i=i: hits.append(i))
+        q.set_event_budget(4)
+        with pytest.raises(RuntimeError, match="budget"):
+            q.run()
+        assert hits == [0, 1, 2, 3]
+        assert q.event_budget == 0
+
+    def test_step_shares_the_same_budget(self):
+        q = EventQueue()
+        for i in range(5):
+            q.schedule(0.001 * i, lambda: None)
+        q.set_event_budget(3)
+        q.step()
+        assert q.event_budget == 2
+        with pytest.raises(RuntimeError, match="budget"):
+            q.run()
+        assert q.event_budget == 0
+        with pytest.raises(RuntimeError, match="budget"):
+            q.step()
+        # the refused event was not consumed
+        assert q.pending_count == 2
+
+    def test_topping_up_resumes_where_it_stopped(self):
+        q = EventQueue()
+        hits = []
+        for i in range(6):
+            q.schedule(0.001 * i, lambda i=i: hits.append(i))
+        q.set_event_budget(2)
+        with pytest.raises(RuntimeError):
+            q.run()
+        q.set_event_budget(10)
+        q.run()
+        assert hits == list(range(6))
+        assert q.event_budget == 6
+
+    def test_clearing_budget_disarms_it(self):
+        q = EventQueue()
+        for _ in range(3):
+            q.schedule(0.0, lambda: None)
+        q.set_event_budget(1)
+        q.set_event_budget(None)
+        q.run()
+        assert q.executed == 3
+        assert q.event_budget is None
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().set_event_budget(-1)
+
+    def test_budget_tighter_than_max_events_wins(self):
+        q = EventQueue()
+        for _ in range(5):
+            q.schedule(0.0, lambda: None)
+        q.set_event_budget(2)
+        with pytest.raises(RuntimeError, match="budget"):
+            q.run(max_events=100)
+        assert q.executed == 2
