@@ -1,0 +1,364 @@
+"""Detection-quality harness for the streaming divergence detectors.
+
+Two scored suites, one committed artefact (``BENCH_detect.json``):
+
+**Watchdog suite** — the cluster prototype's fault matrix (clean /
+hub crash / helper straggler / requester stall), each run twice: with
+the blunt timeout watchdog only, and with a
+:class:`~repro.obs.detect.DivergenceMonitor` wired so the watchdog gains
+the detector-informed early-abort path.  Scored on *time to
+mitigation*: the first intervention (``watchdog.fire`` or
+``detect.abort``) after the fault, falling back to completion time when
+an arm never intervenes (the straggler limps to the end under the
+timeout-only watchdog — that IS its detection latency).  The tier-1
+gate requires the detector arm's mean latency to be strictly lower,
+with **zero** detector aborts on the clean scenario.
+
+**Drift suite** — ``simulate_under_drift`` re-planning policies under a
+drifting SWIM trace, a mid-repair helper crash, and a straggling
+helper: ``never`` (no re-plan), ``oracle`` (re-plan every interval — an
+upper bound that pays maximal calc time), ``interval`` (the existing
+3 s fixed period), and ``detect`` (re-plan only when the plan-divergence
+detector alarms).  The gate requires ``detect`` to beat ``never`` on
+repair time for every case, and to raise **zero** alarms on a perfectly
+flat trace (the false-positive-rate check).
+
+Run ``python -m benchmarks.bench_detect`` to regenerate the committed
+artefact; ``tests/test_bench_detect.py`` re-runs the smoke tier and
+enforces the gate on every tier-1 run.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.obs import DivergenceMonitor, MetricsRegistry, Tracer
+from repro.obs.demo import _build_system, _find_hub
+from repro.repair import get_algorithm
+from repro.sim.dynamics import simulate_under_drift
+from repro.workloads import make_trace
+from repro.workloads.base import Trace
+
+from .common import SEED, write_json_report
+
+SCHEMA_VERSION = 1
+
+#: Watchdog fault matrix (ISSUE 9): the scenarios every arm must face.
+WATCHDOG_SCENARIOS = ("clean", "hub_crash", "helper_straggler", "requester_stall")
+
+#: Drift-suite cases and re-planning policies.
+DRIFT_CASES = ("drifting", "dead_helper", "straggler")
+DRIFT_POLICIES = ("never", "oracle", "interval", "detect")
+
+
+# --------------------------------------------------------------------------- #
+# watchdog suite
+# --------------------------------------------------------------------------- #
+
+
+def _first_fire(tracer: Tracer):
+    """(name, t) of the earliest intervention event in a trace, or None."""
+    fires = []
+    for span in tracer.spans():
+        for ev in span.events:
+            if ev.name in ("watchdog.fire", "detect.abort"):
+                fires.append((ev.name, ev.time))
+    return min(fires, key=lambda f: f[1]) if fires else None
+
+
+def _watchdog_run(
+    scenario: str,
+    *,
+    detector: bool,
+    n: int,
+    k: int,
+    num_nodes: int,
+    chunk_bytes: int,
+    failed_node: int,
+    requester: int,
+    snapshot,
+    hub: int,
+    helper: int,
+    fault_at_s: float,
+) -> dict:
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    monitor = (
+        DivergenceMonitor.standard(tracer=tracer, metrics=metrics)
+        if detector
+        else None
+    )
+    system = _build_system(
+        n=n, k=k, num_nodes=num_nodes, chunk_bytes=chunk_bytes,
+        failed_node=failed_node, snapshot=snapshot, seed=SEED,
+        tracer=tracer, metrics=metrics,
+    )
+    system.divergence = monitor
+    if monitor is not None:
+        monitor.clock = lambda: system.events.now
+    # heartbeats keep the master's bandwidth picture live, so a re-plan
+    # after an abort can actually route around the injected fault
+    system.enable_heartbeats(period_s=0.005)
+    if scenario == "hub_crash":
+        system.events.schedule(fault_at_s, lambda: system.fail_node(hub))
+    elif scenario == "helper_straggler":
+        system.events.schedule(
+            fault_at_s, lambda: system.set_rate_cap(helper, 1.0)
+        )
+    elif scenario == "requester_stall":
+        system.events.schedule(
+            fault_at_s, lambda: system.stall_node(requester, 10.0)
+        )
+    outcome = system.repair(
+        "s1", failed_node, requester=requester, store=False,
+        on_failure="outcome",
+    )
+    fire = _first_fire(tracer)
+    detect_aborts = sum(
+        1
+        for span in tracer.spans()
+        for ev in span.events
+        if ev.name == "detect.abort"
+    )
+    faulted = scenario != "clean"
+    if not faulted:
+        latency = None
+    elif fire is not None:
+        latency = fire[1] - fault_at_s
+    else:
+        # never intervened: the repair limped to its end — time to
+        # mitigation is the whole remaining repair
+        latency = outcome.elapsed_seconds - fault_at_s
+    return {
+        "status": outcome.status,
+        "elapsed_s": outcome.elapsed_seconds,
+        "retries": outcome.retries,
+        "first_intervention": (
+            None if fire is None else {"event": fire[0], "t": fire[1]}
+        ),
+        "detect_aborts": detect_aborts,
+        "suppressed": len(monitor.suppressions) if monitor else 0,
+        "detection_latency_s": latency,
+    }
+
+
+def _watchdog_suite(*, chunk_bytes: int) -> dict:
+    n, k, num_nodes = 14, 10, 16
+    failed_node, requester = 3, num_nodes - 1
+    snapshot = make_trace(
+        "tpcds", num_nodes=num_nodes, num_snapshots=60, seed=4
+    ).snapshot(30)
+    # a clean, un-instrumented pass sizes the fault time and finds the
+    # plan's hub and a direct helper (the demo's protocol)
+    probe = _build_system(
+        n=n, k=k, num_nodes=num_nodes, chunk_bytes=chunk_bytes,
+        failed_node=failed_node, snapshot=snapshot, seed=SEED,
+    )
+    clean = probe.repair("s1", failed_node, requester=requester, store=False)
+    hub = _find_hub(clean.plan, requester)
+    helper = next(
+        e.child
+        for p in clean.plan.pipelines
+        for e in p.edges
+        if e.parent == requester
+    )
+    fault_at_s = 0.5 * clean.elapsed_seconds
+    kwargs = dict(
+        n=n, k=k, num_nodes=num_nodes, chunk_bytes=chunk_bytes,
+        failed_node=failed_node, requester=requester, snapshot=snapshot,
+        hub=hub, helper=helper, fault_at_s=fault_at_s,
+    )
+    scenarios: dict[str, dict] = {}
+    for scenario in WATCHDOG_SCENARIOS:
+        scenarios[scenario] = {
+            "baseline": _watchdog_run(scenario, detector=False, **kwargs),
+            "detector": _watchdog_run(scenario, detector=True, **kwargs),
+        }
+    faulted = [s for s in WATCHDOG_SCENARIOS if s != "clean"]
+    mean_latency = {
+        arm: float(
+            np.mean([scenarios[s][arm]["detection_latency_s"] for s in faulted])
+        )
+        for arm in ("baseline", "detector")
+    }
+    missed = sum(
+        1
+        for s in faulted
+        if scenarios[s]["detector"]["first_intervention"] is None
+    )
+    return {
+        "code": {"n": n, "k": k, "num_nodes": num_nodes},
+        "chunk_bytes": chunk_bytes,
+        "fault_at_s": fault_at_s,
+        "clean_elapsed_s": clean.elapsed_seconds,
+        "scenarios": scenarios,
+        "mean_detection_latency_s": mean_latency,
+        "false_aborts_clean": scenarios["clean"]["detector"]["detect_aborts"],
+        "missed_detections": missed,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# drift suite
+# --------------------------------------------------------------------------- #
+
+
+def _flat_trace(num_nodes: int, bw_mbps: float, length: int) -> Trace:
+    shape = (length, num_nodes)
+    return Trace(
+        workload="flat",
+        capacity_mbps=1000.0,
+        uplink=np.full(shape, bw_mbps),
+        downlink=np.full(shape, bw_mbps),
+    )
+
+
+def _drift_suite(*, chunk_bytes: int) -> dict:
+    num_nodes, helpers, k, requester = 10, tuple(range(6)), 4, 9
+    algorithm = get_algorithm("fullrepair")
+    trace = make_trace("swim", num_nodes=num_nodes, num_snapshots=400, seed=3)
+    fault_at_s = 5.0
+    case_kwargs = {
+        "drifting": {},
+        "dead_helper": {"dead_from": {2: fault_at_s}},
+        "straggler": {"node_rate_caps": {2: 40.0}},
+    }
+    policy_kwargs = {
+        "never": {},
+        "oracle": {"replan_interval_s": 1.0},
+        "interval": {"replan_interval_s": 3.0},
+        # alarm-triggered, with a 15 s staleness bound (5x the fixed
+        # policy's period) so a pessimistic-but-achieved plan cannot
+        # persist — see simulate_under_drift's replan_on docs
+        "detect": {"replan_on": "detect", "replan_interval_s": 15.0},
+    }
+    cases: dict[str, dict] = {}
+    for case, faults in case_kwargs.items():
+        per_policy: dict[str, dict] = {}
+        for policy, knobs in policy_kwargs.items():
+            result = simulate_under_drift(
+                algorithm,
+                trace,
+                start_instant=0,
+                requester=requester,
+                helpers=helpers,
+                k=k,
+                chunk_bytes=chunk_bytes,
+                interval_s=1.0,
+                stall_deadline_s=120.0,
+                **faults,
+                **knobs,
+            )
+            per_policy[policy] = {
+                "seconds": result.seconds,
+                "completed": result.completed,
+                "timed_out": result.timed_out,
+                "replans": result.replans,
+                "calc_seconds_total": result.calc_seconds_total,
+                "stalled_intervals": result.stalled_intervals,
+                "alarms": result.alarms,
+                "alarm_seconds": list(result.alarm_seconds),
+            }
+        cases[case] = per_policy
+    # detection latency on the injected-fault case: first alarm - fault
+    dead = cases["dead_helper"]["detect"]
+    detect_latency = (
+        dead["alarm_seconds"][0] - fault_at_s if dead["alarm_seconds"] else None
+    )
+    # false-positive check: a perfectly flat trace must never alarm
+    flat = simulate_under_drift(
+        algorithm,
+        _flat_trace(num_nodes, 400.0, 400),
+        start_instant=0,
+        requester=requester,
+        helpers=helpers,
+        k=k,
+        chunk_bytes=chunk_bytes,
+        interval_s=1.0,
+        replan_on="detect",
+    )
+    return {
+        "chunk_bytes": chunk_bytes,
+        "fault_at_s": fault_at_s,
+        "cases": cases,
+        "dead_helper_detection_latency_s": detect_latency,
+        "flat": {
+            "seconds": flat.seconds,
+            "completed": flat.completed,
+            "alarms": flat.alarms,
+            "replans": flat.replans,
+        },
+    }
+
+
+# --------------------------------------------------------------------------- #
+# gate + entry point
+# --------------------------------------------------------------------------- #
+
+
+def _gate(watchdog: dict, drift: dict) -> dict:
+    latency = watchdog["mean_detection_latency_s"]
+    detector_beats_timeout = latency["detector"] < latency["baseline"]
+    zero_false_aborts = watchdog["false_aborts_clean"] == 0
+    no_missed = watchdog["missed_detections"] == 0
+    detect_beats_never = all(
+        case["detect"]["seconds"] < case["never"]["seconds"]
+        for case in drift["cases"].values()
+    )
+    zero_flat_alarms = drift["flat"]["alarms"] == 0
+    checks = {
+        "detector_beats_timeout": detector_beats_timeout,
+        "zero_false_aborts": zero_false_aborts,
+        "no_missed_detections": no_missed,
+        "detect_beats_never": detect_beats_never,
+        "zero_flat_alarms": zero_flat_alarms,
+    }
+    return {**checks, "pass": all(checks.values())}
+
+
+def run(*, smoke: bool = False, out_path=None) -> dict:
+    """Run both suites and persist the artefact; returns the report.
+
+    ``smoke=True`` shrinks the drift chunk so the whole run fits in a
+    tier-1 test budget; the scored gate conditions are identical.
+    """
+    # the drift chunk must span enough trace for drift to matter —
+    # a short repair never diverges and the policies degenerate into a
+    # single-plan tie (smoke still covers tens of intervals)
+    watchdog = _watchdog_suite(chunk_bytes=64 * 1024)
+    drift = _drift_suite(
+        chunk_bytes=(2 * 1024**3 if smoke else 4 * 1024**3)
+    )
+    report = {
+        "benchmark": "detect",
+        "schema_version": SCHEMA_VERSION,
+        "config": {"smoke": smoke, "seed": SEED},
+        "watchdog": watchdog,
+        "drift": drift,
+        "gate": _gate(watchdog, drift),
+    }
+    write_json_report("detect", report, path=out_path)
+    return report
+
+
+def main() -> int:
+    report = run(smoke="--smoke" in sys.argv[1:])
+    gate = report["gate"]
+    latency = report["watchdog"]["mean_detection_latency_s"]
+    print(
+        f"mean time-to-mitigation: timeout-only {latency['baseline']:.4f}s, "
+        f"detector {latency['detector']:.4f}s"
+    )
+    for case, policies in report["drift"]["cases"].items():
+        row = ", ".join(
+            f"{p} {policies[p]['seconds']:.1f}s" for p in DRIFT_POLICIES
+        )
+        print(f"drift/{case}: {row}")
+    print(f"gate: {gate}")
+    return 0 if gate["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

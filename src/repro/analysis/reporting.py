@@ -394,6 +394,64 @@ def render_slo(engine, statuses=None, tracer=None) -> str:
     return "\n".join(lines)
 
 
+def render_detect(monitor, tracer=None) -> str:
+    """Render a :class:`~repro.obs.detect.DivergenceMonitor`'s record
+    (``repro detect``): watched signals, the alarm log, suppressions,
+    and — with a tracer — the detector-informed control actions
+    (``detect.abort`` events)."""
+    header = (
+        f"{'signal':>26} | {'detector':>12} | "
+        f"{'keys':>5} {'samples':>8} {'alarms':>6}"
+    )
+    lines = [
+        f"divergence detection: {len(monitor.watched())} signal(s) watched",
+        header,
+        "-" * len(header),
+    ]
+    for signal in monitor.watched():
+        lines.append(
+            f"{signal:>26} | {monitor.detector_name(signal):>12} | "
+            f"{len(monitor.keys(signal)):>5} "
+            f"{monitor.observations(signal):>8} "
+            f"{monitor.alarm_count(signal):>6}"
+        )
+    if monitor.alarms:
+        lines += ["", "alarms:"]
+        for a in monitor.alarms:
+            where = f"{a.signal}[{a.key}]" if a.key else a.signal
+            lines.append(
+                f"  {_fmt_seconds(a.t).strip():>10}  {where}  "
+                f"{a.detector} {a.kind}: value {a.value:.4g}, "
+                f"stat {a.stat:.3g} > {a.threshold:.3g} (n={a.n})"
+            )
+    else:
+        lines += ["", "no alarms"]
+    if monitor.suppressions:
+        lines += ["", "suppressions:"]
+        for s in monitor.suppressions:
+            where = f"{s['signal']}[{s['key']}]" if s["key"] else s["signal"]
+            lines.append(
+                f"  {_fmt_seconds(s['t']).strip():>10}  {where}: "
+                f"{s['reason']}"
+            )
+    if tracer is not None:
+        aborts = [
+            e for e in tracer.all_events() if e.name == "detect.abort"
+        ]
+        if aborts:
+            lines += ["", "control actions:"]
+            for e in aborts:
+                lines.append(
+                    f"  {_fmt_seconds(e.time).strip():>10}  detect.abort  "
+                    f"attempt {e.attrs.get('attempt')}: "
+                    f"ratio {e.attrs.get('ratio'):.3g} "
+                    f"({e.attrs.get('detector')} stat "
+                    f"{e.attrs.get('stat'):.3g}, armed timeout "
+                    f"{e.attrs.get('timeout_s'):.3g}s)"
+                )
+    return "\n".join(lines)
+
+
 def render_recovery(report, tracer=None) -> str:
     """Render a background-recovery run report (``repro recover``)."""
     lines = [

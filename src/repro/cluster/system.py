@@ -148,6 +148,13 @@ class _Assembly:
     max_attempts: int = 3
     backoff_base_s: float = 0.02
     watchdog: bool = False
+    # ---- divergence-detector sampler (DivergenceMonitor wired only) --- #
+    detect_timer: object = None
+    detect_period_s: float = 0.0
+    detect_mark: int = 0
+    detect_mark_t: float = 0.0
+    #: participant node -> uplink busy seconds at the previous tick
+    detect_busy: dict = field(default_factory=dict)
     # ---- integrity state ---------------------------------------------- #
     corruption_detected: bool = False
     #: stripe chunk indices this repair proved corrupt and quarantined
@@ -217,6 +224,7 @@ class ClusterSystem:
         metrics=None,
         fleet=None,
         slo=None,
+        divergence=None,
         integrity_verify: bool = True,
     ) -> None:
         if num_nodes < code.n + 1:
@@ -235,6 +243,13 @@ class ClusterSystem:
             self.tracer.clock = lambda: self.events.now
         if self.fleet.enabled and self.fleet.clock is None:
             self.fleet.clock = lambda: self.events.now
+        #: online divergence detection (``repro.obs.detect``): when a
+        #: DivergenceMonitor is wired, watchdog repairs sample realised
+        #: throughput against the plan's t_max and abort diverged
+        #: attempts *before* the timeout fallback fires
+        self.divergence = divergence
+        if self.divergence is not None and self.divergence.clock is None:
+            self.divergence.clock = lambda: self.events.now
         if isinstance(algorithm, str):
             algorithm = get_algorithm(algorithm)
         self.master = Master(code, algorithm, num_nodes)
@@ -1649,6 +1664,7 @@ class ClusterSystem:
                 lambda t=task, o=owner: self._assign_if_alive(o, t),
             )
         self._arm_timer(asm)
+        self._arm_detector(asm)
         self._ensure_heartbeat()
 
     def _arm_timer(self, asm: _Assembly) -> None:
@@ -1668,6 +1684,127 @@ class ClusterSystem:
         asm.timer_mark = asm.received
         asm.timer = self.events.schedule(
             timeout, lambda a=asm: self._on_timeout(a)
+        )
+
+    #: throughput samples taken per armed watchdog window — the sampler
+    #: must out-resolve the timeout for early detection to mean anything
+    DETECT_TICKS_PER_TIMEOUT = 16
+
+    def _arm_detector(self, asm: _Assembly) -> None:
+        """Start the divergence sampler for the current attempt.
+
+        Every tick scores the realised throughput of the attempt's wire
+        epoch (bytes folded since the last tick, over the plan's
+        ``t_max``) with the monitor's ``repair.throughput_ratio``
+        detector, and feeds each participant's uplink busy fraction to
+        ``node.busy_fraction``.  A throughput alarm aborts the attempt
+        immediately — the blunt timeout stays armed as the fallback for
+        faults the detector cannot see (e.g. a crash during warmup).
+        """
+        if self.divergence is None or not asm.watchdog:
+            return
+        if asm.detect_timer is not None:
+            self.events.cancel(asm.detect_timer)
+        asm.detect_period_s = asm.armed_timeout / self.DETECT_TICKS_PER_TIMEOUT
+        asm.detect_mark = asm.received
+        asm.detect_mark_t = self.events.now
+        if asm.plan is not None:
+            asm.detect_busy = {
+                n: self.nodes[n].uplink_busy_s
+                for n in asm.plan_participants()
+            }
+        wire = asm.wire_id
+        asm.detect_timer = self.events.schedule(
+            asm.detect_period_s, lambda a=asm, w=wire: self._detect_tick(a, w)
+        )
+
+    def _disarm_detector(self, asm: _Assembly) -> None:
+        if asm.detect_timer is not None:
+            self.events.cancel(asm.detect_timer)
+            asm.detect_timer = None
+        if self.divergence is not None and asm.wire_id:
+            # drop the per-wire detector so a recycled epoch re-learns
+            self.divergence.discard("repair.throughput_ratio", asm.wire_id)
+
+    def _detect_tick(self, asm: _Assembly, wire: str) -> None:
+        asm.detect_timer = None
+        if asm.complete or asm.failed or asm.escalate:
+            return
+        monitor = self.divergence
+        if monitor is None:
+            return
+        if wire != asm.wire_id or wire in self._retired:
+            # the timeout fallback (or a re-plan) already retired this
+            # attempt epoch: the detector declines rather than double-
+            # aborting, and says so in the trace (satellite: the chaos
+            # sweeps stay fully explanatory)
+            monitor.suppressed(
+                "repair.throughput_ratio",
+                "timeout fallback owns attempt epoch",
+                key=wire,
+                attempt=asm.attempt,
+            )
+            monitor.discard("repair.throughput_ratio", wire)
+            return
+        now = self.events.now
+        dt = now - asm.detect_mark_t
+        if dt <= 0:
+            asm.detect_timer = self.events.schedule(
+                asm.detect_period_s,
+                lambda a=asm, w=wire: self._detect_tick(a, w),
+            )
+            return
+        plan_rate = float(asm.plan.total_rate) if asm.plan is not None else 0.0
+        realised = units.bytes_per_s_to_mbps((asm.received - asm.detect_mark) / dt)
+        ratio = realised / plan_rate if plan_rate > 0 else 0.0
+        for node, before in asm.detect_busy.items():
+            busy = self.nodes[node].uplink_busy_s
+            monitor.feed(
+                "node.busy_fraction",
+                now,
+                min(1.0, max(0.0, (busy - before) / dt)),
+                key=str(node),
+            )
+            asm.detect_busy[node] = busy
+        asm.detect_mark = asm.received
+        asm.detect_mark_t = now
+        alarm = monitor.feed("repair.throughput_ratio", now, ratio, key=wire)
+        if alarm is None:
+            asm.detect_timer = self.events.schedule(
+                asm.detect_period_s,
+                lambda a=asm, w=wire: self._detect_tick(a, w),
+            )
+            return
+        # divergence confirmed while the timeout is still ticking: abort
+        # the attempt now instead of burning the rest of the window
+        if asm.timer is not None:
+            self.events.cancel(asm.timer)
+            asm.timer = None
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "repro_detect_early_aborts_total",
+                "Attempts aborted by the divergence detector ahead of "
+                "the watchdog timeout.",
+            ).inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                asm.attempt_span or asm.span,
+                "detect.abort",
+                attempt=asm.attempt,
+                ratio=ratio,
+                detector=alarm.detector,
+                stat=alarm.stat,
+                timeout_s=asm.armed_timeout,
+            )
+        log.debug(
+            "%s: divergence detector fired on attempt %d "
+            "(ratio %.3g, stat %.3g)",
+            asm.repair_id, asm.attempt, ratio, alarm.stat,
+        )
+        self._abort_attempt(
+            asm,
+            f"throughput diverged from plan (ratio {ratio:.3g}, "
+            f"attempt {asm.attempt})",
         )
 
     def _on_timeout(self, asm: _Assembly) -> None:
@@ -1703,6 +1840,7 @@ class ClusterSystem:
     def _abort_attempt(self, asm: _Assembly, reason: str) -> None:
         """Tear down a stalled attempt and schedule the next one."""
         asm.retries += 1
+        self._disarm_detector(asm)
         self._retire_attempt(asm)
         if self.tracer.enabled and asm.attempt_span:
             self.tracer.event(asm.attempt_span, "attempt.abort", reason=reason)
@@ -1767,6 +1905,7 @@ class ClusterSystem:
         if asm.timer is not None:
             self.events.cancel(asm.timer)
             asm.timer = None
+        self._disarm_detector(asm)
         if retire:
             self._retire_attempt(asm)
         self._end_attempt_span(asm)

@@ -23,6 +23,12 @@ The measurement substrate for the whole repair path (see
   :class:`EngineProfiler` attributing event wall-time/allocations to
   action sites plus a :class:`RunMonitor` heartbeating long runs
   (flamegraph/speedscope exporters live in :mod:`repro.obs.export`);
+* :mod:`repro.obs.detect` — online divergence detection: streaming
+  EWMA/CUSUM/Page–Hinkley change-point detectors over
+  irregularly-sampled signals, and a :class:`DivergenceMonitor`
+  routing plan-divergence / straggler / queue-growth / regression
+  signals into ``detect.*`` events, ``repro_detect_*`` metrics, and
+  control hooks (watchdog early abort, detector-triggered re-plans);
 * :mod:`repro.obs.demo` — a canned traced repair with an injected hub
   crash (import it directly; it pulls in the cluster prototype).
 
@@ -32,6 +38,20 @@ overhead is bounded by ``benchmarks/bench_obs.py`` (the
 ``BENCH_obs.json`` gate), so instrumentation stays on everywhere.
 """
 
+from .detect import (
+    Alarm,
+    Baseline,
+    CUSUMDetector,
+    Detector,
+    DivergenceMonitor,
+    EWMADetector,
+    PageHinkleyDetector,
+    SIGNALS,
+    plan_divergence_detector,
+    queue_growth_detector,
+    regression_detector,
+    straggler_detector,
+)
 from .attr import (
     BUCKETS,
     CONSTRAINTS,
@@ -78,10 +98,16 @@ from .export import (
 )
 
 __all__ = [
+    "Alarm",
     "BUCKETS",
+    "Baseline",
     "CONSTRAINTS",
+    "CUSUMDetector",
     "DEFAULT_BUCKETS",
     "Counter",
+    "Detector",
+    "DivergenceMonitor",
+    "EWMADetector",
     "EngineProfiler",
     "ExecModel",
     "FleetAggregator",
@@ -89,6 +115,8 @@ __all__ = [
     "GapBuckets",
     "Histogram",
     "MetricsRegistry",
+    "PageHinkleyDetector",
+    "SIGNALS",
     "NodeIdle",
     "NullFleetAggregator",
     "NullMetricsRegistry",
@@ -117,6 +145,10 @@ __all__ = [
     "exponential_buckets",
     "parse_rule",
     "parse_rules",
+    "plan_divergence_detector",
+    "queue_growth_detector",
+    "regression_detector",
+    "straggler_detector",
     "site_of",
     "chrome_trace",
     "chrome_trace_json",

@@ -148,6 +148,97 @@ def traced_hub_crash_repair(
     )
 
 
+@dataclass
+class DetectDemo:
+    """Everything the detector demo produced, ready for ``render_detect``."""
+
+    outcome: object
+    tracer: Tracer
+    metrics: MetricsRegistry
+    monitor: object  # DivergenceMonitor
+    system: ClusterSystem
+    helper: int
+    fault_at_s: float
+    clean_elapsed_s: float
+
+
+def detected_straggler_repair(
+    *,
+    n: int = 14,
+    k: int = 10,
+    num_nodes: int = 16,
+    chunk_bytes: int = 64 * 1024,
+    failed_node: int = 3,
+    seed: int = 7,
+    fault_fraction: float = 0.5,
+    cap_mbps: float = 1.0,
+) -> DetectDemo:
+    """Run the divergence-detection demo: a straggling helper caught live.
+
+    The worked example behind ``repro detect`` and
+    ``examples/detect_divergence.py``: a clean probe sizes the repair
+    and picks a helper feeding the requester directly, then a fresh
+    system re-runs it with a :class:`~repro.obs.detect.DivergenceMonitor`
+    wired into the watchdog and the helper's uplink rate-capped to
+    ``cap_mbps`` mid-transfer.  The blunt timeout never fires (the
+    repair still trickles forward) — the throughput-ratio detector is
+    what aborts the attempt and triggers the re-plan.  Deterministic —
+    simulated time only.
+    """
+    from .detect import DivergenceMonitor
+
+    requester = num_nodes - 1
+    snapshot = make_trace(
+        "tpcds", num_nodes=num_nodes, num_snapshots=60, seed=4
+    ).snapshot(30)
+
+    clean_sys = _build_system(
+        n=n, k=k, num_nodes=num_nodes, chunk_bytes=chunk_bytes,
+        failed_node=failed_node, snapshot=snapshot, seed=seed,
+    )
+    clean = clean_sys.repair(
+        "s1", failed_node, requester=requester, store=False
+    )
+    helper = next(
+        e.child
+        for p in clean.plan.pipelines
+        for e in p.edges
+        if e.parent == requester
+    )
+    fault_at = fault_fraction * clean.elapsed_seconds
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    monitor = DivergenceMonitor.standard(tracer=tracer, metrics=metrics)
+    system = _build_system(
+        n=n, k=k, num_nodes=num_nodes, chunk_bytes=chunk_bytes,
+        failed_node=failed_node, snapshot=snapshot, seed=seed,
+        tracer=tracer, metrics=metrics,
+    )
+    system.divergence = monitor
+    monitor.clock = lambda: system.events.now
+    # heartbeats keep the master's bandwidth picture live so the re-plan
+    # after the abort can actually route around the straggler
+    system.enable_heartbeats(period_s=0.005)
+    system.events.schedule(
+        fault_at, lambda: system.set_rate_cap(helper, cap_mbps)
+    )
+    outcome = system.repair(
+        "s1", failed_node, requester=requester, store=False,
+        on_failure="outcome",
+    )
+    return DetectDemo(
+        outcome=outcome,
+        tracer=tracer,
+        metrics=metrics,
+        monitor=monitor,
+        system=system,
+        helper=helper,
+        fault_at_s=fault_at,
+        clean_elapsed_s=clean.elapsed_seconds,
+    )
+
+
 #: Default SLO rules for the fleet sweep: latency, optimality, failures.
 #: Thresholds are sized to the sweep's tiny chunks (overheads dominate,
 #: so clean throughput_ratio sits near 0.13): clean windows hold, the

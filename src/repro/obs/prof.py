@@ -313,6 +313,7 @@ class RunMonitor:
         top_sites: int = 3,
         check_every: int = 2048,
         clock: Callable[[], float] = perf_counter,
+        divergence=None,
     ) -> None:
         self.interval_s = float(interval_s)
         self.stream = stream
@@ -323,6 +324,10 @@ class RunMonitor:
         self.top_sites = top_sites
         self.check_every = max(1, int(check_every))
         self.clock = clock
+        #: optional DivergenceMonitor: each heartbeat's events/sec is
+        #: fed to its ``engine.events_per_s`` detector, so a sustained
+        #: throughput drop surfaces while the run is still in flight
+        self.divergence = divergence
         self.heartbeats: list[dict] = []
         self._queue = None
         self._wall0: float | None = None
@@ -409,6 +414,10 @@ class RunMonitor:
                 for s in prof.hot_sites(self.top_sites)
             ]
         self.heartbeats.append(beat)
+        if self.divergence is not None and not final:
+            # skip the final (partial-window) beat: a run's last window
+            # is short by construction and must not read as a regression
+            self.divergence.feed("engine.events_per_s", wall_s, rate)
         if self.stream is not None:
             self.stream.write(json.dumps(beat, sort_keys=True) + "\n")
         if self.progress:

@@ -19,6 +19,17 @@ A rule is one line of text::
 * ``metric`` — a fleet metric name (aggregated across all label sets).
 * ``op`` — ``<``, ``<=``, ``>``, ``>=``.
 
+Rules can also reference live *detector* state (:mod:`repro.obs.detect`)
+when the engine is built with ``monitor=``::
+
+    alarms repair.throughput_ratio <= 0
+    alarm_rate node.busy_fraction < 0.1
+
+``alarms`` counts the signal's divergence alarms inside the fleet's
+rolling window (the metric field names the watched signal, dots
+allowed); ``alarm_rate`` divides by the window length.  Both are
+determinate on an empty window — zero alarms is a real answer.
+
 The :class:`SLOEngine` evaluates rules against a
 :class:`~repro.obs.fleet.FleetAggregator` and tracks per-rule state:
 crossing into violation emits a structured ``slo.breach`` event into
@@ -42,11 +53,15 @@ _OPS = {"<": operator.lt, "<=": operator.le, ">": operator.gt, ">=": operator.ge
 
 _RULE_RE = re.compile(
     r"^\s*(?P<agg>p50|p90|p95|p99|mean|min|max|count|rate"
+    r"|alarms|alarm_rate"
     r"|burn_rate\((?P<budget>[0-9.eE+-]+)\))"
-    r"\s+(?P<metric>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"\s+(?P<metric>[A-Za-z_:][A-Za-z0-9_:.]*)"
     r"\s*(?P<op><=|>=|<|>)"
     r"\s*(?P<threshold>[0-9.eE+-]+)\s*$"
 )
+
+#: aggregates that read DivergenceMonitor state instead of the fleet
+_DETECTOR_AGGS = ("alarms", "alarm_rate")
 
 _QUANTILES = {"p50": 0.5, "p90": 0.9, "p95": 0.95, "p99": 0.99}
 
@@ -144,16 +159,34 @@ class SLOEngine:
     metrics: MetricsRegistry = field(default_factory=lambda: NULL_METRICS)
     #: windowed observations needed before a rule becomes determinate
     min_count: int = 1
+    #: DivergenceMonitor backing ``alarms`` / ``alarm_rate`` rules
+    monitor: object = None
 
     def __post_init__(self):
         #: rule name -> last known ok state (None until determinate)
         self._state: dict[str, bool | None] = {r.name: None for r in self.rules}
         self.breaches = 0
         self.recoveries = 0
+        if self.monitor is None:
+            needy = [r.name for r in self.rules if r.agg in _DETECTOR_AGGS]
+            if needy:
+                raise ValueError(
+                    f"rules {needy} use detector aggregates; construct the "
+                    "SLOEngine with monitor=<DivergenceMonitor>"
+                )
 
     # ---- evaluation ----------------------------------------------------- #
 
     def _measure(self, rule: SLORule, now: float | None) -> tuple[float | None, float]:
+        if rule.agg in _DETECTOR_AGGS:
+            # detector aggregates read the DivergenceMonitor, scoped to
+            # the same rolling horizon as the fleet windows; the metric
+            # field names the watched signal
+            since = (now if now is not None else 0.0) - self.fleet.window_s
+            n = self.monitor.alarm_count(rule.metric, since=since)
+            if rule.agg == "alarms":
+                return (float(n), n)
+            return (n / self.fleet.window_s, n)
         # one windowed digest answers count and value together — the
         # engine runs every orchestrator tick, and re-merging the window
         # per aggregate dominated the control loop before this
@@ -187,10 +220,12 @@ class SLOEngine:
         for rule in self.rules:
             value, n = self._measure(rule, t)
             prev = self._state[rule.name]
-            # count/rate are determinate even on an empty window (0 is a
-            # real answer); value-less aggregates hold their last state
+            # count/rate/alarm aggregates are determinate even on an
+            # empty window (0 is a real answer); value-less aggregates
+            # hold their last state
             if value is None or (
-                rule.agg not in ("count", "rate") and n < self.min_count
+                rule.agg not in ("count", "rate", *_DETECTOR_AGGS)
+                and n < self.min_count
             ):
                 out.append(
                     SLOStatus(rule=rule, value=None, ok=prev is not False,

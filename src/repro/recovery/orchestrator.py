@@ -312,6 +312,11 @@ class RecoveryOrchestrator:
         self._update_throttle(now)
         self._admit(now)
         self._publish_gauges(now)
+        monitor = getattr(self.system, "divergence", None)
+        if monitor is not None:
+            # sustained queue growth (intake outrunning admission) is a
+            # divergence signal, scored by the Page–Hinkley detector
+            monitor.feed("recovery.queue_depth", now, float(len(self.queue)))
         self.timeline.append(
             (now, self.effective_budget(), self._committed,
              len(self._inflight), len(self.queue))

@@ -38,10 +38,12 @@ from ..workloads.base import Trace
 class StallRecord:
     """One interval during which the repair moved no bytes.
 
-    ``cause`` is ``"fault"`` when an injected fault explains the stall
-    (a participant of an unfinished pipeline is crashed at that time),
-    ``"congestion"`` when the foreground traffic alone starved the
-    repair's max-min share.
+    ``cause`` is diagnosed per unfinished pipeline: ``"fault"`` when an
+    injected fault explains every stalled pipeline (each has a crashed
+    participant at that time), ``"congestion"`` when the foreground
+    traffic alone starved the repair's max-min share, and ``"mixed"``
+    when both kinds of stalled pipeline coexist in the same interval —
+    a fault does not silently mask concurrent congestion.
     """
 
     at_seconds: float
@@ -64,6 +66,10 @@ class DriftResult:
     stalls: list[StallRecord] = field(default_factory=list)
     #: the stall deadline fired: the repair was abandoned, not drained
     timed_out: bool = False
+    #: divergence alarms raised (``replan_on="detect"`` only)
+    alarms: int = 0
+    #: clock times of those alarms, for detection-latency scoring
+    alarm_seconds: list[float] = field(default_factory=list)
 
 
 def _interval_progress(
@@ -115,6 +121,21 @@ def _interval_progress(
     return step, done
 
 
+def _planned_live_rate(plan: RepairPlan, remaining: dict[int, float]) -> float:
+    """Planned aggregate rate (Mbps) of the pipelines still unfinished.
+
+    The divergence detector scores achieved goodput against *this*, not
+    against the whole plan's ``t_max``: as pipelines drain, aggregate
+    goodput legitimately declines, and a clean completion tail must not
+    read as divergence.
+    """
+    total = 0.0
+    for i, p in enumerate(plan.pipelines):
+        if remaining.get(i, 0.0) > 1e-9:
+            total += min(e.rate for e in p.edges)
+    return total
+
+
 def simulate_under_drift(
     algorithm: RepairAlgorithm,
     trace: Trace,
@@ -126,6 +147,8 @@ def simulate_under_drift(
     chunk_bytes: int,
     interval_s: float = 1.0,
     replan_interval_s: float | None = None,
+    replan_on: str = "interval",
+    detector=None,
     max_seconds: float = 3600.0,
     node_rate_caps: dict[int, float] | None = None,
     dead_from: dict[int, float] | None = None,
@@ -137,6 +160,20 @@ def simulate_under_drift(
     ``replan_interval_s`` set, the scheduler re-runs at that period on
     the remaining bytes (its measured calculation time is added to the
     clock); otherwise the initial plan is used throughout.
+
+    ``replan_on="detect"`` replaces the fixed period with a streaming
+    divergence detector (:mod:`repro.obs.detect`): every interval's
+    achieved goodput over the current plan's still-live planned rate is
+    fed to ``detector`` (default:
+    :func:`repro.obs.detect.plan_divergence_detector` scored against the
+    fixed reference ratio 1) and a re-plan happens when it alarms — so
+    re-planning reacts to drift instead of polling, and its detection
+    quality is scorable against the fixed-interval and never-replan
+    configurations.  ``replan_interval_s`` may still be given in this
+    mode as a *slow staleness bound*: the ratio detector cannot tell a
+    healthy plan from a pessimistic one that merely achieves its low
+    target, so the bound caps how long such a plan may persist.  Alarm
+    count and times are reported on the result.
 
     Injected faults: ``node_rate_caps`` caps a straggler's uplink and
     downlink (Mbps) for the whole run; ``dead_from`` maps a node to the
@@ -154,6 +191,16 @@ def simulate_under_drift(
         raise ValueError("start_instant outside the trace")
     if stall_deadline_s is not None and stall_deadline_s <= 0:
         raise ValueError("stall_deadline_s must be positive")
+    if replan_on not in ("interval", "detect"):
+        raise ValueError('replan_on must be "interval" or "detect"')
+    if replan_on == "detect" and detector is None:
+        from ..obs.detect import plan_divergence_detector
+
+        # the healthy level of achieved/planned is exactly 1 right
+        # after planning, so score against that fixed reference: a plan
+        # that is *chronically* unachievable keeps alarming instead of
+        # being re-learned as the baseline
+        detector = plan_divergence_detector(ref=1.0, tau_s=30.0 * interval_s)
     node_rate_caps = dict(node_rate_caps or {})
     dead_from = dict(dead_from or {})
 
@@ -163,6 +210,9 @@ def simulate_under_drift(
     goodput: list[float] = []
     stalls: list[StallRecord] = []
     stalled_for = 0.0
+    alarm_seconds: list[float] = []
+    #: detect mode: an alarm fired and the re-plan has not succeeded yet
+    replan_pending = False
 
     def faulted_snapshot(instant: int, at: float) -> BandwidthSnapshot:
         snap = trace.snapshot(instant)
@@ -215,12 +265,25 @@ def simulate_under_drift(
                 completed=True,
                 goodput_mbps=goodput,
                 stalls=stalls,
+                alarms=len(alarm_seconds),
+                alarm_seconds=alarm_seconds,
             )
         instant = min(start_instant + int(clock / interval_s), len(trace) - 1)
-        if (
+        stale = (
             replan_interval_s is not None
             and clock - last_replan >= replan_interval_s
-        ):
+        )
+        if replan_on == "interval":
+            want_replan = stale
+        else:
+            # alarm-triggered, with the interval (if any) demoted to a
+            # slow staleness bound: divergence (an unachievable plan)
+            # alarms within a few samples, but a plan that *achieves* a
+            # pessimistic target — planned at a congested instant —
+            # looks healthy to the ratio detector and is only refreshed
+            # by the bound
+            want_replan = replan_pending or stale
+        if want_replan:
             size_left = sum(remaining.values())
             try:
                 plan, remaining = plan_at(instant, size_left)
@@ -228,22 +291,45 @@ def simulate_under_drift(
                 clock += plan.calc_seconds
                 replans += 1
                 last_replan = clock
+                if replan_on == "detect":
+                    # rebase: the new plan has a new t_max, so the
+                    # ratio stream restarts from a fresh baseline
+                    replan_pending = False
+                    detector.reset()
             except (ValueError, RuntimeError):
                 pass  # unschedulable right now; keep draining the old plan
         snapshot = faulted_snapshot(instant, clock)
+        expected_mbps = (
+            _planned_live_rate(plan, remaining)
+            if replan_on == "detect"
+            else 0.0
+        )
         step, moved = _interval_progress(plan, snapshot, remaining, interval_s)
         if step <= 0:
             step = interval_s  # nothing movable this interval
         if moved <= 1e-9:
             gone = dead_now(clock)
-            unfinished = {
-                c
-                for i, p in enumerate(plan.pipelines)
-                if remaining.get(i, 0.0) > 1e-9
-                for e in p.edges
-                for c in (e.child, e.parent)
-            }
-            cause = "fault" if unfinished & gone else "congestion"
+            # classify per stalled pipeline: one with a crashed
+            # participant is fault-stalled, one without can only be
+            # starved by foreground congestion — seeing both at once is
+            # a distinct ("mixed") condition, not a fault
+            faulted = starved = False
+            for i, p in enumerate(plan.pipelines):
+                if remaining.get(i, 0.0) <= 1e-9:
+                    continue
+                participants = {
+                    c for e in p.edges for c in (e.child, e.parent)
+                }
+                if participants & gone:
+                    faulted = True
+                else:
+                    starved = True
+            if faulted and starved:
+                cause = "mixed"
+            elif faulted:
+                cause = "fault"
+            else:
+                cause = "congestion"
             stalls.append(
                 StallRecord(at_seconds=clock, duration_s=step, cause=cause)
             )
@@ -261,11 +347,19 @@ def simulate_under_drift(
                     goodput_mbps=goodput,
                     stalls=stalls,
                     timed_out=True,
+                    alarms=len(alarm_seconds),
+                    alarm_seconds=alarm_seconds,
                 )
         else:
             stalled_for = 0.0
-        goodput.append(units.bytes_per_s_to_mbps(moved / step))
+        rate_mbps = units.bytes_per_s_to_mbps(moved / step)
+        goodput.append(rate_mbps)
         clock += step
+        if replan_on == "detect" and not replan_pending:
+            ratio = rate_mbps / expected_mbps if expected_mbps > 0 else 0.0
+            if detector.observe(clock, ratio) is not None:
+                alarm_seconds.append(clock)
+                replan_pending = True
 
     return DriftResult(
         seconds=clock,
@@ -275,4 +369,6 @@ def simulate_under_drift(
         completed=False,
         goodput_mbps=goodput,
         stalls=stalls,
+        alarms=len(alarm_seconds),
+        alarm_seconds=alarm_seconds,
     )

@@ -1,0 +1,389 @@
+"""Streaming divergence detectors: numerics, routing, control wiring.
+
+The numerics classes pin down the contract stated in
+``repro.obs.detect``'s module docstring: constant streams are silent,
+detection delay is bounded, alarms are scale-invariant and independent
+of how samples are chunked.  The monitor classes cover signal routing,
+the structured ``detect.*`` events / ``repro_detect_*`` metrics, and
+the SLO engine's ``alarms`` / ``alarm_rate`` aggregates.
+"""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    Alarm,
+    Baseline,
+    CUSUMDetector,
+    DivergenceMonitor,
+    EWMADetector,
+    MetricsRegistry,
+    PageHinkleyDetector,
+    Tracer,
+)
+from repro.obs.detect import (
+    SIGNALS,
+    plan_divergence_detector,
+    queue_growth_detector,
+    regression_detector,
+    straggler_detector,
+)
+
+pytestmark = pytest.mark.detect
+
+ALL_DETECTORS = [
+    lambda: EWMADetector(z_threshold=6.0, min_samples=3),
+    lambda: CUSUMDetector(k=0.5, h=5.0, min_samples=3),
+    # delta=0.5 mirrors CUSUM's k: it absorbs the residual drift while
+    # the EW baseline converges on the stream's level
+    lambda: PageHinkleyDetector(delta=0.5, lambda_=5.0, min_samples=3),
+]
+
+
+def feed(detector, samples):
+    return [a for a in (detector.observe(t, v) for t, v in samples) if a]
+
+
+def stream(values, dt=1.0, t0=0.0):
+    return [(t0 + i * dt, v) for i, v in enumerate(values)]
+
+
+class TestBaseline:
+    def test_tracks_mean_of_constant_stream(self):
+        b = Baseline(tau_s=10.0)
+        for t in range(20):
+            b.update(float(t), 42.0)
+        assert b.mean == pytest.approx(42.0)
+        assert b.std == 0.0
+
+    def test_time_aware_decay(self):
+        """A sample after a long gap dominates; after a tiny gap it
+        barely moves the mean — alpha = 1 - exp(-dt/tau)."""
+        slow, fast = Baseline(tau_s=10.0), Baseline(tau_s=10.0)
+        slow.update(0.0, 0.0)
+        fast.update(0.0, 0.0)
+        slow.update(0.001, 100.0)   # dt << tau
+        fast.update(100.0, 100.0)   # dt >> tau
+        assert slow.mean < 1.0
+        assert fast.mean > 99.0
+
+    def test_zscore_uses_relative_floor(self):
+        b = Baseline(tau_s=10.0)
+        for t in range(10):
+            b.update(float(t), 100.0)
+        # std is 0; the 5% relative floor keeps z finite and scaled
+        assert b.zscore(95.0) == pytest.approx(-1.0)
+
+    def test_invalid_tau_rejected(self):
+        with pytest.raises(ValueError):
+            Baseline(tau_s=0.0)
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("factory", ALL_DETECTORS)
+    def test_constant_stream_never_alarms(self, factory):
+        det = factory()
+        alarms = feed(det, stream([7.5] * 500))
+        assert alarms == []
+
+    @pytest.mark.parametrize("factory", ALL_DETECTORS)
+    def test_constant_zero_stream_never_alarms(self, factory):
+        det = factory()
+        assert feed(det, stream([0.0] * 200)) == []
+
+    @pytest.mark.parametrize("factory", ALL_DETECTORS)
+    def test_collapse_detected_within_bounded_delay(self, factory):
+        """A collapse to zero after a noisy-but-steady run is caught
+        within a dozen post-change samples."""
+        det = factory()
+        healthy = [100.0 + (-1.0) ** i * 2.0 for i in range(50)]
+        alarms = feed(det, stream(healthy + [0.0] * 20))
+        assert alarms, "collapse never detected"
+        first = alarms[0]
+        assert first.t >= 50.0  # no false alarm during the healthy run
+        assert first.t <= 62.0  # bounded delay: <= 12 samples after
+        assert first.kind == "down"
+
+    @pytest.mark.parametrize("factory", ALL_DETECTORS)
+    @pytest.mark.parametrize("scale", [1e-6, 1.0, 1e6])
+    def test_scale_invariance(self, factory, scale):
+        """Scaling the whole stream by c > 0 changes no alarm time."""
+        values = [100.0 + (-1.0) ** i * 3.0 for i in range(40)] + [10.0] * 20
+        base = feed(factory(), stream(values))
+        scaled = feed(factory(), stream([v * scale for v in values]))
+        assert [a.t for a in scaled] == [a.t for a in base]
+        assert [a.kind for a in scaled] == [a.kind for a in base]
+
+    @pytest.mark.parametrize("factory", ALL_DETECTORS)
+    def test_chunked_feeding_is_deterministic(self, factory):
+        """observe_many in arbitrary chunks == one observe per sample."""
+        values = [50.0, 51.0, 49.0, 50.5] * 15 + [5.0] * 10 + [5.2] * 30
+        samples = stream(values)
+        per_sample = feed(factory(), samples)
+        det = factory()
+        chunked = []
+        i = 0
+        for size in (1, 7, 3, 19, 100):
+            chunked.extend(det.observe_many(samples[i:i + size]))
+            i += size
+        chunked.extend(det.observe_many(samples[i:]))
+        assert [(a.t, a.stat) for a in chunked] == [
+            (a.t, a.stat) for a in per_sample
+        ]
+
+    def test_cusum_delay_matches_theory(self):
+        """A sustained shift of s deviations fires in ~h/(s-k) samples."""
+        det = CUSUMDetector(k=0.5, h=5.0, direction="down", min_samples=4,
+                            rel_floor=0.05)
+        healthy = stream([100.0] * 30)
+        assert feed(det, healthy) == []
+        # shift to 80: z = (80-100)/max(std, 5) = -4, so each sample
+        # adds 3.5 to g- and the alarm lands on the 2nd changed sample
+        alarms = feed(det, stream([80.0] * 10, t0=30.0))
+        assert len(alarms) >= 1
+        assert alarms[0].t == 31.0
+
+    def test_one_alarm_per_regime_shift(self):
+        """After an alarm the detector resets and re-learns — a step
+        change yields one alarm, not one per post-change sample."""
+        det = CUSUMDetector(k=0.5, h=4.0, min_samples=3)
+        alarms = feed(det, stream([100.0] * 30 + [10.0] * 100))
+        assert len(alarms) == 1
+
+    def test_irregular_sampling_handled(self):
+        """Irregularly spaced timestamps still detect the collapse."""
+        det = plan_divergence_detector()
+        ts = [0.0]
+        for i in range(60):
+            ts.append(ts[-1] + (0.1 if i % 3 else 2.7))
+        values = [1.0] * 40 + [0.01] * 21
+        alarms = feed(det, list(zip(ts, values)))
+        assert len(alarms) == 1
+        assert alarms[0].t >= ts[40]
+
+    def test_direction_gating(self):
+        """A "down" detector ignores upward surges and vice versa."""
+        surge = [10.0] * 30 + [1000.0] * 20
+        down = CUSUMDetector(k=0.5, h=4.0, direction="down", min_samples=3)
+        up = CUSUMDetector(k=0.5, h=4.0, direction="up", min_samples=3)
+        assert feed(down, stream(surge)) == []
+        up_alarms = feed(up, stream(surge))
+        assert up_alarms and up_alarms[0].kind == "up"
+
+    def test_ref_mode_keeps_alarming_on_chronic_divergence(self):
+        """Fixed-reference scoring never re-learns a bad level as the
+        new normal: a stream stuck at half the reference alarms again
+        after each reset."""
+        det = plan_divergence_detector(ref=1.0)
+        alarms = feed(det, stream([0.5] * 100))
+        assert len(alarms) >= 2
+
+    def test_ref_mode_has_no_warmup(self):
+        det = CUSUMDetector(k=0.5, h=1.0, ref=1.0, direction="down")
+        alarms = feed(det, stream([0.0, 0.0]))
+        assert alarms  # fired inside what would have been the warmup
+
+    def test_alarm_record_fields(self):
+        det = EWMADetector(z_threshold=3.0, min_samples=2)
+        alarms = feed(det, stream([10.0] * 10 + [0.0]))
+        (a,) = alarms
+        assert isinstance(a, Alarm)
+        assert a.detector == "ewma"
+        assert a.kind == "down"
+        assert a.value == 0.0
+        assert a.stat > a.threshold == 3.0
+        assert a.signal == "" and a.key == ""
+        assert math.isfinite(a.stat)
+
+    @pytest.mark.parametrize("bad", [
+        dict(direction="sideways"),
+        dict(min_samples=0),
+        dict(tau_s=-1.0),
+    ])
+    def test_invalid_params_rejected(self, bad):
+        with pytest.raises(ValueError):
+            EWMADetector(**bad)
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            EWMADetector(z_threshold=0.0)
+        with pytest.raises(ValueError):
+            CUSUMDetector(k=-0.1)
+        with pytest.raises(ValueError):
+            PageHinkleyDetector(lambda_=0.0)
+
+
+class TestFactories:
+    def test_catalogue_factories_build_their_detectors(self):
+        assert plan_divergence_detector().name == "cusum"
+        assert straggler_detector().name == "ewma"
+        assert queue_growth_detector().name == "page-hinkley"
+        assert regression_detector().name == "cusum"
+
+    def test_catalogue_overrides_win(self):
+        det = plan_divergence_detector(h=9.0, tau_s=1.0)
+        assert det.h == 9.0 and det.baseline.tau_s == 1.0
+
+    def test_signals_map_is_consistent(self):
+        for signal, (factory, doc) in SIGNALS.items():
+            det = factory()
+            assert det.observe(0.0, 1.0) is None  # warmup or ref, no crash
+            assert doc
+
+
+class TestDivergenceMonitor:
+    def test_routes_per_key_and_rewrites_alarms(self):
+        monitor = DivergenceMonitor()
+        monitor.watch("sig", lambda: EWMADetector(z_threshold=3.0,
+                                                  min_samples=2))
+        for t in range(10):
+            assert monitor.feed("sig", float(t), 10.0, key="a") is None
+            assert monitor.feed("sig", float(t), 20.0, key="b") is None
+        alarm = monitor.feed("sig", 10.0, 0.0, key="a")
+        assert alarm is not None
+        assert alarm.signal == "sig" and alarm.key == "a"
+        assert monitor.alarms_for("sig", key="a") == [alarm]
+        assert monitor.alarms_for("sig", key="b") == []
+        assert monitor.observations("sig") == 21
+
+    def test_unwatched_signal_is_a_noop(self):
+        monitor = DivergenceMonitor()
+        assert monitor.feed("nope", 0.0, 1.0) is None
+        assert monitor.alarms == []
+
+    def test_alarm_emits_event_metrics_and_callback(self):
+        tracer, metrics = Tracer(), MetricsRegistry()
+        monitor = DivergenceMonitor(tracer=tracer, metrics=metrics)
+        monitor.watch("sig", lambda: EWMADetector(z_threshold=3.0,
+                                                  min_samples=2))
+        seen = []
+        monitor.on_alarm("sig", seen.append)
+        for t in range(8):
+            monitor.feed("sig", float(t), 5.0)
+        monitor.feed("sig", 8.0, 0.0)
+        assert len(seen) == 1 and seen[0].signal == "sig"
+        events = [e for e in tracer.all_events() if e.name == "detect.alarm"]
+        assert len(events) == 1
+        assert events[0].attrs["signal"] == "sig"
+        assert events[0].attrs["detector"] == "ewma"
+        counter = metrics.counter(
+            "repro_detect_alarms_total", "", signal="sig", detector="ewma"
+        )
+        assert counter.value == 1
+
+    def test_on_alarm_requires_watched_signal(self):
+        monitor = DivergenceMonitor()
+        with pytest.raises(ValueError):
+            monitor.on_alarm("ghost", lambda a: None)
+
+    def test_suppressed_records_reason_and_event(self):
+        tracer, metrics = Tracer(), MetricsRegistry()
+        monitor = DivergenceMonitor(
+            tracer=tracer, metrics=metrics, clock=lambda: 3.5
+        )
+        monitor.suppressed(
+            "repair.throughput_ratio",
+            "timeout fallback owns attempt epoch",
+            key="w1", attempt=2,
+        )
+        (record,) = monitor.suppressions
+        assert record["reason"] == "timeout fallback owns attempt epoch"
+        assert record["t"] == 3.5 and record["attempt"] == 2
+        (event,) = [
+            e for e in tracer.all_events() if e.name == "detect.suppressed"
+        ]
+        assert event.attrs["reason"] == record["reason"]
+        assert event.attrs["key"] == "w1"
+        counter = metrics.counter(
+            "repro_detect_suppressed_total", "",
+            signal="repair.throughput_ratio",
+        )
+        assert counter.value == 1
+
+    def test_discard_resets_a_key(self):
+        monitor = DivergenceMonitor()
+        monitor.watch("sig", lambda: EWMADetector(z_threshold=3.0,
+                                                  min_samples=5))
+        for t in range(4):
+            monitor.feed("sig", float(t), 10.0)
+        monitor.discard("sig", "")
+        # fresh baseline: the next feed is warmup sample 1, no alarm
+        assert monitor.feed("sig", 4.0, 0.0) is None
+        assert monitor.keys("sig") == [""]
+
+    def test_alarm_count_since_window(self):
+        monitor = DivergenceMonitor()
+        monitor.watch("sig", lambda: EWMADetector(z_threshold=3.0,
+                                                  min_samples=2))
+        for t in range(6):
+            monitor.feed("sig", float(t), 10.0)
+        monitor.feed("sig", 6.0, 0.0)       # alarm at t=6, detector resets
+        for t in range(7, 12):
+            monitor.feed("sig", float(t), 10.0)
+        monitor.feed("sig", 12.0, 0.0)      # alarm at t=12
+        assert monitor.alarm_count() == 2
+        assert monitor.alarm_count("sig", since=10.0) == 1
+        assert monitor.alarm_count("other") == 0
+
+    def test_standard_catalogue_and_clear(self):
+        monitor = DivergenceMonitor.standard()
+        assert monitor.watched() == sorted(SIGNALS)
+        monitor.feed("node.busy_fraction", 0.0, 0.5, key="n1")
+        monitor.clear()
+        assert monitor.alarms == [] and monitor.observations(
+            "node.busy_fraction"
+        ) == 0
+
+
+class TestSLOIntegration:
+    def _engine(self, rules, monitor):
+        from repro.obs.fleet import FleetAggregator
+        from repro.obs.slo import SLOEngine, parse_rules
+
+        return SLOEngine(
+            FleetAggregator(window_s=10.0), parse_rules(rules),
+            monitor=monitor,
+        )
+
+    def test_alarm_rules_require_monitor(self):
+        from repro.obs.fleet import FleetAggregator
+        from repro.obs.slo import SLOEngine, parse_rules
+
+        with pytest.raises(ValueError, match="monitor"):
+            SLOEngine(
+                FleetAggregator(window_s=10.0),
+                parse_rules(["alarms repair.throughput_ratio <= 0"]),
+            )
+
+    def test_alarms_aggregate_breaches_and_recovers(self):
+        monitor = DivergenceMonitor()
+        monitor.watch(
+            "sig", lambda: EWMADetector(z_threshold=3.0, min_samples=2)
+        )
+        engine = self._engine(["alarms sig <= 0"], monitor)
+        (status,) = engine.evaluate(now=0.0)
+        assert status.ok and status.value == 0.0  # empty => determinate 0
+        for t in range(8):
+            monitor.feed("sig", float(t), 5.0)
+        monitor.feed("sig", 8.0, 0.0)
+        (status,) = engine.evaluate(now=9.0)
+        assert not status.ok and status.value == 1.0
+        assert engine.breaches == 1
+        # the alarm ages out of the 10 s window
+        (status,) = engine.evaluate(now=30.0)
+        assert status.ok
+        assert engine.recoveries == 1
+
+    def test_alarm_rate_aggregate(self):
+        monitor = DivergenceMonitor()
+        monitor.watch(
+            "sig", lambda: EWMADetector(z_threshold=3.0, min_samples=2)
+        )
+        for t in range(8):
+            monitor.feed("sig", float(t), 5.0)
+        monitor.feed("sig", 8.0, 0.0)
+        engine = self._engine(["alarm_rate sig < 0.05"], monitor)
+        (status,) = engine.evaluate(now=9.0)
+        assert status.value == pytest.approx(0.1)  # 1 alarm / 10 s window
+        assert not status.ok

@@ -233,3 +233,101 @@ class TestInjectedFaults:
                 requester=7, helpers=tuple(range(1, 7)), k=4,
                 chunk_bytes=units.mib(1), stall_deadline_s=0.0,
             )
+
+    def test_fault_plus_congestion_reports_mixed_cause(self):
+        """A dead helper AND starved healthy pipelines in the same
+        interval: the stall cause is ``"mixed"``, not a fault that
+        silently masks the concurrent congestion."""
+        # fat requester downlink so fullrepair builds several pipelines
+        # over *different* 4-of-6 helper subsets; instant 0 is healthy
+        # (the plan schedules there), everything after carries nothing
+        up = np.full((10, 8), 300.0)
+        down = np.full((10, 8), 300.0)
+        down[:, 7] = 1000.0
+        up[1:] = 0.0
+        down[1:] = 0.0
+        trace = Trace(
+            workload="mixed", capacity_mbps=1000.0, uplink=up, downlink=down
+        )
+        res = simulate_under_drift(
+            get_algorithm("fullrepair"), trace, start_instant=0,
+            requester=7, helpers=tuple(range(1, 7)), k=4,
+            chunk_bytes=units.mib(512), dead_from={6: 0.5},
+            stall_deadline_s=3.0,
+        )
+        assert res.timed_out and not res.completed
+        assert res.stalls
+        assert all(s.cause == "mixed" for s in res.stalls)
+
+
+class TestDetectReplan:
+    """``replan_on="detect"``: re-planning driven by divergence alarms."""
+
+    def _swim_kwargs(self, **over):
+        kw = dict(
+            start_instant=0, requester=9, helpers=tuple(range(6)), k=4,
+            chunk_bytes=units.mib(2048), interval_s=1.0,
+            stall_deadline_s=120.0,
+        )
+        kw.update(over)
+        return kw
+
+    def test_flat_trace_never_alarms(self):
+        """False-positive floor: a stationary plan raises no alarms and
+        triggers no re-plans."""
+        res = simulate_under_drift(
+            get_algorithm("fullrepair"), flat_trace(num_nodes=10, length=400),
+            replan_on="detect",
+            **self._swim_kwargs(chunk_bytes=units.mib(512)),
+        )
+        assert res.completed
+        assert res.alarms == 0 and res.alarm_seconds == []
+        assert res.replans == 0
+
+    def test_dead_helper_alarms_and_beats_never_replan(self):
+        """A helper dying mid-repair is detected within a bounded number
+        of intervals and the alarm-triggered re-plan routes around it."""
+        trace = make_trace("swim", num_nodes=10, num_snapshots=400, seed=3)
+        kw = self._swim_kwargs(dead_from={2: 5.0})
+        never = simulate_under_drift(get_algorithm("fullrepair"), trace, **kw)
+        detect = simulate_under_drift(
+            get_algorithm("fullrepair"), trace,
+            replan_on="detect", replan_interval_s=15.0, **kw,
+        )
+        assert detect.completed
+        assert detect.alarms >= 1
+        # detection latency: first alarm within a handful of intervals
+        assert 5.0 < detect.alarm_seconds[0] <= 25.0
+        assert detect.replans >= 1
+        assert detect.seconds < never.seconds
+
+    def test_interval_mode_records_no_alarms(self):
+        trace = make_trace("swim", num_nodes=10, num_snapshots=400, seed=3)
+        res = simulate_under_drift(
+            get_algorithm("fullrepair"), trace, replan_interval_s=3.0,
+            **self._swim_kwargs(),
+        )
+        assert res.alarms == 0 and res.alarm_seconds == []
+
+    def test_custom_detector_is_honoured(self):
+        """A caller-supplied detector replaces the default ref-scored
+        CUSUM — here one so insensitive it never fires."""
+        from repro.obs.detect import CUSUMDetector
+
+        trace = make_trace("swim", num_nodes=10, num_snapshots=400, seed=3)
+        numb = CUSUMDetector(k=0.5, h=1e9, ref=1.0, direction="down")
+        res = simulate_under_drift(
+            get_algorithm("fullrepair"), trace,
+            replan_on="detect", detector=numb,
+            **self._swim_kwargs(dead_from={2: 5.0}),
+        )
+        assert res.alarms == 0
+        assert res.replans == 0
+
+    def test_invalid_replan_on_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_under_drift(
+                get_algorithm("rp"), flat_trace(), start_instant=0,
+                requester=7, helpers=tuple(range(1, 7)), k=4,
+                chunk_bytes=units.mib(1), replan_on="sometimes",
+            )

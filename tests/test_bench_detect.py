@@ -1,0 +1,151 @@
+"""Detection-quality harness: smoke run, schema, and the tier-1 gate.
+
+The smoke tier re-runs both scored suites (watchdog fault matrix at
+the full chunk size, drift suite at a reduced one) and enforces the
+same gate as the committed artefact: the detector-informed watchdog
+must mitigate faults strictly faster than the timeout-only arm with
+zero false aborts on the clean scenario, and detector-triggered
+re-planning must beat never-replanning on every drifting-trace case
+while raising zero alarms on a flat trace.  Both suites run entirely
+in simulated time, so the numbers — and the gate — are deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.bench_detect import (
+    DRIFT_CASES,
+    DRIFT_POLICIES,
+    SCHEMA_VERSION,
+    WATCHDOG_SCENARIOS,
+    run,
+)
+from benchmarks.common import REPO_ROOT
+
+pytestmark = pytest.mark.detect
+
+
+@pytest.fixture(scope="module")
+def smoke_report(tmp_path_factory):
+    """One smoke pass per test module (writes outside the repo tree)."""
+    out = tmp_path_factory.mktemp("bench") / "BENCH_detect.json"
+    report = run(smoke=True, out_path=out)
+    return report, out
+
+
+class TestSchema:
+    def test_file_round_trips(self, smoke_report):
+        report, path = smoke_report
+        assert path.exists()
+        assert json.loads(path.read_text()) == json.loads(json.dumps(report))
+
+    def test_top_level_keys(self, smoke_report):
+        report, _ = smoke_report
+        assert report["benchmark"] == "detect"
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["config"]["smoke"] is True
+        for key in ("watchdog", "drift", "gate"):
+            assert key in report
+
+    def test_watchdog_matrix_complete(self, smoke_report):
+        report, _ = smoke_report
+        scenarios = report["watchdog"]["scenarios"]
+        assert set(scenarios) == set(WATCHDOG_SCENARIOS)
+        for rows in scenarios.values():
+            for arm in ("baseline", "detector"):
+                row = rows[arm]
+                assert row["status"] in ("completed", "degraded", "failed")
+                assert row["elapsed_s"] > 0
+        # the clean scenario carries no latency; every fault does
+        assert scenarios["clean"]["detector"]["detection_latency_s"] is None
+        for name in WATCHDOG_SCENARIOS:
+            if name == "clean":
+                continue
+            for arm in ("baseline", "detector"):
+                assert scenarios[name][arm]["detection_latency_s"] > 0
+
+    def test_drift_matrix_complete(self, smoke_report):
+        report, _ = smoke_report
+        cases = report["drift"]["cases"]
+        assert set(cases) == set(DRIFT_CASES)
+        for per_policy in cases.values():
+            assert set(per_policy) == set(DRIFT_POLICIES)
+            for row in per_policy.values():
+                assert row["completed"] or row["timed_out"]
+                assert row["seconds"] > 0
+        # only the detect policy drives re-plans off alarms
+        for case in DRIFT_CASES:
+            for policy in ("never", "oracle", "interval"):
+                assert cases[case][policy]["alarms"] == 0
+
+    def test_detection_latency_recorded(self, smoke_report):
+        """The mid-repair helper crash is seen within a few intervals."""
+        report, _ = smoke_report
+        latency = report["drift"]["dead_helper_detection_latency_s"]
+        assert latency is not None
+        assert 0 < latency <= 20.0
+
+
+class TestGate:
+    def test_gate_passes_on_fresh_smoke_run(self, smoke_report):
+        report, _ = smoke_report
+        gate = report["gate"]
+        assert gate["detector_beats_timeout"], (
+            report["watchdog"]["mean_detection_latency_s"]
+        )
+        assert gate["zero_false_aborts"]
+        assert gate["no_missed_detections"]
+        assert gate["detect_beats_never"], {
+            case: {p: per[p]["seconds"] for p in ("never", "detect")}
+            for case, per in report["drift"]["cases"].items()
+        }
+        assert gate["zero_flat_alarms"]
+        assert gate["pass"] is True
+
+    def test_clean_scenario_identical_across_arms(self, smoke_report):
+        """With no fault the detector must be a pure observer."""
+        report, _ = smoke_report
+        clean = report["watchdog"]["scenarios"]["clean"]
+        assert clean["detector"]["detect_aborts"] == 0
+        assert clean["detector"]["elapsed_s"] == pytest.approx(
+            clean["baseline"]["elapsed_s"], rel=1e-9
+        )
+
+
+class TestCommittedArtifact:
+    def test_committed_artifact_matches_schema(self):
+        path = REPO_ROOT / "BENCH_detect.json"
+        assert path.exists(), "run `python -m benchmarks.bench_detect`"
+        report = json.loads(path.read_text())
+        assert report["benchmark"] == "detect"
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["config"]["smoke"] is False
+        assert report["gate"]["pass"] is True
+
+    def test_committed_headline_margins(self):
+        """The claims the docs cite, re-read from the artefact."""
+        report = json.loads((REPO_ROOT / "BENCH_detect.json").read_text())
+        latency = report["watchdog"]["mean_detection_latency_s"]
+        assert latency["detector"] < 0.5 * latency["baseline"]
+        for case, per_policy in report["drift"]["cases"].items():
+            assert (
+                per_policy["detect"]["seconds"]
+                < per_policy["never"]["seconds"]
+            ), case
+
+    def test_merges_into_bench_trajectory(self):
+        """`repro bench report` picks the artefact up like the others."""
+        from repro.analysis import merge_bench_reports, render_bench_trajectory
+
+        report = json.loads((REPO_ROOT / "BENCH_detect.json").read_text())
+        merged = merge_bench_reports({"BENCH_detect.json": report})
+        (entry,) = merged["reports"]
+        assert entry["benchmark"] == "detect"
+        metrics = entry["metrics"]
+        assert "watchdog.mean_detection_latency_s.detector" in metrics
+        assert "gate.pass" in metrics and metrics["gate.pass"] == 1.0
+        text = render_bench_trajectory(merged)
+        assert "watchdog.mean_detection_latency_s.detector" in text

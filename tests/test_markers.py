@@ -1,0 +1,74 @@
+"""Marker-declaration lint: every ``pytest.mark.<name>`` is registered.
+
+An unregistered marker is silently inert — ``-m detect`` selects
+nothing and nobody notices.  This test walks every file under
+``tests/``, collects the markers it applies, and checks each one
+against the ``[tool.pytest.ini_options] markers`` list in
+``pyproject.toml``.  New suite markers (like ``detect``) get
+registered by failing here first.
+"""
+
+from __future__ import annotations
+
+import re
+import tomllib
+from pathlib import Path
+
+TESTS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = TESTS_DIR.parent
+
+_MARK_RE = re.compile(r"pytest\.mark\.(\w+)")
+
+#: pytest's own marks — always available, never in the markers list
+_BUILTIN = {
+    "parametrize",
+    "skip",
+    "skipif",
+    "xfail",
+    "usefixtures",
+    "filterwarnings",
+}
+
+
+def _declared_markers() -> set[str]:
+    data = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+    lines = data["tool"]["pytest"]["ini_options"]["markers"]
+    return {line.split(":", 1)[0].strip() for line in lines}
+
+
+def _used_markers() -> dict[str, set[str]]:
+    """marker name -> set of test files (repo-relative) applying it."""
+    used: dict[str, set[str]] = {}
+    for path in sorted(TESTS_DIR.rglob("*.py")):
+        for name in _MARK_RE.findall(path.read_text()):
+            if name in _BUILTIN:
+                continue
+            used.setdefault(name, set()).add(
+                str(path.relative_to(REPO_ROOT))
+            )
+    return used
+
+
+def test_every_used_marker_is_declared():
+    declared = _declared_markers()
+    undeclared = {
+        name: sorted(files)
+        for name, files in _used_markers().items()
+        if name not in declared
+    }
+    assert not undeclared, (
+        "markers used but not declared in pyproject.toml "
+        f"[tool.pytest.ini_options] markers: {undeclared}"
+    )
+
+
+def test_suite_markers_are_used():
+    """The declared list stays honest — no orphaned declarations."""
+    used = set(_used_markers())
+    orphans = _declared_markers() - used
+    assert not orphans, f"markers declared but never applied: {sorted(orphans)}"
+
+
+def test_detect_marker_registered():
+    """ISSUE 9's ``detect`` marker went through this lint on the way in."""
+    assert "detect" in _declared_markers()
