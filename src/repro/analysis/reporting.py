@@ -612,6 +612,124 @@ def render_profile(profiler, monitor=None, *, top: int = 12) -> str:
     return "\n".join(lines)
 
 
+def _fmt_duration(seconds: float) -> str:
+    """Lifetime-scale formatting: seconds up through days."""
+    if seconds < 120.0:
+        return f"{seconds:.1f} s"
+    if seconds < 7200.0:
+        return f"{seconds / 60.0:.1f} min"
+    if seconds < 172800.0:
+        return f"{seconds / 3600.0:.1f} h"
+    return f"{seconds / 86400.0:.1f} d"
+
+
+def _fmt_years(years: float) -> str:
+    if years == float("inf"):
+        return "inf"
+    if years >= 1000.0:
+        return f"{years:.3g}"
+    return f"{years:.1f}"
+
+
+def _fmt_nines(nines: float) -> str:
+    return "inf" if nines == float("inf") else f"{nines:.2f}"
+
+
+def render_lifetime(mc) -> str:
+    """Render a Monte-Carlo lifetime result (``repro lifetime``).
+
+    ``mc`` is a :class:`~repro.lifetime.montecarlo.MonteCarloResult`:
+    the durability headline (MTTDL + nines with their confidence
+    interval, honest about the zero-loss case), exposure-time
+    percentiles from the merged TDigest sketches, and the top loss
+    post-mortems with the orchestrator snapshot at each loss.
+    """
+    cfg = mc.config
+    pct = f"{mc.confidence:.0%}"
+    lines = [
+        f"fleet-lifetime durability: ({cfg.n},{cfg.k}) x "
+        f"{cfg.num_stripes:,} stripes in {cfg.placement_groups} placement "
+        f"group(s), {mc.trials} trial(s) x {cfg.years:g} simulated year(s) "
+        f"({mc.stripe_years:,.0f} stripe-years, repair={cfg.repair})",
+    ]
+    if mc.zero_loss:
+        lines.append(
+            f"  no data-loss events observed; at {pct} confidence "
+            f"MTTDL > {_fmt_years(mc.mttdl_ci_years[0])} group-years "
+            f"(durability > {_fmt_nines(mc.nines_ci[0])} nines)"
+        )
+    else:
+        lines.append(
+            f"  {mc.loss_events} loss event(s), {mc.stripes_lost:,} "
+            f"stripe(s) lost "
+            f"(per trial: {', '.join(str(c) for c in mc.per_trial_loss_events)})"
+        )
+    header = f"{'durability':>22} | {'point':>10} | {pct + ' CI':>21}"
+    lines += ["", header, "-" * len(header)]
+    lines.append(
+        f"{'MTTDL (group-years)':>22} | {_fmt_years(mc.mttdl_years):>10} | "
+        f"[{_fmt_years(mc.mttdl_ci_years[0]):>8}, "
+        f"{_fmt_years(mc.mttdl_ci_years[1]):>8}]"
+    )
+    lines.append(
+        f"{'annual nines':>22} | {_fmt_nines(mc.nines):>10} | "
+        f"[{_fmt_nines(mc.nines_ci[0]):>8}, {_fmt_nines(mc.nines_ci[1]):>8}]"
+    )
+    for label, digest in (
+        ("degraded exposure", mc.exposure_digest),
+        ("below-k unavailability", mc.below_k_digest),
+    ):
+        lines.append("")
+        if digest.count == 0:
+            lines.append(f"{label}: no windows recorded")
+            continue
+        qs = {q: digest.quantile(q) for q in (0.5, 0.9, 0.99, 1.0)}
+        lines.append(
+            f"{label}: {digest.count:,.0f} stripe-window(s); "
+            f"p50 {_fmt_duration(qs[0.5])}, p90 {_fmt_duration(qs[0.9])}, "
+            f"p99 {_fmt_duration(qs[0.99])}, max {_fmt_duration(qs[1.0])}"
+        )
+    if mc.post_mortems:
+        lines += ["", "top loss post-mortems (largest first):"]
+        for loss in mc.post_mortems:
+            lines.append(
+                f"  t={loss.time_years:.3f}y {loss.stripe_id}: "
+                f"{loss.stripes:,} stripe(s), {loss.surviving} surviving "
+                f"chunk(s), trigger {loss.trigger_level} "
+                f"{loss.trigger_unit}; group was {loss.group_state}, "
+                f"queue {loss.queue_depth}, {loss.inflight} in flight, "
+                f"budget committed {loss.committed_fraction:.0%}, "
+                f"throttle x{loss.throttle:.2f}"
+            )
+            burst = ", ".join(
+                f"{lvl} {unit}@{t:.0f}s"
+                for t, lvl, unit in loss.recent_failures[-4:]
+            )
+            if burst:
+                lines.append(f"      failure burst: {burst}")
+    return "\n".join(lines)
+
+
+def render_lifetime_sweep(sweep, *, knob: str = "pipeline_factor") -> str:
+    """Render a repair-speed sweep: ``[(knob value, MonteCarloResult)]``.
+
+    The durability-vs-repair-speed table — how many nines pipelined
+    repair buys over conventional rebuild at otherwise identical
+    fleets (the lifetime-scale rendering of the paper's headline).
+    """
+    header = (
+        f"{knob:>16} | {'losses':>6} | {'stripes lost':>12} | "
+        f"{'MTTDL (gy)':>10} | {'nines':>6}"
+    )
+    lines = ["durability vs repair speed", header, "-" * len(header)]
+    for value, mc in sweep:
+        lines.append(
+            f"{value:>16g} | {mc.loss_events:>6} | {mc.stripes_lost:>12,} | "
+            f"{_fmt_years(mc.mttdl_years):>10} | {_fmt_nines(mc.nines):>6}"
+        )
+    return "\n".join(lines)
+
+
 def _flatten_numeric(obj, prefix: str = "", depth: int = 4) -> dict[str, float]:
     """Dotted-path view of every numeric leaf in a nested report dict."""
     out: dict[str, float] = {}

@@ -32,6 +32,9 @@ Subcommands
                 detector-informed early abort
 ``bench``       ``bench report``: merge the repo's BENCH_*.json artifacts
                 into one trajectory table (markdown, or ``--json``)
+``lifetime``    fleet-lifetime durability campaign: Monte-Carlo MTTDL /
+                durability-nines over simulated years, with loss
+                post-mortems (``--sweep`` compares repair speeds)
 
 Every command is deterministic under ``--seed``.
 
@@ -451,6 +454,64 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lifetime(args: argparse.Namespace) -> int:
+    from .analysis import render_lifetime, render_lifetime_sweep
+    from .lifetime import (
+        ExponentialProcess,
+        LifetimeConfig,
+        RepairModel,
+        run_monte_carlo,
+        sweep_repair_speed,
+    )
+
+    n, k = map(int, args.nk.split(","))
+    config = LifetimeConfig(
+        n=n,
+        k=k,
+        num_stripes=args.stripes,
+        placement_groups=args.groups,
+        years=args.years,
+        seed=args.seed,
+        disk_process=ExponentialProcess.from_years(
+            args.mttf_years, mttr_hours=args.mttr_hours
+        ),
+        machine_process=(
+            ExponentialProcess.from_years(
+                args.machine_mttf_years, mttr_hours=args.machine_mttr_hours
+            )
+            if args.machine_mttf_years
+            else None
+        ),
+        repair=args.repair,
+        repair_model=RepairModel(
+            node_mbps=args.node_mbps, pipeline_factor=args.pipeline
+        ),
+        budget_fraction=args.budget,
+    )
+    if args.sweep:
+        log.info(
+            "sweeping pipeline factors %s over %d trial(s) each ...",
+            args.sweep, args.trials,
+        )
+        sweep = sweep_repair_speed(
+            config, args.sweep, trials=args.trials, workers=args.workers
+        )
+        print(render_lifetime_sweep(sweep))
+        return 0
+    log.info(
+        "running %d lifetime trial(s) x %g simulated year(s) ...",
+        args.trials, args.years,
+    )
+    mc = run_monte_carlo(
+        config,
+        trials=args.trials,
+        workers=args.workers,
+        confidence=args.confidence,
+    )
+    print(render_lifetime(mc))
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     if args.dimension == "slice":
         series = slice_size_sweep(seed=args.seed)
@@ -683,6 +744,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write the run as Chrome trace JSON")
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser(
+        "lifetime",
+        help="Monte-Carlo fleet-lifetime durability campaign (MTTDL, nines)",
+    )
+    p.add_argument("--nk", default="14,10", help="code as n,k")
+    p.add_argument("--stripes", type=int, default=50_000)
+    p.add_argument("--groups", type=int, default=64,
+                   help="placement groups the stripes share")
+    p.add_argument("--years", type=float, default=2.0,
+                   help="simulated years per trial")
+    p.add_argument("--trials", type=int, default=2,
+                   help="independent-seed Monte-Carlo trials")
+    p.add_argument("--mttf-years", type=float, default=0.25,
+                   help="disk MTTF (accelerated-aging default)")
+    p.add_argument("--mttr-hours", type=float, default=12.0,
+                   help="disk replacement lead time")
+    p.add_argument("--machine-mttf-years", type=float, default=0.5,
+                   help="machine MTTF for correlated transient outages "
+                   "(0 disables the machine process)")
+    p.add_argument("--machine-mttr-hours", type=float, default=4.0)
+    p.add_argument("--repair", default="orchestrated",
+                   choices=["orchestrated", "process"],
+                   help="orchestrated = real recovery loop; process = "
+                   "independent per-chunk rebuild clocks (Markov regime)")
+    p.add_argument("--node-mbps", type=float, default=600.0)
+    p.add_argument("--pipeline", type=float, default=1.0,
+                   help="repair-cost factor: 1.0 = pipelined (FullRepair), "
+                   "k = conventional serial rebuild")
+    p.add_argument("--budget", type=float, default=0.3,
+                   help="repair bandwidth budget fraction")
+    p.add_argument("--confidence", type=float, default=0.95)
+    p.add_argument("--workers", type=int, default=None,
+                   help="trial process pool size (default: one per trial)")
+    p.add_argument("--sweep", type=float, nargs="+", metavar="FACTOR",
+                   help="sweep pipeline factors instead, e.g. --sweep 1 5 10")
+    p.add_argument("--seed", type=int, default=2023)
+    p.set_defaults(func=cmd_lifetime)
 
     p = sub.add_parser("bench", help="benchmark artifact tools")
     bench_sub = p.add_subparsers(dest="bench_command", required=True)

@@ -81,6 +81,7 @@ class FaultInjector:
         stall_range_s: tuple[float, float] | None = None,
         protected: tuple[int, ...] = (),
         corruption: bool = False,
+        process=None,
     ) -> "FaultInjector":
         """A deterministic random fault schedule.
 
@@ -109,6 +110,17 @@ class FaultInjector:
             before the integrity subsystem existed replay bit-for-bit:
             with ``corruption=False`` the rng consumes exactly the same
             draws as always.
+        process:
+            Optional :class:`repro.lifetime.processes.LifetimeProcess`
+            supplying fault *times*: each time is drawn via
+            ``process.truncated_lifetime(rng, horizon_s)`` instead of
+            uniformly, so chaos schedules inherit Weibull/trace timing
+            (infant-mortality bursts front-load, wear-out back-loads).
+            Only the time draw changes hands — node choice, kinds and
+            parameters use the same stream in the same order, and with
+            ``process=None`` the schedule is byte-identical to every
+            previously published seed (the parametric processes consume
+            one uniform per time, exactly like the default draw).
         """
         rng = np.random.default_rng(seed)
         pool = [n for n in nodes if n not in protected]
@@ -124,7 +136,10 @@ class FaultInjector:
         kinds = 8 if corruption else 5
         for i in range(count):
             node = int(pool[i])
-            t = float(rng.uniform(0.0, horizon_s))
+            if process is None:
+                t = float(rng.uniform(0.0, horizon_s))
+            else:
+                t = float(process.truncated_lifetime(rng, horizon_s))
             kind = int(rng.integers(0, kinds))
             if kind == 0 and crashes >= max_crashes:
                 kind = 1 + int(rng.integers(0, kinds - 1))

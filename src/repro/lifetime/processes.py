@@ -1,0 +1,217 @@
+"""Pluggable lifetime event processes (failure + repair/replacement).
+
+A :class:`LifetimeProcess` describes *when things break and how long
+they stay broken* for one class of unit (disk, machine, rack).  The
+campaign driver owns the clocks; a process only answers two sampling
+questions against an injected ``numpy`` generator — so the same
+process object is shared by every unit and every Monte-Carlo trial
+without hidden state, and schedules are deterministic per seed:
+
+* :meth:`~LifetimeProcess.sample_lifetime` — seconds from
+  (re)installation until the unit's next failure;
+* :meth:`~LifetimeProcess.sample_downtime` — seconds the unit stays
+  down (replacement lead time for destroyed disks, reboot/outage
+  duration for transient machine or rack events).
+
+Three families cover the standard durability-modelling palette:
+
+* :class:`ExponentialProcess` — memoryless, the classic Markov-model
+  assumption and the basis for the analytic MTTDL cross-check
+  (:mod:`repro.lifetime.analytic`).
+* :class:`WeibullProcess` — shape < 1 gives infant mortality
+  (burn-in), shape > 1 gives wear-out; the empirical disk-population
+  shapes reported by field studies.
+* :class:`TraceProcess` — bootstrap-resamples an empirical
+  distribution of observed lifetimes/outages (GFS-availability-style
+  traces), for when no parametric family fits.
+
+:meth:`~LifetimeProcess.truncated_lifetime` draws a failure time
+conditioned on landing inside a horizon — the hook
+:meth:`repro.faults.FaultInjector.random_schedule` uses so short
+chaos scenarios can borrow these distributions without rejection
+loops (exact inverse-CDF truncation for the parametric families).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Julian year in seconds — the unit bridge between simulated seconds
+#: and the MTTDL/AFR numbers durability reports quote.
+SECONDS_PER_YEAR = 365.25 * 86_400.0
+
+
+class LifetimeProcess:
+    """Base class: a failure/repair clock distribution pair.
+
+    Subclasses implement :meth:`sample_lifetime` and
+    :meth:`sample_downtime`; both take the caller's generator so all
+    randomness stays in externally-owned, seeded streams.
+    """
+
+    #: short identifier used in reports
+    name: str = "process"
+
+    def sample_lifetime(self, rng: np.random.Generator) -> float:
+        """Seconds from (re)install until the next failure."""
+        raise NotImplementedError
+
+    def sample_downtime(self, rng: np.random.Generator) -> float:
+        """Seconds of downtime the failure causes."""
+        raise NotImplementedError
+
+    def truncated_lifetime(
+        self, rng: np.random.Generator, horizon_s: float
+    ) -> float:
+        """A lifetime conditioned on falling within ``[0, horizon_s)``.
+
+        Default is bounded rejection against :meth:`sample_lifetime`
+        (parametric subclasses override with exact inverse-CDF
+        truncation).  After 64 misses the draw falls back to a uniform
+        time so the method always terminates, even for processes whose
+        mass sits almost entirely past the horizon.
+        """
+        if horizon_s <= 0.0:
+            raise ValueError("horizon_s must be positive")
+        for _ in range(64):
+            t = self.sample_lifetime(rng)
+            if t < horizon_s:
+                return float(t)
+        return float(rng.uniform(0.0, horizon_s))
+
+
+@dataclass(frozen=True)
+class ExponentialProcess(LifetimeProcess):
+    """Memoryless failures at rate ``1 / mttf_s``; constant-rate
+    repair clocks at ``1 / mttr_s``.  The Markov-chain assumption."""
+
+    mttf_s: float
+    mttr_s: float
+    name: str = "exponential"
+
+    def __post_init__(self) -> None:
+        if self.mttf_s <= 0.0 or self.mttr_s <= 0.0:
+            raise ValueError("mttf_s and mttr_s must be positive")
+
+    @classmethod
+    def from_years(
+        cls, mttf_years: float, *, mttr_hours: float = 24.0
+    ) -> "ExponentialProcess":
+        return cls(
+            mttf_s=mttf_years * SECONDS_PER_YEAR,
+            mttr_s=mttr_hours * 3600.0,
+        )
+
+    def sample_lifetime(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mttf_s))
+
+    def sample_downtime(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mttr_s))
+
+    def truncated_lifetime(
+        self, rng: np.random.Generator, horizon_s: float
+    ) -> float:
+        # Inverse CDF of the exponential conditioned on t < horizon:
+        # F(t) = (1 - exp(-t/m)) / (1 - exp(-h/m)).
+        if horizon_s <= 0.0:
+            raise ValueError("horizon_s must be positive")
+        mass = -np.expm1(-horizon_s / self.mttf_s)
+        u = float(rng.uniform(0.0, 1.0))
+        return float(-self.mttf_s * np.log1p(-u * mass))
+
+
+@dataclass(frozen=True)
+class WeibullProcess(LifetimeProcess):
+    """Weibull lifetimes: hazard falls with age for ``shape < 1``
+    (infant mortality) and rises for ``shape > 1`` (wear-out).
+
+    ``scale_s`` is the characteristic life (63.2th percentile);
+    downtimes stay exponential at ``mttr_s`` — replacement logistics
+    are queue-like even when the failure physics are not.
+    """
+
+    shape: float
+    scale_s: float
+    mttr_s: float
+    name: str = "weibull"
+
+    def __post_init__(self) -> None:
+        if self.shape <= 0.0 or self.scale_s <= 0.0 or self.mttr_s <= 0.0:
+            raise ValueError("shape, scale_s and mttr_s must be positive")
+
+    @classmethod
+    def from_years(
+        cls, shape: float, scale_years: float, *, mttr_hours: float = 24.0
+    ) -> "WeibullProcess":
+        return cls(
+            shape=shape,
+            scale_s=scale_years * SECONDS_PER_YEAR,
+            mttr_s=mttr_hours * 3600.0,
+        )
+
+    def sample_lifetime(self, rng: np.random.Generator) -> float:
+        return float(self.scale_s * rng.weibull(self.shape))
+
+    def sample_downtime(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mttr_s))
+
+    def truncated_lifetime(
+        self, rng: np.random.Generator, horizon_s: float
+    ) -> float:
+        # F(t) = 1 - exp(-(t/s)^k); invert u * F(h) analytically.
+        if horizon_s <= 0.0:
+            raise ValueError("horizon_s must be positive")
+        mass = -np.expm1(-((horizon_s / self.scale_s) ** self.shape))
+        u = float(rng.uniform(0.0, 1.0))
+        return float(
+            self.scale_s * (-np.log1p(-u * mass)) ** (1.0 / self.shape)
+        )
+
+
+@dataclass(frozen=True)
+class TraceProcess(LifetimeProcess):
+    """Bootstrap resampling of an empirical lifetime/outage trace.
+
+    ``lifetimes_s`` and ``downtimes_s`` are observed samples (e.g. the
+    time-between-failure and outage-length columns of a
+    GFS-availability-style trace).  Each draw picks one observation
+    uniformly at random, which reproduces the empirical distribution
+    without assuming a parametric family.  Truncated draws resample
+    among the observations below the horizon.
+    """
+
+    lifetimes_s: tuple[float, ...]
+    downtimes_s: tuple[float, ...]
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        if not self.lifetimes_s or not self.downtimes_s:
+            raise ValueError("trace needs at least one lifetime and downtime")
+        if min(self.lifetimes_s) <= 0.0 or min(self.downtimes_s) <= 0.0:
+            raise ValueError("trace samples must be positive")
+
+    def sample_lifetime(self, rng: np.random.Generator) -> float:
+        return float(
+            self.lifetimes_s[int(rng.integers(0, len(self.lifetimes_s)))]
+        )
+
+    def sample_downtime(self, rng: np.random.Generator) -> float:
+        return float(
+            self.downtimes_s[int(rng.integers(0, len(self.downtimes_s)))]
+        )
+
+    def truncated_lifetime(
+        self, rng: np.random.Generator, horizon_s: float
+    ) -> float:
+        # Consumes exactly one uniform, like the parametric families:
+        # the fault-schedule hook relies on that parity so swapping a
+        # process in or out never perturbs the later draws of a seed.
+        if horizon_s <= 0.0:
+            raise ValueError("horizon_s must be positive")
+        u = float(rng.uniform(0.0, 1.0))
+        eligible = sorted(t for t in self.lifetimes_s if t < horizon_s)
+        if not eligible:
+            return u * horizon_s
+        return float(eligible[min(int(u * len(eligible)), len(eligible) - 1)])

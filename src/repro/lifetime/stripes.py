@@ -1,0 +1,378 @@
+"""Compact stripe-population state for fleet-lifetime campaigns.
+
+A lifetime campaign tracks *millions* of stripes over simulated years.
+Materialising them as :class:`repro.cluster.system.ClusterSystem`
+stripes — chunk payloads, checksums, per-chunk objects — would cost
+gigabytes and melt the event loop, so the population lives here as
+plain arrays instead:
+
+* one ``uint32`` **surviving-chunk bitmap per stripe** (bit ``j`` set
+  ⇔ chunk slot ``j``'s data still exists somewhere), the whole fleet
+  in ``4 * num_stripes`` bytes;
+* stripes grouped into **placement groups**: every stripe in group
+  ``p`` shares placement pattern ``patterns[p]`` and is laid out
+  contiguously, so a disk failure updates whole groups with vectorised
+  slices and the repair unit the orchestrator sees is one group
+  (``pg-…``), not one stripe;
+* **lazy promotion** — only groups under active repair are promoted to
+  lightweight stripe objects (:meth:`StripeTable.promote`) carrying
+  the mutable placement the orchestrator's duck-typed ``master``
+  surface needs; they are dropped again at completion.
+
+The table also owns the exposure bookkeeping the durability report is
+built from: per-group *degraded* windows (any chunk destroyed — the
+repair-exposure time FullRepair's pipelining is meant to shrink) and
+*below-k* windows (fewer than ``k`` chunks reachable — reads blocked),
+both recorded into mergeable :class:`repro.obs.fleet.TDigest`
+sketches weighted by group size, plus the permanent data-loss ledger
+(surviving chunks < k ⇒ the group's stripes are gone).
+
+Within a group the bitmap is block-uniform by construction (failures
+and repairs apply group-wide), so scalar transitions read one
+representative word while the per-stripe array remains the storage
+and stays cheap to scan vectorised (``np.bitwise_count``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..obs.fleet import TDigest
+
+__all__ = ["StripeTable", "GroupLoss", "ActiveStripe"]
+
+
+@dataclass(frozen=True)
+class GroupLoss:
+    """Raw record of one permanent data-loss event (a whole group)."""
+
+    time_s: float
+    group: int
+    stripes: int
+    surviving: int  # chunks still intact at the moment of loss
+    destroyed_slots: tuple[int, ...]
+
+
+class ActiveStripe:
+    """Promoted view of one placement group for the repair path.
+
+    Exposes the ``placement`` the orchestrator's ``master.stripe``
+    surface expects; mutations write straight through to the table's
+    pattern array.  Only groups under active repair are promoted.
+    """
+
+    __slots__ = ("table", "group")
+
+    def __init__(self, table: "StripeTable", group: int):
+        self.table = table
+        self.group = group
+
+    @property
+    def placement(self) -> tuple[int, ...]:
+        return tuple(int(d) for d in self.table.patterns[self.group])
+
+    @property
+    def stripes(self) -> int:
+        return self.table.group_size(self.group)
+
+
+class StripeTable:
+    """Bitmap-per-stripe population grouped by shared placement."""
+
+    def __init__(
+        self,
+        num_stripes: int,
+        patterns: np.ndarray,
+        *,
+        k: int,
+        digest_delta: int = 64,
+    ):
+        patterns = np.asarray(patterns, dtype=np.int32)
+        if patterns.ndim != 2:
+            raise ValueError("patterns must be a (groups, n) array")
+        num_groups, n = patterns.shape
+        if not 1 <= k <= n:
+            raise ValueError(f"need 1 <= k <= n, got k={k} n={n}")
+        if n > 32:
+            raise ValueError("bitmaps support stripe widths up to n=32")
+        if num_stripes < num_groups:
+            raise ValueError("need at least one stripe per placement group")
+        for p in range(num_groups):
+            row = patterns[p]
+            if len(set(int(d) for d in row)) != n:
+                raise ValueError(f"pattern {p} repeats a disk: {row.tolist()}")
+
+        self.num_stripes = num_stripes
+        self.num_groups = num_groups
+        self.n = n
+        self.k = k
+        self.full_mask = (1 << n) - 1
+
+        #: mutable working copy — repairs relocate chunks
+        self.patterns = patterns.copy()
+        # Contiguous block boundaries: group p owns
+        # stripes[starts[p]:starts[p + 1]].
+        sizes = np.full(num_groups, num_stripes // num_groups, dtype=np.int64)
+        sizes[: num_stripes % num_groups] += 1
+        self.starts = np.concatenate(
+            ([0], np.cumsum(sizes))
+        ).astype(np.int64)
+
+        #: the stripe-state table itself: one surviving-chunk bitmap
+        #: per stripe
+        self.intact = np.full(num_stripes, self.full_mask, dtype=np.uint32)
+        self.lost = np.zeros(num_groups, dtype=bool)
+
+        # disk -> groups whose *current* pattern uses it (maintained
+        # across relocations)
+        self._groups_of_disk: dict[int, set[int]] = {}
+        for p in range(num_groups):
+            for d in patterns[p]:
+                self._groups_of_disk.setdefault(int(d), set()).add(p)
+
+        # Group ids are interned once: the orchestrator handles them as
+        # strings on every queue push, and f-string-per-call was the
+        # top per-stripe allocation hot spot EngineProfiler surfaced.
+        self.group_ids = tuple(f"pg-{p:06d}" for p in range(num_groups))
+        self._group_of_id = {gid: p for p, gid in enumerate(self.group_ids)}
+
+        # Open exposure windows (NaN = closed) and their sketches.
+        self._degraded_since = np.full(num_groups, np.nan)
+        self._below_k_since = np.full(num_groups, np.nan)
+        self.exposure_digest = TDigest(digest_delta)
+        self.below_k_digest = TDigest(digest_delta)
+        self.loss_events: list[GroupLoss] = []
+        self.stripes_lost = 0
+        self.chunks_destroyed = 0
+        self.chunks_rebuilt = 0
+
+        self._active: dict[int, ActiveStripe] = {}
+
+    # ---- lookups ------------------------------------------------------- #
+
+    def group_size(self, group: int) -> int:
+        return int(self.starts[group + 1] - self.starts[group])
+
+    def group_of_id(self, stripe_id: str) -> int:
+        return self._group_of_id[stripe_id]
+
+    def groups_on(self, disk: int) -> set[int]:
+        """Groups whose current placement uses ``disk`` (live view)."""
+        return self._groups_of_disk.get(int(disk), set())
+
+    def surviving(self, group: int) -> int:
+        """Representative surviving-chunk count for a group."""
+        return int(self.intact[self.starts[group]]).bit_count()
+
+    def destroyed_slots(self, group: int) -> tuple[tuple[int, int], ...]:
+        """``(slot, disk)`` pairs whose chunk data no longer exists."""
+        word = int(self.intact[self.starts[group]])
+        row = self.patterns[group]
+        return tuple(
+            (j, int(row[j])) for j in range(self.n) if not word & (1 << j)
+        )
+
+    def available(self, group: int, down: np.ndarray) -> int:
+        """Chunks both intact and on a reachable disk."""
+        word = int(self.intact[self.starts[group]])
+        row = self.patterns[group]
+        # Fast path: outages are rare, and this runs on every window
+        # update — subtract only the intact chunks behind down disks.
+        row_down = down[row]
+        count = word.bit_count()
+        if row_down.any():
+            for j in np.flatnonzero(row_down):
+                if word & (1 << int(j)):
+                    count -= 1
+        return count
+
+    # ---- mutations ----------------------------------------------------- #
+
+    def destroy_disk(self, disk: int, now: float, down: np.ndarray):
+        """Chunk data on ``disk`` is gone (disk death).
+
+        Clears the disk's bit in every affected group's block, detects
+        permanent losses (surviving < k), and updates exposure
+        windows.  Returns ``(touched_groups, losses)``; the caller has
+        already marked the disk down in ``down``.
+        """
+        touched: list[int] = []
+        losses: list[GroupLoss] = []
+        for p in self.groups_on(disk):
+            if self.lost[p]:
+                continue
+            row = self.patterns[p]
+            bit = 0
+            for j in range(self.n):
+                if row[j] == disk:
+                    bit |= 1 << j
+            s0, s1 = int(self.starts[p]), int(self.starts[p + 1])
+            word = int(self.intact[s0])
+            if not word & bit:
+                continue  # chunk already destroyed (unrebuilt since last death)
+            self.intact[s0:s1] &= np.uint32(self.full_mask ^ bit)
+            self.chunks_destroyed += 1
+            touched.append(p)
+            survivors = (word & ~bit).bit_count()
+            if survivors < self.k:
+                losses.append(self._mark_lost(p, now, survivors))
+            else:
+                self._update_windows(p, now, down)
+        self.loss_events.extend(losses)
+        return touched, losses
+
+    def rebuild(
+        self,
+        group: int,
+        repairs: list[tuple[int, int]],
+        now: float,
+        down: np.ndarray,
+    ) -> None:
+        """Repaired chunks come back: ``repairs`` is ``(slot, target)``.
+
+        Sets the slot bits across the group's block and relocates the
+        pattern entries to the rebuild targets (keeping the
+        disk→groups index current).
+        """
+        if self.lost[group]:
+            raise ValueError(f"group {group} was lost; nothing to rebuild")
+        bit = 0
+        row = self.patterns[group]
+        for slot, target in repairs:
+            old = int(row[slot])
+            if old != target:
+                self._groups_of_disk.get(old, set()).discard(group)
+                self._groups_of_disk.setdefault(int(target), set()).add(group)
+                row[slot] = target
+            bit |= 1 << slot
+        s0, s1 = int(self.starts[group]), int(self.starts[group + 1])
+        self.intact[s0:s1] |= np.uint32(bit)
+        self.chunks_rebuilt += len(repairs)
+        self._update_windows(group, now, down)
+
+    def touch_disk(self, disk: int, now: float, down: np.ndarray) -> None:
+        """Reachability of ``disk`` changed (transient outage edge).
+
+        Data is intact; only availability windows can open or close,
+        so the scan is vectorised over every group on the disk (a rack
+        event touches each member disk's whole group fan-out — the
+        scalar per-group walk dominated outage handling).
+        """
+        groups = [p for p in self.groups_on(disk) if not self.lost[p]]
+        if not groups:
+            return
+        idx = np.asarray(groups, dtype=np.int64)
+        words = self.intact[self.starts[idx]]
+        rows = self.patterns[idx]  # (G, n)
+        intact_bits = (
+            words[:, None] >> np.arange(self.n, dtype=np.uint32)
+        ) & 1
+        avail = np.bitwise_count(words).astype(np.int64) - (
+            intact_bits.astype(bool) & down[rows]
+        ).sum(axis=1)
+        below = avail < self.k
+        was_open = ~np.isnan(self._below_k_since[idx])
+        degraded = np.bitwise_count(words).astype(np.int64) < self.n
+        deg_open = ~np.isnan(self._degraded_since[idx])
+        # transitions are rare; only they need scalar handling
+        for i in np.flatnonzero(below & ~was_open):
+            self._below_k_since[idx[i]] = now
+        for i in np.flatnonzero(~below & was_open):
+            p = int(idx[i])
+            self.below_k_digest.add(
+                max(now - self._below_k_since[p], 0.0), self.group_size(p)
+            )
+            self._below_k_since[p] = np.nan
+        for i in np.flatnonzero(degraded & ~deg_open):
+            self._degraded_since[idx[i]] = now
+        for i in np.flatnonzero(~degraded & deg_open):
+            p = int(idx[i])
+            self.exposure_digest.add(
+                max(now - self._degraded_since[p], 0.0), self.group_size(p)
+            )
+            self._degraded_since[p] = np.nan
+
+    def finalize(self, now: float, down: np.ndarray) -> None:
+        """Close every open exposure window at the campaign horizon."""
+        for p in range(self.num_groups):
+            since = self._degraded_since[p]
+            if not np.isnan(since):
+                self.exposure_digest.add(
+                    max(now - since, 0.0), self.group_size(p)
+                )
+                self._degraded_since[p] = np.nan
+            since = self._below_k_since[p]
+            if not np.isnan(since):
+                self.below_k_digest.add(
+                    max(now - since, 0.0), self.group_size(p)
+                )
+                self._below_k_since[p] = np.nan
+
+    def _mark_lost(self, group: int, now: float, survivors: int) -> GroupLoss:
+        self.lost[group] = True
+        size = self.group_size(group)
+        self.stripes_lost += size
+        # A loss closes the group's windows: exposure ends in the
+        # worst way, and the group leaves the live population.
+        since = self._degraded_since[group]
+        if not np.isnan(since):
+            self.exposure_digest.add(max(now - since, 0.0), size)
+            self._degraded_since[group] = np.nan
+        since = self._below_k_since[group]
+        if not np.isnan(since):
+            self.below_k_digest.add(max(now - since, 0.0), size)
+            self._below_k_since[group] = np.nan
+        return GroupLoss(
+            time_s=now,
+            group=group,
+            stripes=size,
+            surviving=survivors,
+            destroyed_slots=tuple(
+                slot for slot, _ in self.destroyed_slots(group)
+            ),
+        )
+
+    def _update_windows(self, group: int, now: float, down: np.ndarray):
+        size = self.group_size(group)
+        degraded = self.surviving(group) < self.n
+        since = self._degraded_since[group]
+        if degraded and np.isnan(since):
+            self._degraded_since[group] = now
+        elif not degraded and not np.isnan(since):
+            self.exposure_digest.add(max(now - since, 0.0), size)
+            self._degraded_since[group] = np.nan
+        below = self.available(group, down) < self.k
+        since = self._below_k_since[group]
+        if below and np.isnan(since):
+            self._below_k_since[group] = now
+        elif not below and not np.isnan(since):
+            self.below_k_digest.add(max(now - since, 0.0), size)
+            self._below_k_since[group] = np.nan
+
+    # ---- lazy promotion ------------------------------------------------ #
+
+    def promote(self, group: int) -> ActiveStripe:
+        """Stripe object for a group under active repair (cached)."""
+        stripe = self._active.get(group)
+        if stripe is None:
+            stripe = ActiveStripe(self, group)
+            self._active[group] = stripe
+        return stripe
+
+    def demote(self, group: int) -> None:
+        """Repair finished — drop the promoted object again."""
+        self._active.pop(group, None)
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    # ---- vectorised fleet scans ---------------------------------------- #
+
+    def surviving_histogram(self) -> np.ndarray:
+        """``hist[c]`` — stripes currently holding ``c`` intact chunks
+        (one pass over the whole population via ``bitwise_count``)."""
+        counts = np.bitwise_count(self.intact)
+        return np.bincount(counts, minlength=self.n + 1)

@@ -1,0 +1,86 @@
+"""The `process=` hook on random fault schedules.
+
+Two contracts: (1) lifetime processes can re-time chaos schedules
+through the existing seeded-stream machinery, and (2) the hook's mere
+existence must not perturb a single byte of any legacy schedule —
+``process=None`` replays the fixture captured before the hook existed.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.faults import FaultInjector
+from repro.lifetime import ExponentialProcess, TraceProcess, WeibullProcess
+
+FIXTURE = Path(__file__).parent / "data" / "legacy_schedules.json"
+
+SCHEDULE_KW = dict(
+    nodes=range(14), horizon_s=2.0, max_faults=4, protected=(0,)
+)
+
+
+def test_legacy_schedules_byte_identical():
+    """Every pre-hook seed replays exactly, with and without corruption."""
+    fixture = json.loads(FIXTURE.read_text())
+    assert len(fixture) == 128
+    for key, expected in fixture.items():
+        parts = dict(p.split("=") for p in key.split())
+        inj = FaultInjector.random_schedule(
+            int(parts["seed"]),
+            corruption=parts["corruption"] == "True",
+            **SCHEDULE_KW,
+        )
+        assert [repr(f) for f in inj.faults] == expected, key
+
+
+@pytest.mark.parametrize(
+    "process",
+    [
+        ExponentialProcess(mttf_s=5.0, mttr_s=1.0),
+        WeibullProcess(shape=0.7, scale_s=5.0, mttr_s=1.0),
+        WeibullProcess(shape=3.0, scale_s=5.0, mttr_s=1.0),
+        TraceProcess(lifetimes_s=(0.25, 0.5, 1.9, 7.0), downtimes_s=(1.0,)),
+    ],
+)
+def test_process_retimes_without_touching_structure(process):
+    """Same nodes/kinds/parameters; only the fault times change hands."""
+    for seed in range(16):
+        base = FaultInjector.random_schedule(seed, **SCHEDULE_KW)
+        timed = FaultInjector.random_schedule(
+            seed, process=process, **SCHEDULE_KW
+        )
+        strip = lambda faults: sorted(
+            (type(f).__name__, f.node) for f in faults
+        )
+        assert strip(timed.faults) == strip(base.faults)
+        assert all(0.0 <= f.time < 2.0 for f in timed.faults)
+
+
+def test_truncation_keeps_times_inside_horizon():
+    """Even a process whose mass lies far past the horizon lands inside."""
+    process = ExponentialProcess(mttf_s=1e6, mttr_s=1.0)
+    for seed in range(8):
+        inj = FaultInjector.random_schedule(seed, process=process, **SCHEDULE_KW)
+        assert all(0.0 <= f.time < 2.0 for f in inj.faults)
+
+
+def test_infant_mortality_front_loads_schedules():
+    """Weibull shape < 1 concentrates fault times early relative to
+    wear-out (shape > 1) under identical truncation — the reason the
+    hook exists."""
+    infant = WeibullProcess(shape=0.5, scale_s=4.0, mttr_s=1.0)
+    wearout = WeibullProcess(shape=4.0, scale_s=4.0, mttr_s=1.0)
+
+    def mean_time(process):
+        times = [
+            f.time
+            for seed in range(64)
+            for f in FaultInjector.random_schedule(
+                seed, process=process, **SCHEDULE_KW
+            ).faults
+        ]
+        return sum(times) / len(times)
+
+    assert mean_time(infant) < mean_time(wearout)

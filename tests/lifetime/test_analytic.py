@@ -1,0 +1,61 @@
+"""Closed-form Markov MTTDL: exact small cases and sanity orderings."""
+
+import pytest
+
+from repro.lifetime import SECONDS_PER_YEAR, markov_mttdl, markov_mttdl_years
+
+pytestmark = pytest.mark.lifetime
+
+
+class TestExactSmallCases:
+    def test_single_redundancy_closed_form(self):
+        """r = 1 has the textbook answer ((2n-1)L + M) / (n(n-1)L^2)."""
+        n, lam, mu = 5, 1e-4, 1e-2
+        expected = ((2 * n - 1) * lam + mu) / (n * (n - 1) * lam * lam)
+        assert markov_mttdl(n, n - 1, lam, mu) == pytest.approx(expected)
+        # with one failed chunk, serial and independent repair coincide
+        assert markov_mttdl(
+            n, n - 1, lam, mu, repairs="serial"
+        ) == pytest.approx(expected)
+
+    def test_no_repair_reduces_to_pure_death_chain(self):
+        """mu -> 0: MTTDL is the sum of exponential stage means."""
+        n, k, lam = 4, 2, 1e-3
+        expected = sum(1.0 / ((n - i) * lam) for i in range(n - k + 1))
+        assert markov_mttdl(n, k, lam, 1e-12) == pytest.approx(
+            expected, rel=1e-4
+        )
+
+
+class TestOrderings:
+    def test_faster_repair_extends_mttdl(self):
+        slow = markov_mttdl(14, 10, 1e-6, 1e-4)
+        fast = markov_mttdl(14, 10, 1e-6, 1e-3)
+        assert fast > slow
+
+    def test_independent_repair_beats_serial(self):
+        serial = markov_mttdl(14, 10, 1e-6, 1e-4, repairs="serial")
+        independent = markov_mttdl(14, 10, 1e-6, 1e-4, repairs="independent")
+        assert independent > serial
+
+    def test_more_redundancy_extends_mttdl(self):
+        assert markov_mttdl(14, 10, 1e-6, 1e-4) > markov_mttdl(
+            12, 10, 1e-6, 1e-4
+        )
+
+
+class TestUnits:
+    def test_years_wrapper_matches_seconds(self):
+        years = markov_mttdl_years(9, 6, mttf_years=4.0, mttr_hours=24.0)
+        seconds = markov_mttdl(
+            9, 6, 1.0 / (4.0 * SECONDS_PER_YEAR), 1.0 / 86_400.0
+        )
+        assert years == pytest.approx(seconds / SECONDS_PER_YEAR)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            markov_mttdl(4, 4, 1e-6, 1e-4)
+        with pytest.raises(ValueError):
+            markov_mttdl(4, 2, -1.0, 1e-4)
+        with pytest.raises(ValueError):
+            markov_mttdl(4, 2, 1e-6, 1e-4, repairs="psychic")

@@ -1,0 +1,102 @@
+"""Lifetime processes: sampling contracts and exact truncation."""
+
+import numpy as np
+import pytest
+
+from repro.lifetime import (
+    ExponentialProcess,
+    LifetimeProcess,
+    SECONDS_PER_YEAR,
+    TraceProcess,
+    WeibullProcess,
+)
+
+pytestmark = pytest.mark.lifetime
+
+
+class TestExponential:
+    def test_from_years_converts_units(self):
+        p = ExponentialProcess.from_years(4.0, mttr_hours=12.0)
+        assert p.mttf_s == pytest.approx(4.0 * SECONDS_PER_YEAR)
+        assert p.mttr_s == pytest.approx(12.0 * 3600.0)
+
+    def test_sample_mean_matches_mttf(self):
+        p = ExponentialProcess(mttf_s=100.0, mttr_s=10.0)
+        rng = np.random.default_rng(0)
+        samples = [p.sample_lifetime(rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(100.0, rel=0.1)
+
+    def test_truncated_draws_stay_inside_any_horizon(self):
+        # mass almost entirely past the horizon: exact inverse-CDF
+        # truncation still lands inside (no rejection loop to exhaust)
+        p = ExponentialProcess(mttf_s=1e9, mttr_s=1.0)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            assert 0.0 <= p.truncated_lifetime(rng, 50.0) < 50.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialProcess(mttf_s=0.0, mttr_s=1.0)
+        p = ExponentialProcess(mttf_s=1.0, mttr_s=1.0)
+        with pytest.raises(ValueError):
+            p.truncated_lifetime(np.random.default_rng(0), 0.0)
+
+
+class TestWeibull:
+    def test_shape_controls_burn_in(self):
+        """Infant mortality front-loads mass relative to wear-out."""
+        rng_a, rng_b = np.random.default_rng(2), np.random.default_rng(2)
+        infant = WeibullProcess(shape=0.5, scale_s=100.0, mttr_s=1.0)
+        wearout = WeibullProcess(shape=4.0, scale_s=100.0, mttr_s=1.0)
+        early = sum(
+            infant.truncated_lifetime(rng_a, 100.0) for _ in range(500)
+        )
+        late = sum(
+            wearout.truncated_lifetime(rng_b, 100.0) for _ in range(500)
+        )
+        assert early < late
+
+    def test_from_years(self):
+        p = WeibullProcess.from_years(1.2, 4.0, mttr_hours=6.0)
+        assert p.scale_s == pytest.approx(4.0 * SECONDS_PER_YEAR)
+        assert p.mttr_s == pytest.approx(6.0 * 3600.0)
+
+
+class TestTrace:
+    def test_resamples_only_observed_values(self):
+        p = TraceProcess(lifetimes_s=(3.0, 7.0), downtimes_s=(1.0, 2.0))
+        rng = np.random.default_rng(3)
+        assert {p.sample_lifetime(rng) for _ in range(50)} == {3.0, 7.0}
+        assert {p.sample_downtime(rng) for _ in range(50)} == {1.0, 2.0}
+
+    def test_truncation_restricts_to_eligible_observations(self):
+        p = TraceProcess(lifetimes_s=(3.0, 7.0, 50.0), downtimes_s=(1.0,))
+        rng = np.random.default_rng(4)
+        draws = {p.truncated_lifetime(rng, 10.0) for _ in range(50)}
+        assert draws <= {3.0, 7.0}
+
+    def test_no_eligible_observation_falls_back_to_uniform(self):
+        p = TraceProcess(lifetimes_s=(50.0,), downtimes_s=(1.0,))
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            assert 0.0 <= p.truncated_lifetime(rng, 10.0) < 10.0
+
+    def test_empty_or_nonpositive_traces_rejected(self):
+        with pytest.raises(ValueError):
+            TraceProcess(lifetimes_s=(), downtimes_s=(1.0,))
+        with pytest.raises(ValueError):
+            TraceProcess(lifetimes_s=(1.0,), downtimes_s=(0.0,))
+
+
+class TestBaseClassFallback:
+    def test_rejection_sampler_always_terminates(self):
+        class Stubborn(LifetimeProcess):
+            def sample_lifetime(self, rng):
+                return 1e12  # never inside the horizon
+
+            def sample_downtime(self, rng):
+                return 1.0
+
+        rng = np.random.default_rng(6)
+        t = Stubborn().truncated_lifetime(rng, 5.0)
+        assert 0.0 <= t < 5.0

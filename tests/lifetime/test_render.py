@@ -1,0 +1,142 @@
+"""Rendering contracts: zero-loss, empty-campaign, and lossy reports."""
+
+import math
+
+import pytest
+
+from repro.analysis import render_lifetime, render_lifetime_sweep
+from repro.lifetime import (
+    ExponentialProcess,
+    LifetimeConfig,
+    LossEvent,
+    MonteCarloResult,
+    run_monte_carlo,
+)
+from repro.obs.fleet import TDigest
+
+pytestmark = pytest.mark.lifetime
+
+
+def make_result(**overrides) -> MonteCarloResult:
+    """A hand-built reduction so contracts don't need a simulation."""
+    base = dict(
+        config=LifetimeConfig(n=6, k=4, num_stripes=1000,
+                              placement_groups=8, years=2.0),
+        trials=2,
+        group_years=32.0,
+        stripe_years=4000.0,
+        loss_events=0,
+        stripes_lost=0,
+        per_trial_loss_events=(0, 0),
+        per_trial_stripes_lost=(0, 0),
+        confidence=0.95,
+        mttdl_years=math.inf,
+        mttdl_ci_years=(8.7, math.inf),
+        nines=math.inf,
+        nines_ci=(1.1, math.inf),
+        exposure_digest=TDigest(),
+        below_k_digest=TDigest(),
+        post_mortems=(),
+        results=(),
+    )
+    base.update(overrides)
+    return MonteCarloResult(**base)
+
+
+class TestZeroLossContract:
+    def test_reports_lower_bound_not_infinity_alone(self):
+        text = render_lifetime(make_result())
+        assert "no data-loss events observed" in text
+        assert "MTTDL > 8.7 group-years" in text
+        assert "> 1.10 nines" in text
+
+    def test_real_zero_loss_run_renders(self):
+        quiet = LifetimeConfig(
+            n=6, k=4, num_stripes=160, placement_groups=16, years=0.5,
+            disk_process=ExponentialProcess.from_years(1e6),
+        )
+        mc = run_monte_carlo(quiet, trials=2)
+        text = render_lifetime(mc)
+        assert "no data-loss events observed" in text
+        assert "inf" in text
+
+
+class TestEmptyCampaignContract:
+    def test_empty_digests_render_without_error(self):
+        text = render_lifetime(make_result())
+        assert "degraded exposure: no windows recorded" in text
+        assert "below-k unavailability: no windows recorded" in text
+        assert "post-mortems" not in text
+
+
+class TestLossyContract:
+    @pytest.fixture
+    def lossy(self):
+        exposure = TDigest()
+        exposure.add(3600.0, 10)
+        exposure.add(7200.0, 10)
+        loss = LossEvent(
+            time_s=5.0e6,
+            group=3,
+            stripe_id="pg-000003",
+            stripes=125,
+            surviving=3,
+            destroyed_disks=(4, 9, 12),
+            trigger_level="disk",
+            trigger_unit=12,
+            recent_failures=((4.9e6, "disk", 4), (5.0e6, "disk", 12)),
+            group_state="queued",
+            queue_depth=7,
+            inflight=4,
+            committed_fraction=0.3,
+            throttle=0.5,
+        )
+        return make_result(
+            loss_events=3,
+            stripes_lost=375,
+            per_trial_loss_events=(2, 1),
+            per_trial_stripes_lost=(250, 125),
+            mttdl_years=10.4,
+            mttdl_ci_years=(3.4, 30.1),
+            nines=2.0,
+            nines_ci=(1.5, 2.5),
+            exposure_digest=exposure,
+            post_mortems=(loss,),
+        )
+
+    def test_headline_and_interval(self, lossy):
+        text = render_lifetime(lossy)
+        assert "3 loss event(s), 375 stripe(s) lost" in text
+        assert "per trial: 2, 1" in text
+        assert "10.4" in text and "[     3.4,     30.1]" in text
+
+    def test_post_mortem_shows_trigger_and_orchestrator_state(self, lossy):
+        text = render_lifetime(lossy)
+        assert "pg-000003: 125 stripe(s)" in text
+        assert "trigger disk 12" in text
+        assert "group was queued, queue 7, 4 in flight" in text
+        assert "throttle x0.50" in text
+        assert "failure burst: disk 4@4900000s, disk 12@5000000s" in text
+
+    def test_exposure_percentiles(self, lossy):
+        text = render_lifetime(lossy)
+        assert "degraded exposure: 20 stripe-window(s)" in text
+        assert "p99" in text and "max 2.0 h" in text
+
+
+class TestSweepRendering:
+    def test_table_lists_factors_in_order(self):
+        sweep = [
+            (1.0, make_result()),
+            (10.0, make_result(loss_events=9, stripes_lost=900,
+                               mttdl_years=3.5, nines=0.8,
+                               per_trial_loss_events=(5, 4),
+                               per_trial_stripes_lost=(500, 400))),
+        ]
+        text = render_lifetime_sweep(sweep)
+        lines = text.splitlines()
+        assert lines[0] == "durability vs repair speed"
+        assert "pipeline_factor" in lines[1]
+        assert lines[3].strip().startswith("1 |")
+        assert "900" in lines[4]
+        assert "inf" in lines[3]

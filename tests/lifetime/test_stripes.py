@@ -1,0 +1,173 @@
+"""The compact stripe-state table: bitmaps, losses, exposure windows."""
+
+import numpy as np
+import pytest
+
+from repro.lifetime import StripeTable
+
+pytestmark = pytest.mark.lifetime
+
+
+def make_table(num_stripes=10, k=2):
+    """(3, 2) stripes in two groups over six disks, no overlap."""
+    patterns = np.array([[0, 1, 2], [3, 4, 5]], dtype=np.int32)
+    return StripeTable(num_stripes, patterns, k=k)
+
+
+def no_down():
+    return np.zeros(6, dtype=bool)
+
+
+class TestConstruction:
+    def test_blocks_cover_population(self):
+        table = make_table(num_stripes=11)
+        assert table.group_size(0) + table.group_size(1) == 11
+        assert int(table.starts[-1]) == 11
+
+    def test_everything_starts_intact(self):
+        table = make_table()
+        assert table.surviving(0) == 3
+        assert table.surviving_histogram().tolist() == [0, 0, 0, 10]
+
+    def test_duplicate_disk_in_pattern_rejected(self):
+        with pytest.raises(ValueError, match="repeats a disk"):
+            StripeTable(4, np.array([[0, 0, 1], [2, 3, 4]]), k=2)
+
+    def test_group_ids_round_trip(self):
+        table = make_table()
+        assert table.group_ids == ("pg-000000", "pg-000001")
+        assert table.group_of_id("pg-000001") == 1
+
+
+class TestDestroyAndRebuild:
+    def test_disk_death_clears_one_bit_groupwide(self):
+        table = make_table()
+        down = no_down()
+        down[1] = True
+        touched, losses = table.destroy_disk(1, 10.0, down)
+        assert touched == [0] and not losses
+        assert table.surviving(0) == 2
+        assert table.surviving(1) == 3
+        assert table.destroyed_slots(0) == ((1, 1),)
+        assert table.chunks_destroyed == 1
+
+    def test_second_death_loses_the_group(self):
+        table = make_table()
+        down = no_down()
+        for disk in (0, 1):
+            down[disk] = True
+            _, losses = table.destroy_disk(disk, float(disk), down)
+        assert len(losses) == 1
+        loss = losses[0]
+        assert loss.group == 0
+        assert loss.surviving == 1
+        assert loss.stripes == table.group_size(0)
+        assert table.lost[0] and not table.lost[1]
+        assert table.stripes_lost == table.group_size(0)
+
+    def test_rebuild_relocates_pattern(self):
+        table = make_table()
+        down = no_down()
+        down[2] = True
+        table.destroy_disk(2, 1.0, down)
+        # rebuild slot 2 onto (recovered) disk 2's replacement slot 5?
+        # no — onto a different disk entirely, exercising relocation
+        table.rebuild(0, [(2, 5)], 2.0, no_down())
+        assert table.surviving(0) == 3
+        assert table.promote(0).placement == (0, 1, 5)
+        assert 0 in table.groups_on(5)
+        assert 0 not in table.groups_on(2)
+        assert table.chunks_rebuilt == 1
+
+    def test_rebuild_of_lost_group_rejected(self):
+        table = make_table()
+        down = no_down()
+        for disk in (0, 1):
+            down[disk] = True
+            table.destroy_disk(disk, 0.0, down)
+        with pytest.raises(ValueError, match="was lost"):
+            table.rebuild(0, [(0, 5)], 1.0, down)
+
+
+class TestAvailability:
+    def test_available_subtracts_unreachable_intact_chunks(self):
+        table = make_table()
+        down = no_down()
+        down[0] = down[1] = True
+        assert table.available(0, down) == 1
+        assert table.available(1, down) == 3
+
+    def test_destroyed_chunk_not_double_counted(self):
+        table = make_table()
+        down = no_down()
+        down[0] = True
+        table.destroy_disk(0, 0.0, down)
+        # chunk 0 is destroyed AND its disk is down: available loses 1
+        assert table.available(0, down) == 2
+
+
+class TestExposureWindows:
+    def test_degraded_window_closes_on_rebuild(self):
+        table = make_table()
+        down = no_down()
+        down[0] = True
+        table.destroy_disk(0, 100.0, down)
+        down[0] = False
+        table.rebuild(0, [(0, 0)], 160.0, down)
+        digest = table.exposure_digest
+        assert digest.count == table.group_size(0)
+        assert digest.quantile(0.5) == pytest.approx(60.0)
+
+    def test_transient_outage_opens_below_k_only(self):
+        table = make_table()
+        down = no_down()
+        down[0] = down[1] = True  # 1 reachable < k=2, data intact
+        for disk in (0, 1):
+            table.touch_disk(disk, 10.0, down)
+        down[0] = down[1] = False
+        for disk in (0, 1):
+            table.touch_disk(disk, 35.0, down)
+        assert table.below_k_digest.count == table.group_size(0)
+        assert table.below_k_digest.quantile(0.5) == pytest.approx(25.0)
+        assert table.exposure_digest.count == 0  # nothing destroyed
+        assert not table.loss_events
+
+    def test_finalize_closes_open_windows(self):
+        table = make_table()
+        down = no_down()
+        down[3] = True
+        table.destroy_disk(3, 5.0, down)
+        table.finalize(25.0, down)
+        assert table.exposure_digest.count == table.group_size(1)
+        assert table.exposure_digest.quantile(0.9) == pytest.approx(20.0)
+
+    def test_loss_closes_windows_too(self):
+        table = make_table()
+        down = no_down()
+        for t, disk in ((1.0, 0), (4.0, 1)):
+            down[disk] = True
+            table.destroy_disk(disk, t, down)
+        assert table.exposure_digest.count == table.group_size(0)
+        table.finalize(100.0, down)
+        # the lost group contributes no further windows after death
+        assert table.exposure_digest.count == table.group_size(0)
+
+
+class TestPromotion:
+    def test_promote_is_cached_and_demote_drops(self):
+        table = make_table()
+        stripe = table.promote(0)
+        assert table.promote(0) is stripe
+        assert table.active_count == 1
+        table.demote(0)
+        assert table.active_count == 0
+
+    def test_promoted_view_tracks_relocation(self):
+        table = make_table()
+        stripe = table.promote(1)
+        down = no_down()
+        down[4] = True
+        table.destroy_disk(4, 0.0, down)
+        table.rebuild(1, [(1, 2)], 1.0, no_down())
+        assert stripe.placement == (3, 2, 5)
+        assert stripe.stripes == table.group_size(1)

@@ -254,3 +254,35 @@ class TestFullnodeCommand:
         ]) == 0
         out = capsys.readouterr().out
         assert "sequential" in out and "batched" in out
+
+
+TINY_LIFETIME = [
+    "lifetime", "--stripes", "200", "--groups", "8", "--years", "0.02",
+    "--trials", "2", "--mttf-years", "100", "--machine-mttf-years", "0",
+    "--workers", "1",
+]
+
+
+class TestLifetimeCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["lifetime"])
+        assert args.nk == "14,10"
+        assert args.repair == "orchestrated"
+        assert args.sweep is None
+
+    def test_quiet_fleet_reports_lower_bound(self, capsys):
+        assert main(TINY_LIFETIME) == 0
+        out = capsys.readouterr().out
+        assert "fleet-lifetime durability: (14,10)" in out
+        assert "no data-loss events observed" in out
+        assert "MTTDL" in out
+
+    def test_sweep_table(self, capsys):
+        assert main(TINY_LIFETIME + ["--sweep", "1", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "durability vs repair speed" in out
+        assert "pipeline_factor" in out
+
+    def test_bad_repair_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lifetime", "--repair", "magic"])
